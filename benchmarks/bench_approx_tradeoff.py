@@ -1,0 +1,68 @@
+"""E8 — approximation trade-off sweep (Section 4.3 claims).
+
+The abstract promises "a finely controlled trade-off between accuracy,
+memory complexity, and number of operations".  This benchmark sweeps
+the fidelity threshold on a random state and asserts the three claimed
+benefits of the technique (Section 4.3): smaller diagrams, shorter
+synthesis, shorter circuits — all with the fidelity guarantee held.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.scaling import approximation_tradeoff
+from repro.core.synthesis import synthesize_preparation
+from repro.dd.approximation import approximate
+from repro.dd.builder import build_dd
+from repro.states.random_states import random_state
+
+THRESHOLDS = [1.0, 0.99, 0.98, 0.95, 0.90, 0.80]
+
+
+def test_tradeoff_curve(benchmark):
+    points = benchmark.pedantic(
+        approximation_tradeoff,
+        kwargs={"dims": (4, 3, 3, 2), "thresholds": THRESHOLDS},
+        rounds=3,
+        iterations=1,
+    )
+    print("\n[E8/tradeoff] threshold, achieved, nodes, operations:")
+    for point in points:
+        print(
+            f"  {point.min_fidelity:.2f}  "
+            f"{point.achieved_fidelity:.4f}  "
+            f"{point.visited_nodes}  {point.operations}"
+        )
+    # Guarantee and monotonicity across the whole sweep.
+    for point in points:
+        assert point.achieved_fidelity >= point.min_fidelity - 1e-9
+    sizes = [p.visited_nodes for p in points]
+    operations = [p.operations for p in points]
+    assert sizes == sorted(sizes, reverse=True)
+    assert operations == sorted(operations, reverse=True)
+    # The sweep actually bites: at 0.80 the circuit is visibly shorter.
+    assert points[-1].operations < points[0].operations
+
+
+def test_approximation_reduces_synthesis_time(benchmark):
+    """Benefit 2 of Section 4.3: smaller DD => faster synthesis."""
+    dd = build_dd(random_state((4, 4, 3, 2), rng=5))
+    pruned = approximate(dd, 0.80).diagram
+
+    def timed(diagram):
+        start = time.perf_counter()
+        synthesize_preparation(diagram)
+        return time.perf_counter() - start
+
+    def run():
+        return timed(dd), timed(pruned)
+
+    full_time, pruned_time = benchmark.pedantic(
+        run, rounds=5, iterations=1
+    )
+    print(
+        f"\n[E8/synthesis-time] full: {full_time * 1e3:.2f} ms, "
+        f"pruned(0.80): {pruned_time * 1e3:.2f} ms"
+    )
+    assert pruned_time <= full_time

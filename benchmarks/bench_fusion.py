@@ -1,0 +1,88 @@
+"""E13 (extension) — qubit-to-qudit fusion (compression) ablation.
+
+The authors' companion work [15] compresses qubit circuits by mapping
+qubit pairs onto ququarts.  At the state-preparation level this is a
+register reshape: fusing adjacent qudits removes decision-diagram
+levels, trading control depth for local dimension.  This bench
+quantifies the trade on a 6-qubit GHZ state prepared as qubits, as
+fused ququarts, and as a single 64-level qudit.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.stats import statistics
+from repro.core.preparation import prepare_state
+from repro.states.library import ghz_state
+from repro.states.reshape import fuse_all, fuse_qudits
+from repro.transpile.cost_model import two_qudit_cost_of_circuit
+
+
+def _register_variants(state):
+    pairwise = state
+    for position in range(len(state.dims) // 2):
+        pairwise = fuse_qudits(pairwise, position)
+    return {
+        "qubits": state,
+        "ququarts": pairwise,
+        "single": fuse_all(state),
+    }
+
+
+def test_fusion_tradeoff_on_ghz(benchmark):
+    state = ghz_state((2,) * 6)
+    variants = _register_variants(state)
+
+    def run():
+        return {
+            name: prepare_state(variant, verify=False)
+            for name, variant in variants.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\n[E13/fusion] register, ops, median ctrl, two-qudit cost:")
+    rows = {}
+    for name, result in results.items():
+        stats = statistics(result.circuit)
+        cost = two_qudit_cost_of_circuit(result.circuit)
+        rows[name] = (stats, cost)
+        print(
+            f"  {name:9s} dims={result.report.dims}: "
+            f"{stats.num_operations} ops, "
+            f"median ctrl {stats.median_controls}, "
+            f"two-qudit cost {cost}"
+        )
+    # Fusing never increases the control burden...
+    assert (
+        rows["single"][0].max_controls
+        <= rows["ququarts"][0].max_controls
+        <= rows["qubits"][0].max_controls
+    )
+    # ...the single-qudit variant needs no entangling structure at
+    # all, but pays with a long local ladder (64 levels): the honest
+    # compression trade-off.
+    assert rows["single"][0].max_controls == 0
+    assert (
+        rows["single"][0].num_operations
+        > rows["qubits"][0].num_operations
+    )
+    # The pairwise ququart mapping is the sweet spot here: fewer
+    # operations than qubits at no extra control depth.
+    assert (
+        rows["ququarts"][0].num_operations
+        < rows["qubits"][0].num_operations
+    )
+
+
+def test_fusion_preserves_fidelity(benchmark):
+    from repro.states.random_states import random_state
+
+    state = random_state((2, 2, 2, 2), rng=17)
+    fused = fuse_qudits(fuse_qudits(state, 0), 1)
+
+    result = benchmark(prepare_state, fused)
+    print(
+        f"\n[E13/fusion] random 4-qubit state as (4, 4): "
+        f"{result.report.operations} ops, fidelity "
+        f"{result.report.fidelity:.10f}"
+    )
+    assert result.report.fidelity >= 1.0 - 1e-9

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark prints the paper-comparable metrics it measured, so a
+``-s`` run doubles as a regeneration of the corresponding table row or
+figure (see EXPERIMENTS.md for the mapping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.benchmarks_def import TABLE1_ROWS, benchmark_state
+from repro.dd.builder import build_dd
+
+
+def case_id(case) -> str:
+    """Readable pytest id for a Table 1 benchmark case."""
+    dims = "x".join(str(d) for d in case.dims)
+    return f"{case.family.replace(' ', '_')}-{dims}"
+
+
+@pytest.fixture(params=TABLE1_ROWS, ids=case_id)
+def table1_case(request):
+    """Parametrise a benchmark over all fourteen Table 1 rows."""
+    return request.param
+
+
+@pytest.fixture
+def table1_dd(table1_case):
+    """The decision diagram of a Table 1 case (built outside timing)."""
+    state = benchmark_state(
+        table1_case, rng=np.random.default_rng(2024)
+    )
+    return table1_case, state, build_dd(state)

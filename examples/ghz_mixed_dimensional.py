@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""GHZ preparation, hand-built versus synthesised (Figure 1).
+
+The paper's Figure 1 constructs a two-qutrit GHZ state with a qutrit
+Hadamard followed by two controlled increments.  This example builds
+that circuit by hand with the gate library, synthesises another
+circuit automatically from the decision diagram, and shows both
+produce the same state — on the figure's two-qutrit system and on a
+larger mixed-dimensional register.
+
+Run:  python examples/ghz_mixed_dimensional.py
+"""
+
+import numpy as np
+
+from repro import Circuit, ghz_state, prepare_state, simulate
+from repro.circuit.gates import FourierGate, ShiftGate
+from repro.states.fidelity import fidelity
+
+
+def hand_built_ghz_circuit() -> Circuit:
+    """The literal circuit of Figure 1 (two qutrits)."""
+    circuit = Circuit((3, 3))
+    circuit.append(FourierGate(0))                      # qutrit Hadamard
+    circuit.append(ShiftGate(1, 1, controls=[(0, 1)]))  # +1 if q0 = 1
+    circuit.append(ShiftGate(1, 2, controls=[(0, 2)]))  # +2 if q0 = 2
+    return circuit
+
+
+def main() -> None:
+    target = ghz_state((3, 3))
+
+    # --- the paper's hand-built circuit -----------------------------
+    manual = hand_built_ghz_circuit()
+    manual_state = simulate(manual)
+    manual_fidelity = fidelity(target, manual_state)
+    print(f"hand-built circuit (Figure 1): {manual.num_operations} "
+          f"gates, fidelity {manual_fidelity:.10f}")
+
+    # --- the automatic synthesis ------------------------------------
+    synthesised = prepare_state(target)
+    print(f"synthesised circuit: {synthesised.report.operations} "
+          f"rotations, fidelity {synthesised.report.fidelity:.10f}")
+
+    assert np.isclose(manual_fidelity, 1.0, atol=1e-9)
+    assert np.isclose(synthesised.report.fidelity, 1.0, atol=1e-9)
+
+    # --- scales to mixed dimensions automatically -------------------
+    # Hand-building the GHZ circuit for (5, 3, 7, 2) would require
+    # case analysis; the synthesis is one call.
+    mixed = prepare_state(ghz_state((5, 3, 7, 2)))
+    print(
+        f"\nGHZ over dims (5, 3, 7, 2): "
+        f"{mixed.report.operations} rotations, "
+        f"median controls {mixed.report.median_controls}, "
+        f"fidelity {mixed.report.fidelity:.10f}"
+    )
+    assert np.isclose(mixed.report.fidelity, 1.0, atol=1e-9)
+    print("OK: automatic synthesis matches the hand-built construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Choosing the approximation threshold for noisy hardware.
+
+The paper motivates state-preparation synthesis by hardware errors:
+every gate fails with some probability, so shorter circuits can beat
+exact ones end-to-end.  This example sweeps the approximation
+threshold for a random mixed-dimensional state under a simple gate
+error model and reports the threshold that maximises the expected
+fidelity of the *hardware-prepared* state.
+
+Run:  python examples/noisy_hardware.py
+"""
+
+from repro import random_state
+from repro.analysis.noise import NoiseModel, sweep_thresholds
+from repro.analysis.rendering import render_table
+
+DIMS = (4, 3, 3, 2)
+THRESHOLDS = [1.0, 0.99, 0.98, 0.95, 0.90, 0.85, 0.80]
+
+
+def main() -> None:
+    target = random_state(DIMS, rng=2024)
+    noise = NoiseModel(two_qudit_error=0.003)
+    print(
+        f"target: random state over dims {DIMS}; "
+        f"noise: {noise.two_qudit_error:.3%} error per two-qudit gate\n"
+    )
+
+    sweep = sweep_thresholds(target, noise, THRESHOLDS)
+    best = max(sweep, key=lambda p: p.total_fidelity)
+    rows = [
+        [
+            f"{p.threshold:.2f}",
+            p.operations,
+            f"{p.approximation_fidelity:.4f}",
+            f"{p.circuit_success:.4f}",
+            f"{p.total_fidelity:.4f}"
+            + ("  <-- best" if p is best else ""),
+        ]
+        for p in sweep
+    ]
+    print(
+        render_table(
+            ["threshold", "gates", "F_repr", "P_success", "F_total"],
+            rows,
+            title="Expected end-to-end fidelity per threshold",
+        )
+    )
+
+    exact = sweep[0]
+    print(
+        f"\nOn this hardware, approximating at threshold "
+        f"{best.threshold:.2f} yields expected fidelity "
+        f"{best.total_fidelity:.4f} versus {exact.total_fidelity:.4f} "
+        "for exact synthesis -"
+    )
+    print(
+        "the representation loss is more than repaid by executing "
+        f"{exact.operations - best.operations} fewer gates."
+    )
+    assert best.total_fidelity >= exact.total_fidelity
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: prepare a mixed-dimensional state in five lines.
+
+Synthesises a preparation circuit for the GHZ state on a
+qutrit / six-level / qubit register — the first benchmark row of the
+paper — and verifies the result by dense simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ghz_state, prepare_state
+from repro.circuit.text import draw
+
+
+def main() -> None:
+    # 1. Pick a target state over mixed-dimensional qudits.
+    target = ghz_state((3, 6, 2))
+    print("target state:", target)
+
+    # 2. Synthesise the preparation circuit (exact mode).
+    result = prepare_state(target)
+
+    # 3. Inspect the result.
+    report = result.report
+    print(f"\ndecision-diagram tree nodes : {report.tree_nodes}")
+    print(f"distinct complex values     : {report.distinct_complex}")
+    print(f"multi-controlled operations : {report.operations}")
+    print(f"median controls per op      : {report.median_controls}")
+    print(f"synthesis time              : {report.synthesis_time:.4f} s")
+    print(f"verified fidelity           : {report.fidelity:.10f}")
+
+    print("\ncircuit (first gates):")
+    print(draw(result.circuit, max_columns=10))
+
+    assert report.fidelity > 1.0 - 1e-9, "exact synthesis must be exact"
+    print("\nOK: circuit prepares the GHZ state exactly.")
+
+
+if __name__ == "__main__":
+    main()

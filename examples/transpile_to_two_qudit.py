@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Lowering synthesised circuits to two-qudit gates.
+
+The paper's operation counts are multi-controlled rotations, justified
+by the existence of linear-overhead transpilations to two-qudit gates
+[references 35, 36 of the paper].  This example makes that step
+concrete: it synthesises a random mixed-dimensional state, cleans the
+circuit with the peephole passes, lowers every multi-controlled
+rotation through the ancilla-counter construction, and verifies the
+final two-qudit circuit still prepares the target.
+
+Run:  python examples/transpile_to_two_qudit.py
+"""
+
+import numpy as np
+
+from repro import prepare_state, random_state, simulate
+from repro.states.fidelity import fidelity
+from repro.states.statevector import StateVector
+from repro.transpile.counter import decompose_multicontrolled
+from repro.transpile.cost_model import two_qudit_cost_of_circuit
+from repro.transpile.passes import peephole_optimize
+
+DIMS = (2, 3, 2)
+
+
+def main() -> None:
+    target = random_state(DIMS, rng=99, distribution="gaussian")
+    result = prepare_state(target)
+    circuit = result.circuit
+    print(
+        f"synthesised: {circuit.num_operations} multi-controlled "
+        f"rotations (max {max(g.num_controls for g in circuit)} "
+        "controls)"
+    )
+
+    cleaned = peephole_optimize(circuit)
+    print(f"after peephole cleanup: {cleaned.num_operations} rotations")
+
+    predicted = two_qudit_cost_of_circuit(cleaned)
+    lowered = decompose_multicontrolled(cleaned)
+    print(
+        f"lowered to two-qudit gates: {lowered.num_operations} gates "
+        f"(cost model predicted {predicted}) on dims {lowered.dims} "
+        "(last qudit is the ancilla counter)"
+    )
+    assert lowered.num_operations == predicted
+    assert all(len(gate.qudits) <= 2 for gate in lowered)
+
+    # Verify on the extended register: ancilla starts and ends in |0>.
+    produced = simulate(lowered)
+    ancilla_dim = lowered.dims[-1]
+    on_subspace = produced.amplitudes[::ancilla_dim]
+    restricted = StateVector(on_subspace, DIMS)
+    achieved = fidelity(target, restricted)
+    leak = 1.0 - float(np.sum(np.abs(on_subspace) ** 2))
+    print(f"fidelity after lowering: {achieved:.10f} "
+          f"(amplitude outside ancilla-0 subspace: {leak:.2e})")
+    assert achieved > 1.0 - 1e-9
+    print("OK: two-qudit circuit prepares the target exactly.")
+
+
+if __name__ == "__main__":
+    main()

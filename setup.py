@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Present only so ``python setup.py develop`` works in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it); all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

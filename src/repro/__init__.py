@@ -1,0 +1,84 @@
+"""Mixed-dimensional qudit state preparation with edge-weighted DDs.
+
+A faithful, self-contained reproduction of
+
+    K. Mato, S. Hillmich, R. Wille,
+    "Mixed-Dimensional Qudit State Preparation Using Edge-Weighted
+    Decision Diagrams", DAC 2024 (arXiv:2406.03531).
+
+Quickstart::
+
+    from repro import ghz_state, prepare_state
+
+    result = prepare_state(ghz_state((3, 6, 2)))
+    print(result.circuit)           # multi-controlled rotations
+    print(result.report.fidelity)   # 1.0
+
+See :mod:`repro.core` for the synthesis pipeline, :mod:`repro.dd` for
+the decision-diagram machinery, and :mod:`repro.analysis` for the
+Table 1 benchmark harness (``python -m repro table1``).
+"""
+
+from repro.circuit import (
+    Circuit,
+    Control,
+    GivensRotation,
+    PhaseRotation,
+)
+from repro.core import (
+    PreparationResult,
+    SynthesisReport,
+    prepare_state,
+    synthesize_preparation,
+    synthesize_unpreparation,
+    verify_preparation,
+)
+from repro.dd import (
+    DecisionDiagram,
+    approximate,
+    build_dd,
+)
+from repro.registers import QuditRegister
+from repro.simulator import simulate, simulate_dd
+from repro.states import (
+    StateVector,
+    basis_state,
+    dicke_state,
+    embedded_w_state,
+    fidelity,
+    ghz_state,
+    random_state,
+    uniform_state,
+    w_state,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Control",
+    "DecisionDiagram",
+    "GivensRotation",
+    "PhaseRotation",
+    "PreparationResult",
+    "QuditRegister",
+    "StateVector",
+    "SynthesisReport",
+    "__version__",
+    "approximate",
+    "basis_state",
+    "build_dd",
+    "dicke_state",
+    "embedded_w_state",
+    "fidelity",
+    "ghz_state",
+    "prepare_state",
+    "random_state",
+    "simulate",
+    "simulate_dd",
+    "synthesize_preparation",
+    "synthesize_unpreparation",
+    "uniform_state",
+    "verify_preparation",
+    "w_state",
+]

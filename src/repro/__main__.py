@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` — regenerate Table 1 (forwards flags to the harness),
+* ``figures`` — print the reproductions of Figures 1-4,
+* ``scaling`` — run the linear-complexity measurement (E7),
+* ``tradeoff`` — run the approximation trade-off sweep (E8).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import table1
+from repro.analysis.figures import figure1, figure2, figure3, figure4
+from repro.analysis.rendering import render_table
+from repro.analysis.scaling import approximation_tradeoff, synthesis_scaling
+
+
+def _run_figures() -> int:
+    for builder in (figure1, figure2, figure3, figure4):
+        print(builder())
+        print("\n" + "=" * 72 + "\n")
+    return 0
+
+
+def _run_scaling() -> int:
+    points = synthesis_scaling()
+    rows = [
+        [
+            "x".join(str(d) for d in p.dims),
+            p.visited_nodes,
+            p.operations,
+            f"{p.synthesis_seconds * 1e3:.2f}",
+            f"{p.synthesis_seconds * 1e6 / max(p.visited_nodes, 1):.2f}",
+        ]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["dims", "visited nodes", "operations", "time [ms]",
+             "us/node"],
+            rows,
+            title="Synthesis scaling (linear in DD size; E7)",
+        )
+    )
+    return 0
+
+
+def _run_tradeoff() -> int:
+    points = approximation_tradeoff()
+    rows = [
+        [
+            f"{p.min_fidelity:.2f}",
+            f"{p.achieved_fidelity:.4f}",
+            p.visited_nodes,
+            p.operations,
+            p.dag_nodes,
+        ]
+        for p in points
+    ]
+    print(
+        render_table(
+            ["min fidelity", "achieved", "visited nodes", "operations",
+             "DAG nodes"],
+            rows,
+            title="Approximation trade-off sweep (E8)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in {"-h", "--help"}:
+        print(__doc__)
+        return 0
+    command, *rest = arguments
+    if command == "table1":
+        return table1.main(rest)
+    if command == "figures":
+        return _run_figures()
+    if command == "scaling":
+        return _run_scaling()
+    if command == "tradeoff":
+        return _run_tradeoff()
+    print(f"unknown command {command!r}", file=sys.stderr)
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

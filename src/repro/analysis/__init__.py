@@ -1,0 +1,43 @@
+"""Evaluation harness: Table 1 rows, figure reproductions, sweeps."""
+
+from repro.analysis.benchmarks_def import (
+    BENCHMARK_FAMILIES,
+    TABLE1_ROWS,
+    BenchmarkCase,
+    benchmark_state,
+)
+from repro.analysis.noise import (
+    NoiseModel,
+    optimal_threshold,
+    sweep_thresholds,
+)
+from repro.analysis.ordering import (
+    best_ordering,
+    ordering_study,
+    reorder_state,
+)
+from repro.analysis.rendering import render_table
+from repro.analysis.scaling import (
+    approximation_tradeoff,
+    synthesis_scaling,
+)
+from repro.analysis.table1 import Table1Row, run_table1, run_table1_row
+
+__all__ = [
+    "BENCHMARK_FAMILIES",
+    "BenchmarkCase",
+    "NoiseModel",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "approximation_tradeoff",
+    "benchmark_state",
+    "best_ordering",
+    "optimal_threshold",
+    "ordering_study",
+    "render_table",
+    "reorder_state",
+    "run_table1",
+    "run_table1_row",
+    "sweep_thresholds",
+    "synthesis_scaling",
+]

@@ -1,0 +1,122 @@
+"""The benchmark grid of Table 1.
+
+Fourteen rows: three mixed-dimensional configurations for each of the
+structured families (Embedded W, GHZ, W) and five for random states.
+The qudit orderings are the ones recoverable from the paper's "Nodes"
+column (see DESIGN.md, Section 3); the compact ``label`` strings match
+the "Qudits" column of the paper (count x dimension of the multiset).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.states.library import embedded_w_state, ghz_state, w_state
+from repro.states.random_states import random_state
+from repro.states.statevector import StateVector
+
+__all__ = [
+    "BenchmarkCase",
+    "BENCHMARK_FAMILIES",
+    "TABLE1_ROWS",
+    "benchmark_state",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One row of Table 1.
+
+    Attributes:
+        family: Benchmark family name as printed in the paper.
+        dims: Qudit dimensions, most significant first.
+        label: The paper's "Qudits" column entry.
+        deterministic: Whether repeated runs produce the same state
+            (structured families) or need fresh seeds (random).
+    """
+
+    family: str
+    dims: tuple[int, ...]
+    label: str
+    deterministic: bool
+
+    @property
+    def num_qudits(self) -> int:
+        return len(self.dims)
+
+
+def _ghz(dims: tuple[int, ...], rng: np.random.Generator) -> StateVector:
+    del rng  # deterministic family
+    return ghz_state(dims)
+
+
+def _w(dims: tuple[int, ...], rng: np.random.Generator) -> StateVector:
+    del rng
+    return w_state(dims)
+
+
+def _embedded_w(
+    dims: tuple[int, ...], rng: np.random.Generator
+) -> StateVector:
+    del rng
+    return embedded_w_state(dims)
+
+
+def _random(
+    dims: tuple[int, ...], rng: np.random.Generator
+) -> StateVector:
+    return random_state(dims, rng=rng, distribution="uniform")
+
+
+BENCHMARK_FAMILIES: dict[
+    str, Callable[[tuple[int, ...], np.random.Generator], StateVector]
+] = {
+    "Emb. W-State": _embedded_w,
+    "GHZ State": _ghz,
+    "W-State": _w,
+    "Random State": _random,
+}
+
+_STRUCTURED_CONFIGS = [
+    ((3, 6, 2), "[1x3,1x6,1x2]"),
+    ((9, 5, 6, 3), "[1x9,1x5,1x6,1x3]"),
+    ((4, 7, 4, 4, 3, 5), "[3x4,1x7,1x3,1x5]"),
+]
+
+_RANDOM_CONFIGS = [
+    ((3, 6, 2), "[1x3,1x6,1x2]"),
+    ((9, 5, 6, 3), "[1x9,1x5,1x6,1x3]"),
+    ((6, 6, 5, 3, 3), "[2x6,1x5,2x3]"),
+    ((5, 4, 2, 5, 5, 2), "[3x5,1x4,2x2]"),
+    ((4, 7, 4, 4, 3, 5), "[3x4,1x7,1x3,1x5]"),
+]
+
+TABLE1_ROWS: list[BenchmarkCase] = [
+    BenchmarkCase("Emb. W-State", dims, label, True)
+    for dims, label in _STRUCTURED_CONFIGS
+] + [
+    BenchmarkCase("GHZ State", dims, label, True)
+    for dims, label in _STRUCTURED_CONFIGS
+] + [
+    BenchmarkCase("W-State", dims, label, True)
+    for dims, label in _STRUCTURED_CONFIGS
+] + [
+    BenchmarkCase("Random State", dims, label, False)
+    for dims, label in _RANDOM_CONFIGS
+]
+
+
+def benchmark_state(
+    case: BenchmarkCase,
+    rng: np.random.Generator | int | None = None,
+) -> StateVector:
+    """Instantiate the target state of a benchmark case."""
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    return BENCHMARK_FAMILIES[case.family](case.dims, generator)

@@ -1,0 +1,175 @@
+"""Noise-aware selection of the approximation threshold.
+
+The paper motivates short circuits by hardware reality: "quantum
+operations are prone to errors due to factors such as limited qudit
+connectivity, decoherence, and gate infidelity ... necessitating
+methods that can achieve reliable results by minimizing the number of
+operations" (Section 3.1).  Approximation trades *representation*
+fidelity for *execution* fidelity: a pruned state is prepared by fewer
+(and less-controlled) gates, each of which would fail with some
+probability on hardware.
+
+This module makes the trade-off quantitative.  Under a simple
+depolarising-style model where a gate with ``k`` controls succeeds
+with probability ``(1 - base_error) ** cost(k)`` (``cost`` being the
+two-qudit gate count of the lowered operation), the expected fidelity
+of running an approximated preparation is::
+
+    F_total(threshold) = F_approx(threshold) * prod_gates success(gate)
+
+Because ``F_approx`` decreases and the gate-success product increases
+as the threshold is lowered, ``F_total`` has an interior maximum —
+the *optimal* approximation threshold for a given error rate.  This is
+the natural follow-up study to the paper's Section 4.3 and is exercised
+by ``benchmarks/bench_noise.py`` and ``examples/noisy_hardware.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.core.preparation import prepare_state
+from repro.exceptions import ReproError
+from repro.states.statevector import StateVector
+from repro.transpile.cost_model import two_qudit_cost
+
+__all__ = [
+    "NoiseModel",
+    "NoisyRunEstimate",
+    "estimate_run_fidelity",
+    "sweep_thresholds",
+    "optimal_threshold",
+]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """A per-two-qudit-gate error model.
+
+    Attributes:
+        two_qudit_error: Probability that one two-qudit gate
+            introduces an error (each lowered gate succeeds with
+            probability ``1 - two_qudit_error``).
+        local_error: Error probability of an uncontrolled (local)
+            gate; defaults to a tenth of the two-qudit error, the
+            usual hardware ratio.
+    """
+
+    two_qudit_error: float
+    local_error: float | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.two_qudit_error < 1.0:
+            raise ReproError(
+                f"two_qudit_error must be in [0, 1), got "
+                f"{self.two_qudit_error}"
+            )
+        if self.local_error is None:
+            object.__setattr__(
+                self, "local_error", self.two_qudit_error / 10.0
+            )
+        if not 0.0 <= self.local_error < 1.0:
+            raise ReproError(
+                f"local_error must be in [0, 1), got {self.local_error}"
+            )
+
+    def gate_success(self, num_controls: int) -> float:
+        """Success probability of one ``num_controls``-controlled gate.
+
+        Controlled gates pay the two-qudit error once per lowered
+        two-qudit gate (``2k + 1`` for ``k >= 2``, 1 for ``k = 1``);
+        local gates pay the local error once.
+        """
+        if num_controls == 0:
+            return 1.0 - self.local_error
+        return (1.0 - self.two_qudit_error) ** two_qudit_cost(
+            num_controls
+        )
+
+    def circuit_success(self, circuit: Circuit) -> float:
+        """Probability that the whole circuit executes error-free."""
+        log_total = 0.0
+        for gate in circuit.gates:
+            success = self.gate_success(gate.num_controls)
+            if success <= 0.0:
+                return 0.0
+            log_total += math.log(success)
+        return math.exp(log_total)
+
+
+@dataclass(frozen=True)
+class NoisyRunEstimate:
+    """Expected outcome of running an approximated preparation.
+
+    Attributes:
+        threshold: Approximation fidelity floor used.
+        approximation_fidelity: ``|<target|approx>|^2``.
+        circuit_success: Probability of error-free execution.
+        total_fidelity: Product of the two (the expected fidelity of
+            the hardware-prepared state against the true target).
+        operations: Gate count of the synthesised circuit.
+    """
+
+    threshold: float
+    approximation_fidelity: float
+    circuit_success: float
+    total_fidelity: float
+    operations: int
+
+
+def estimate_run_fidelity(
+    state: StateVector,
+    noise: NoiseModel,
+    threshold: float,
+    tensor_elision: bool = True,
+    emit_identity_rotations: bool = False,
+) -> NoisyRunEstimate:
+    """Estimate the end-to-end fidelity of one noisy preparation.
+
+    Identity rotations are dropped by default: hardware would not
+    execute them, so charging errors for them would bias the study.
+    """
+    result = prepare_state(
+        state,
+        min_fidelity=threshold,
+        tensor_elision=tensor_elision,
+        emit_identity_rotations=emit_identity_rotations,
+        verify=False,
+    )
+    approx_fidelity = result.report.approximation_fidelity
+    success = noise.circuit_success(result.circuit)
+    return NoisyRunEstimate(
+        threshold=threshold,
+        approximation_fidelity=approx_fidelity,
+        circuit_success=success,
+        total_fidelity=approx_fidelity * success,
+        operations=result.circuit.num_operations,
+    )
+
+
+def sweep_thresholds(
+    state: StateVector,
+    noise: NoiseModel,
+    thresholds: list[float] | None = None,
+) -> list[NoisyRunEstimate]:
+    """Evaluate :func:`estimate_run_fidelity` over a threshold grid."""
+    if thresholds is None:
+        thresholds = [
+            1.0, 0.99, 0.98, 0.95, 0.92, 0.90, 0.85, 0.80, 0.70,
+        ]
+    return [
+        estimate_run_fidelity(state, noise, threshold)
+        for threshold in thresholds
+    ]
+
+
+def optimal_threshold(
+    state: StateVector,
+    noise: NoiseModel,
+    thresholds: list[float] | None = None,
+) -> NoisyRunEstimate:
+    """Return the sweep point with the highest expected total fidelity."""
+    sweep = sweep_thresholds(state, noise, thresholds)
+    return max(sweep, key=lambda point: point.total_fidelity)

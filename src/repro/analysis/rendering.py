@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cell values (any printable objects; floats get two
+            decimals, whole floats one).
+        title: Optional title line above the table.
+
+    Returns:
+        The formatted table as a string.
+    """
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

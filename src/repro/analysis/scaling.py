@@ -1,0 +1,130 @@
+"""Scaling and trade-off sweeps (Section 5 claims, E7/E8 in DESIGN.md).
+
+Two experiment drivers used by the benchmark suite and the examples:
+
+* :func:`synthesis_scaling` — measures synthesis time against the
+  path-expanded DD size on growing random registers, supporting the
+  paper's claim that "the synthesis routine has time complexity linear
+  in the number of nodes of the DD".
+* :func:`approximation_tradeoff` — sweeps the fidelity threshold and
+  records diagram size, operation count, and achieved fidelity,
+  quantifying the "finely controlled trade-off between accuracy,
+  memory complexity and number of operations" of the abstract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.synthesis import synthesize_preparation
+from repro.dd.approximation import approximate
+from repro.dd.builder import build_dd
+from repro.dd.metrics import (
+    synthesis_operation_count,
+    visited_tree_size,
+)
+from repro.states.random_states import random_state
+
+__all__ = [
+    "ScalingPoint",
+    "TradeoffPoint",
+    "approximation_tradeoff",
+    "synthesis_scaling",
+]
+
+#: Register ladder used by the scaling experiment: mixed dimensions,
+#: roughly doubling composite size per step.
+SCALING_DIMS: list[tuple[int, ...]] = [
+    (2, 3),
+    (3, 2, 2),
+    (3, 3, 2, 2),
+    (4, 3, 3, 2),
+    (3, 4, 3, 2, 2),
+    (4, 3, 4, 3, 2),
+    (5, 4, 3, 4, 3),
+    (4, 5, 4, 3, 3, 2),
+]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measurement of the linear-complexity experiment."""
+
+    dims: tuple[int, ...]
+    visited_nodes: int
+    operations: int
+    synthesis_seconds: float
+
+
+def synthesis_scaling(
+    dims_ladder: list[tuple[int, ...]] | None = None,
+    seed: int = 7,
+    repeats: int = 3,
+) -> list[ScalingPoint]:
+    """Measure synthesis time across growing random states.
+
+    Each point reports the minimum wall time over ``repeats`` runs
+    (minimum is the robust estimator for timing microbenchmarks).
+    """
+    points = []
+    rng = np.random.default_rng(seed)
+    for dims in dims_ladder if dims_ladder is not None else SCALING_DIMS:
+        state = random_state(dims, rng=rng)
+        dd = build_dd(state)
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            synthesize_preparation(dd)
+            best = min(best, time.perf_counter() - start)
+        points.append(
+            ScalingPoint(
+                dims=dims,
+                visited_nodes=visited_tree_size(dd),
+                operations=synthesis_operation_count(dd),
+                synthesis_seconds=best,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the fidelity/size trade-off curve."""
+
+    min_fidelity: float
+    achieved_fidelity: float
+    visited_nodes: int
+    operations: int
+    dag_nodes: int
+
+
+def approximation_tradeoff(
+    dims: tuple[int, ...] = (4, 3, 3, 2),
+    thresholds: list[float] | None = None,
+    seed: int = 11,
+) -> list[TradeoffPoint]:
+    """Sweep approximation thresholds on one random state."""
+    if thresholds is None:
+        thresholds = [1.0, 0.99, 0.98, 0.95, 0.90, 0.80, 0.70, 0.50]
+    state = random_state(dims, rng=seed)
+    dd = build_dd(state)
+    points = []
+    for threshold in thresholds:
+        if threshold >= 1.0:
+            pruned, achieved = dd, 1.0
+        else:
+            result = approximate(dd, threshold)
+            pruned, achieved = result.diagram, result.fidelity
+        points.append(
+            TradeoffPoint(
+                min_fidelity=threshold,
+                achieved_fidelity=achieved,
+                visited_nodes=visited_tree_size(pruned),
+                operations=synthesis_operation_count(pruned),
+                dag_nodes=pruned.num_nodes(),
+            )
+        )
+    return points

@@ -1,0 +1,232 @@
+"""Regeneration of Table 1 of the paper.
+
+For every benchmark case the harness runs the synthesis pipeline in
+both modes — "Exact" (fidelity 1) and "Approximated 98%" (fidelity at
+least 0.98) — averages the metrics over a configurable number of runs
+(the paper uses 40), and prints rows in the paper's column layout:
+
+    Nodes  DistinctC  Operations  #Controls  Time [s]    (x2)  Fidelity
+
+Run from the command line::
+
+    python -m repro table1 --runs 5 --min-fidelity 0.98
+
+The paper's control-counting convention does not apply the
+tensor-product elision in the exact flow (see EXPERIMENTS.md), so the
+harness defaults to ``tensor_elision=False``; pass ``--elision`` to
+study its effect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.benchmarks_def import (
+    TABLE1_ROWS,
+    BenchmarkCase,
+    benchmark_state,
+)
+from repro.analysis.rendering import render_table
+from repro.core.preparation import prepare_state
+from repro.core.report import SynthesisReport
+
+__all__ = ["Table1Row", "run_table1_row", "run_table1", "main"]
+
+#: Approximation threshold used by the paper's right column group.
+PAPER_MIN_FIDELITY = 0.98
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Averaged exact and approximated metrics for one benchmark."""
+
+    case: BenchmarkCase
+    exact: SynthesisReport
+    approx: SynthesisReport
+    runs: int
+
+    def cells(self) -> list[object]:
+        """Row cells in the paper's column order."""
+        return [
+            self.case.family,
+            self.case.num_qudits,
+            self.case.label,
+            # Exact group
+            float(self.exact.tree_nodes),
+            float(self.exact.distinct_complex),
+            float(self.exact.operations),
+            float(self.exact.median_controls),
+            round(self.exact.synthesis_time, 3),
+            # Approximated group
+            float(self.approx.visited_nodes),
+            float(self.approx.distinct_complex),
+            float(self.approx.operations),
+            float(self.approx.median_controls),
+            round(self.approx.synthesis_time, 3),
+            round(self.approx.fidelity, 2)
+            if self.approx.fidelity is not None
+            else None,
+        ]
+
+
+def _average_reports(reports: list[SynthesisReport]) -> SynthesisReport:
+    """Field-wise arithmetic mean of synthesis reports."""
+    def mean(values: list[float]) -> float:
+        return float(sum(values) / len(values))
+
+    fidelities = [r.fidelity for r in reports if r.fidelity is not None]
+    return SynthesisReport(
+        dims=reports[0].dims,
+        tree_nodes=round(mean([r.tree_nodes for r in reports])),
+        visited_nodes=round(mean([r.visited_nodes for r in reports])),
+        dag_nodes=round(mean([r.dag_nodes for r in reports])),
+        distinct_complex=round(
+            mean([r.distinct_complex for r in reports])
+        ),
+        operations=round(mean([r.operations for r in reports])),
+        median_controls=mean([r.median_controls for r in reports]),
+        mean_controls=mean([r.mean_controls for r in reports]),
+        synthesis_time=mean([r.synthesis_time for r in reports]),
+        fidelity=mean(fidelities) if fidelities else None,
+        approximation_fidelity=mean(
+            [r.approximation_fidelity for r in reports]
+        ),
+    )
+
+
+def run_table1_row(
+    case: BenchmarkCase,
+    runs: int = 5,
+    min_fidelity: float = PAPER_MIN_FIDELITY,
+    tensor_elision: bool = False,
+    verify: bool = True,
+    seed: int = 2024,
+) -> Table1Row:
+    """Run one benchmark case in both modes and average the metrics.
+
+    Deterministic families are executed ``runs`` times anyway (the
+    paper averages 40 runs to smooth timing noise); random states draw
+    a fresh seeded state per run.
+    """
+    exact_reports: list[SynthesisReport] = []
+    approx_reports: list[SynthesisReport] = []
+    effective_runs = runs if not case.deterministic else max(1, runs)
+    for run_index in range(effective_runs):
+        rng = np.random.default_rng(seed + run_index)
+        state = benchmark_state(case, rng=rng)
+        exact = prepare_state(
+            state,
+            min_fidelity=1.0,
+            tensor_elision=tensor_elision,
+            verify=verify,
+        )
+        approx = prepare_state(
+            state,
+            min_fidelity=min_fidelity,
+            tensor_elision=tensor_elision,
+            verify=verify,
+        )
+        exact_reports.append(exact.report)
+        approx_reports.append(approx.report)
+    return Table1Row(
+        case=case,
+        exact=_average_reports(exact_reports),
+        approx=_average_reports(approx_reports),
+        runs=effective_runs,
+    )
+
+
+def run_table1(
+    runs: int = 5,
+    min_fidelity: float = PAPER_MIN_FIDELITY,
+    tensor_elision: bool = False,
+    verify: bool = True,
+    seed: int = 2024,
+    cases: list[BenchmarkCase] | None = None,
+) -> list[Table1Row]:
+    """Run the full benchmark grid of Table 1."""
+    return [
+        run_table1_row(
+            case,
+            runs=runs,
+            min_fidelity=min_fidelity,
+            tensor_elision=tensor_elision,
+            verify=verify,
+            seed=seed,
+        )
+        for case in (cases if cases is not None else TABLE1_ROWS)
+    ]
+
+
+_HEADERS = [
+    "Name", "#Qudits", "Qudits",
+    "Nodes", "DistinctC", "Operations", "#Controls", "Time[s]",
+    "Nodes~", "DistinctC~", "Operations~", "#Controls~", "Time~[s]",
+    "Fidelity",
+]
+
+
+def format_rows(rows: list[Table1Row]) -> str:
+    """Render harvested rows in the paper's layout."""
+    title = (
+        "Table 1 reproduction: Exact vs Approximated "
+        f"{int(PAPER_MIN_FIDELITY * 100)}% "
+        "(columns marked ~ are the approximated group)"
+    )
+    return render_table(_HEADERS, [row.cells() for row in rows], title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (also ``python -m repro table1``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-table1",
+        description="Regenerate Table 1 of the DAC 2024 paper.",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5,
+        help="runs to average per row (paper: 40; default: 5)",
+    )
+    parser.add_argument(
+        "--min-fidelity", type=float, default=PAPER_MIN_FIDELITY,
+        help="approximation fidelity threshold (default: 0.98)",
+    )
+    parser.add_argument(
+        "--elision", action="store_true",
+        help="apply tensor-product control elision during synthesis",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip dense-simulation fidelity verification (faster)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2024, help="base RNG seed",
+    )
+    parser.add_argument(
+        "--family", type=str, default=None,
+        help="only run rows whose family name contains this substring",
+    )
+    arguments = parser.parse_args(argv)
+    cases = TABLE1_ROWS
+    if arguments.family:
+        needle = arguments.family.lower()
+        cases = [
+            case for case in cases if needle in case.family.lower()
+        ]
+    rows = run_table1(
+        runs=arguments.runs,
+        min_fidelity=arguments.min_fidelity,
+        tensor_elision=arguments.elision,
+        verify=not arguments.no_verify,
+        seed=arguments.seed,
+        cases=cases,
+    )
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered list of gates over a fixed mixed-dimensional
+register, plus a tracked global phase.  Gates are validated on append,
+so a constructed circuit is always executable by the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from repro.circuit.gate import Gate
+from repro.exceptions import CircuitError
+from repro.registers import QuditRegister
+from repro.registers.register import RegisterLike, as_register
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered gate list over a mixed-dimensional qudit register.
+
+    Example:
+        >>> from repro.circuit import Circuit, GivensRotation
+        >>> qc = Circuit((3, 2))
+        >>> qc.append(GivensRotation(0, 0, 1, 1.2, 0.0))
+        >>> qc.num_operations
+        1
+    """
+
+    def __init__(self, register: RegisterLike):
+        self._register = as_register(register)
+        self._gates: list[Gate] = []
+        self._global_phase = 0.0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def register(self) -> QuditRegister:
+        """The register the circuit acts on."""
+        return self._register
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Per-qudit dimensions."""
+        return self._register.dims
+
+    @property
+    def num_qudits(self) -> int:
+        """Number of qudits."""
+        return self._register.num_qudits
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gates in application order."""
+        return tuple(self._gates)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of gates in the circuit."""
+        return len(self._gates)
+
+    @property
+    def global_phase(self) -> float:
+        """Global phase (radians) accumulated by the circuit."""
+        return self._global_phase
+
+    @global_phase.setter
+    def global_phase(self, value: float) -> None:
+        self._global_phase = math.remainder(float(value), 2.0 * math.pi)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> None:
+        """Validate and append a gate.
+
+        Raises:
+            CircuitError: If the gate does not fit the register.
+        """
+        gate.validate(self.dims)
+        self._gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append multiple gates in order."""
+        for gate in gates:
+            self.append(gate)
+
+    def add_global_phase(self, phase: float) -> None:
+        """Accumulate a global phase (radians)."""
+        self.global_phase = self._global_phase + phase
+
+    # ------------------------------------------------------------------
+    # Derived circuits
+    # ------------------------------------------------------------------
+    def inverse(self) -> "Circuit":
+        """Return the adjoint circuit (reversed inverted gates)."""
+        result = Circuit(self._register)
+        for gate in reversed(self._gates):
+            result.append(gate.inverse())
+        result.global_phase = -self._global_phase
+        return result
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Return ``self`` followed by ``other``.
+
+        Raises:
+            CircuitError: If the registers differ.
+        """
+        if other.register != self._register:
+            raise CircuitError(
+                f"cannot compose circuits over {self.dims} and {other.dims}"
+            )
+        result = Circuit(self._register)
+        result.extend(self._gates)
+        result.extend(other._gates)
+        result.global_phase = self._global_phase + other._global_phase
+        return result
+
+    def copy(self) -> "Circuit":
+        """Return a shallow copy (gates are immutable)."""
+        result = Circuit(self._register)
+        result.extend(self._gates)
+        result.global_phase = self._global_phase
+        return result
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def count_by_name(self) -> dict[str, int]:
+        """Histogram of gate counts keyed by gate name."""
+        histogram: dict[str, int] = {}
+        for gate in self._gates:
+            histogram[gate.name] = histogram.get(gate.name, 0) + 1
+        return histogram
+
+    def control_counts(self) -> list[int]:
+        """Number of controls of each gate, in circuit order."""
+        return [gate.num_controls for gate in self._gates]
+
+    def depth(self) -> int:
+        """Greedy circuit depth (gates on disjoint qudits parallelise)."""
+        busy_until: dict[int, int] = {}
+        depth = 0
+        for gate in self._gates:
+            start = max(
+                (busy_until.get(q, 0) for q in gate.qudits), default=0
+            )
+            finish = start + 1
+            for qudit in gate.qudits:
+                busy_until[qudit] = finish
+            depth = max(depth, finish)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Circuit):
+            return (
+                self._register == other._register
+                and self._gates == other._gates
+                and math.isclose(
+                    self._global_phase,
+                    other._global_phase,
+                    abs_tol=1e-12,
+                )
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(dims={list(self.dims)}, "
+            f"operations={self.num_operations})"
+        )
+
+    def __str__(self) -> str:
+        lines = [f"Circuit on dims {list(self.dims)}:"]
+        for position, gate in enumerate(self._gates):
+            lines.append(f"  {position:4d}: {gate!r}")
+        if self._global_phase:
+            lines.append(f"  global phase: {self._global_phase:.6g}")
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Control specifications for multi-controlled qudit gates.
+
+A control fixes one qudit to one of its levels: the controlled gate
+acts on the target only on the subspace where every control qudit is in
+its control level.  This matches the paper's synthesis, where "the
+control level of the operation is the index of the edge taken in order
+to descend the decision diagram" (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import ControlError
+
+__all__ = ["Control", "normalize_controls"]
+
+
+class Control:
+    """A single ``(qudit, level)`` control condition."""
+
+    __slots__ = ("qudit", "level")
+
+    def __init__(self, qudit: int, level: int):
+        if qudit < 0:
+            raise ControlError(f"control qudit must be >= 0, got {qudit}")
+        if level < 0:
+            raise ControlError(f"control level must be >= 0, got {level}")
+        object.__setattr__(self, "qudit", qudit)
+        object.__setattr__(self, "level", level)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Control is immutable")
+
+    def validate(self, dims: Sequence[int]) -> None:
+        """Check this control against register dimensions.
+
+        Raises:
+            ControlError: If the qudit index or level is out of range.
+        """
+        if self.qudit >= len(dims):
+            raise ControlError(
+                f"control qudit {self.qudit} out of range for "
+                f"{len(dims)} qudits"
+            )
+        if self.level >= dims[self.qudit]:
+            raise ControlError(
+                f"control level {self.level} out of range for qudit "
+                f"{self.qudit} of dimension {dims[self.qudit]}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Control):
+            return self.qudit == other.qudit and self.level == other.level
+        return NotImplemented
+
+    def __lt__(self, other: "Control") -> bool:
+        return (self.qudit, self.level) < (other.qudit, other.level)
+
+    def __hash__(self) -> int:
+        return hash((self.qudit, self.level))
+
+    def __repr__(self) -> str:
+        return f"Control(qudit={self.qudit}, level={self.level})"
+
+
+def normalize_controls(
+    controls: Iterable[Control | tuple[int, int]] | None,
+) -> tuple[Control, ...]:
+    """Coerce, deduplicate, and sort a control collection.
+
+    Accepts ``Control`` objects or plain ``(qudit, level)`` tuples.
+
+    Raises:
+        ControlError: If two controls condition the same qudit on
+            different levels (an impossible conjunction).
+    """
+    if controls is None:
+        return ()
+    result: dict[int, Control] = {}
+    for item in controls:
+        control = item if isinstance(item, Control) else Control(*item)
+        existing = result.get(control.qudit)
+        if existing is not None and existing.level != control.level:
+            raise ControlError(
+                f"conflicting controls on qudit {control.qudit}: "
+                f"levels {existing.level} and {control.level}"
+            )
+        result[control.qudit] = control
+    return tuple(sorted(result.values()))

@@ -1,0 +1,153 @@
+"""Abstract base class for single-target qudit gates.
+
+Every gate in this library acts on exactly one target qudit with an
+arbitrary set of ``(qudit, level)`` controls.  Multi-qudit interactions
+are expressed through controls, matching the operation model of the
+paper (multi-controlled two-level rotations) and of the transpilation
+literature it cites [35, 36].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuit.controls import Control, normalize_controls
+from repro.exceptions import CircuitError
+
+__all__ = ["Gate"]
+
+
+class Gate:
+    """A unitary on one target qudit, optionally multi-controlled.
+
+    Subclasses implement :meth:`_local_matrix` (the ``d x d`` action on
+    the target) and :meth:`inverse`; everything else — control
+    handling, validation, qudit support — is shared.
+    """
+
+    #: Short lowercase mnemonic used in textual serialisation.
+    name: str = "gate"
+
+    def __init__(
+        self,
+        target: int,
+        controls: Iterable[Control | tuple[int, int]] | None = None,
+    ):
+        if target < 0:
+            raise CircuitError(f"target qudit must be >= 0, got {target}")
+        self._target = target
+        self._controls = normalize_controls(controls)
+        for control in self._controls:
+            if control.qudit == target:
+                raise CircuitError(
+                    f"gate target {target} cannot also be a control"
+                )
+
+    # ------------------------------------------------------------------
+    # Shared accessors
+    # ------------------------------------------------------------------
+    @property
+    def target(self) -> int:
+        """Index of the target qudit."""
+        return self._target
+
+    @property
+    def controls(self) -> tuple[Control, ...]:
+        """Sorted tuple of control conditions."""
+        return self._controls
+
+    @property
+    def num_controls(self) -> int:
+        """Number of control qudits."""
+        return len(self._controls)
+
+    @property
+    def qudits(self) -> tuple[int, ...]:
+        """All qudits this gate touches (controls plus target)."""
+        return tuple(
+            sorted({self._target, *(c.qudit for c in self._controls)})
+        )
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def _local_matrix(self, dimension: int) -> np.ndarray:
+        """Return the gate's ``d x d`` action on the target qudit."""
+        raise NotImplementedError
+
+    def inverse(self) -> "Gate":
+        """Return the adjoint gate (same class, same controls)."""
+        raise NotImplementedError
+
+    def _parameters(self) -> tuple:
+        """Parameters that distinguish gates of the same class."""
+        return ()
+
+    def with_controls(
+        self, controls: Iterable[Control | tuple[int, int]] | None
+    ) -> "Gate":
+        """Return a copy of this gate with replaced controls."""
+        copy = self.__class__.__new__(self.__class__)
+        copy.__dict__.update(self.__dict__)
+        Gate.__init__(copy, self._target, controls)
+        return copy
+
+    # ------------------------------------------------------------------
+    # Validation and matrices
+    # ------------------------------------------------------------------
+    def validate(self, dims: Sequence[int]) -> None:
+        """Check this gate against register dimensions.
+
+        Raises:
+            CircuitError: If the target or a control is out of range.
+        """
+        if self._target >= len(dims):
+            raise CircuitError(
+                f"target {self._target} out of range for {len(dims)} qudits"
+            )
+        for control in self._controls:
+            control.validate(dims)
+        # Subclasses with level parameters override to add level checks.
+        self._validate_levels(dims[self._target])
+
+    def _validate_levels(self, dimension: int) -> None:
+        """Subclass hook for checking level parameters (no-op here)."""
+
+    def matrix(self, dimension: int) -> np.ndarray:
+        """Return the (uncontrolled) target-local unitary."""
+        return self._local_matrix(dimension)
+
+    # ------------------------------------------------------------------
+    # Equality and display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Gate):
+            return (
+                self.__class__ is other.__class__
+                and self._target == other._target
+                and self._controls == other._controls
+                and self._parameters() == other._parameters()
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.__class__, self._target, self._controls,
+             self._parameters())
+        )
+
+    def _control_string(self) -> str:
+        if not self._controls:
+            return ""
+        inner = ", ".join(
+            f"q{c.qudit}={c.level}" for c in self._controls
+        )
+        return f" ctrl[{inner}]"
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{p:.4g}" if isinstance(p, float) else str(p)
+                           for p in self._parameters())
+        body = f"{self.name}({params})" if params else self.name
+        return f"{body} @ q{self._target}{self._control_string()}"

@@ -1,0 +1,203 @@
+"""Textual serialisation of circuits ("QDASM").
+
+A minimal line-oriented format for mixed-dimensional qudit circuits,
+sufficient for storing synthesis results and for round-tripping in
+tests.  Example document::
+
+    QDASM 1.0
+    dims 3 6 2
+    givens t=1 i=0 j=1 theta=1.5707963 phi=0 ctrl=0:1
+    phase t=2 i=0 j=1 delta=0.5 ctrl=0:1,1:3
+    shift t=0 amount=2
+    globalphase 0.25
+
+Controls are ``qudit:level`` pairs separated by commas.  Angles are
+plain floats (radians); parsing uses ``repr`` round-trippable output.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.controls import Control
+from repro.circuit.gates import (
+    ClockGate,
+    FourierGate,
+    GivensRotation,
+    PermutationGate,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.exceptions import SerializationError
+
+__all__ = ["dumps", "loads"]
+
+_HEADER = "QDASM 1.0"
+
+
+def _controls_field(gate) -> str:
+    if not gate.controls:
+        return ""
+    pairs = ",".join(f"{c.qudit}:{c.level}" for c in gate.controls)
+    return f" ctrl={pairs}"
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialise a circuit to QDASM text.
+
+    Raises:
+        SerializationError: If the circuit contains a gate type
+            without a textual form (e.g. :class:`UnitaryGate`).
+    """
+    lines = [_HEADER, "dims " + " ".join(str(d) for d in circuit.dims)]
+    for gate in circuit.gates:
+        if isinstance(gate, GivensRotation):
+            lines.append(
+                f"givens t={gate.target} i={gate.level_i} j={gate.level_j} "
+                f"theta={gate.theta!r} phi={gate.phi!r}"
+                + _controls_field(gate)
+            )
+        elif isinstance(gate, PhaseRotation):
+            lines.append(
+                f"phase t={gate.target} i={gate.level_i} j={gate.level_j} "
+                f"delta={gate.delta!r}" + _controls_field(gate)
+            )
+        elif isinstance(gate, ShiftGate):
+            lines.append(
+                f"shift t={gate.target} amount={gate.amount}"
+                + _controls_field(gate)
+            )
+        elif isinstance(gate, ClockGate):
+            lines.append(
+                f"clock t={gate.target} amount={gate.amount}"
+                + _controls_field(gate)
+            )
+        elif isinstance(gate, FourierGate):
+            lines.append(
+                f"fourier t={gate.target}" + _controls_field(gate)
+            )
+        elif isinstance(gate, PermutationGate):
+            perm = ",".join(str(p) for p in gate.permutation)
+            lines.append(
+                f"perm t={gate.target} map={perm}" + _controls_field(gate)
+            )
+        else:
+            raise SerializationError(
+                f"gate {gate.name!r} has no QDASM form"
+            )
+    if circuit.global_phase:
+        lines.append(f"globalphase {circuit.global_phase!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_fields(tokens: list[str], line_no: int) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise SerializationError(
+                f"line {line_no}: malformed field {token!r}"
+            )
+        key, value = token.split("=", 1)
+        fields[key] = value
+    return fields
+
+
+def _parse_controls(field: str | None, line_no: int) -> list[Control]:
+    if not field:
+        return []
+    controls = []
+    for pair in field.split(","):
+        try:
+            qudit_text, level_text = pair.split(":")
+            controls.append(Control(int(qudit_text), int(level_text)))
+        except (ValueError, TypeError) as error:
+            raise SerializationError(
+                f"line {line_no}: malformed control {pair!r}"
+            ) from error
+    return controls
+
+
+def loads(text: str) -> Circuit:
+    """Parse QDASM text back into a circuit.
+
+    Raises:
+        SerializationError: On any malformed input.
+    """
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines or lines[0] != _HEADER:
+        raise SerializationError(f"missing header {_HEADER!r}")
+    if len(lines) < 2 or not lines[1].startswith("dims "):
+        raise SerializationError("missing 'dims' declaration")
+    try:
+        dims = tuple(int(token) for token in lines[1].split()[1:])
+    except ValueError as error:
+        raise SerializationError("malformed 'dims' declaration") from error
+    circuit = Circuit(dims)
+
+    for offset, line in enumerate(lines[2:], start=3):
+        tokens = line.split()
+        mnemonic = tokens[0]
+        if mnemonic == "globalphase":
+            if len(tokens) != 2:
+                raise SerializationError(
+                    f"line {offset}: malformed globalphase"
+                )
+            circuit.add_global_phase(float(tokens[1]))
+            continue
+        fields = _parse_fields(tokens[1:], offset)
+        controls = _parse_controls(fields.pop("ctrl", None), offset)
+        try:
+            if mnemonic == "givens":
+                circuit.append(
+                    GivensRotation(
+                        int(fields["t"]), int(fields["i"]),
+                        int(fields["j"]), float(fields["theta"]),
+                        float(fields["phi"]), controls,
+                    )
+                )
+            elif mnemonic == "phase":
+                circuit.append(
+                    PhaseRotation(
+                        int(fields["t"]), int(fields["i"]),
+                        int(fields["j"]), float(fields["delta"]),
+                        controls,
+                    )
+                )
+            elif mnemonic == "shift":
+                circuit.append(
+                    ShiftGate(int(fields["t"]),
+                              int(fields.get("amount", 1)), controls)
+                )
+            elif mnemonic == "clock":
+                circuit.append(
+                    ClockGate(int(fields["t"]),
+                              int(fields.get("amount", 1)), controls)
+                )
+            elif mnemonic == "fourier":
+                circuit.append(
+                    FourierGate(int(fields["t"]), controls=controls)
+                )
+            elif mnemonic == "perm":
+                permutation = [
+                    int(p) for p in fields["map"].split(",")
+                ]
+                circuit.append(
+                    PermutationGate(int(fields["t"]), permutation,
+                                    controls)
+                )
+            else:
+                raise SerializationError(
+                    f"line {offset}: unknown gate {mnemonic!r}"
+                )
+        except KeyError as error:
+            raise SerializationError(
+                f"line {offset}: missing field {error}"
+            ) from error
+        except ValueError as error:
+            raise SerializationError(
+                f"line {offset}: malformed number ({error})"
+            ) from error
+    return circuit

@@ -1,0 +1,71 @@
+"""Plain-text rendering of circuits.
+
+Draws one wire per qudit and one column per gate, in the spirit of the
+circuit diagram in Figure 1 of the paper: targets are boxed with the
+gate mnemonic, controls are shown as the control level in parentheses,
+as in the paper's "level inside the circle" notation.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GivensRotation, PhaseRotation
+
+__all__ = ["draw"]
+
+
+def _gate_symbol(gate) -> str:
+    """Short symbol drawn in the target cell."""
+    if isinstance(gate, GivensRotation):
+        return f"R{gate.level_i}{gate.level_j}"
+    if isinstance(gate, PhaseRotation):
+        return f"Z{gate.level_i}{gate.level_j}"
+    return gate.name[:4].upper()
+
+
+def draw(circuit: Circuit, max_columns: int = 24) -> str:
+    """Render a circuit as ASCII art.
+
+    Args:
+        circuit: The circuit to draw.
+        max_columns: Gates beyond this count are elided with a tail
+            marker to keep output readable.
+
+    Returns:
+        A multi-line string, one wire per qudit, most significant
+        qudit on top.
+    """
+    num_qudits = circuit.num_qudits
+    columns: list[list[str]] = []
+    elided = 0
+    for gate in circuit.gates:
+        if len(columns) >= max_columns:
+            elided += 1
+            continue
+        cells = [""] * num_qudits
+        cells[gate.target] = f"[{_gate_symbol(gate)}]"
+        for control in gate.controls:
+            cells[control.qudit] = f"({control.level})"
+        columns.append(cells)
+
+    width_per_column = [
+        max((len(cell) for cell in column), default=0) for column in columns
+    ]
+    lines = []
+    for qudit in range(num_qudits):
+        label = f"q{qudit}(d={circuit.dims[qudit]}): "
+        segments = []
+        for column, width in zip(columns, width_per_column):
+            cell = column[qudit]
+            pad_total = width - len(cell) + 2
+            left = pad_total // 2
+            right = pad_total - left
+            segments.append("-" * left + (cell or "-" * len(cell)) +
+                            "-" * right if cell else "-" * (width + 2))
+        wire = "".join(segments)
+        if elided:
+            wire += f"...(+{elided} gates)"
+        lines.append(label + wire)
+    if circuit.global_phase:
+        lines.append(f"global phase: {circuit.global_phase:+.6g}")
+    return "\n".join(lines)

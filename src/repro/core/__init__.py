@@ -1,0 +1,20 @@
+"""The paper's primary contribution: DD-driven state-prep synthesis."""
+
+from repro.core.angles import disentangling_rotation
+from repro.core.preparation import PreparationResult, prepare_state
+from repro.core.report import SynthesisReport
+from repro.core.synthesis import (
+    synthesize_preparation,
+    synthesize_unpreparation,
+)
+from repro.core.verification import verify_preparation
+
+__all__ = [
+    "PreparationResult",
+    "SynthesisReport",
+    "disentangling_rotation",
+    "prepare_state",
+    "synthesize_preparation",
+    "synthesize_unpreparation",
+    "verify_preparation",
+]

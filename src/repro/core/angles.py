@@ -1,0 +1,70 @@
+"""Rotation parameter computation for the synthesis ladder.
+
+Given two successive edge weights ``(a, b)`` of a node, the synthesis
+needs the Givens rotation ``R_{i,j}(theta, phi)`` that *merges* the
+amplitude of the upper level ``j`` into the lower level ``i``:
+``R (a, b)^T = (a', 0)^T``.  With the paper's rotation convention
+(2x2 block ``[[c, -i e^{-i phi} s], [-i e^{i phi} s, c]]`` where
+``c = cos(theta/2)``, ``s = sin(theta/2)``), nulling the second
+component requires::
+
+    theta = 2 * atan2(|b|, |a|)
+    phi   = arg(b) - arg(a) - pi/2
+    a'    = exp(i arg(a)) * hypot(|a|, |b|)
+
+Note on the paper's printed formulas: Section 4.2 states
+``theta = 2 arctan|w_i / w_j|`` and
+``phi = -(pi/2 + arg(w_j) - arg(w_i))``.  Substituting those into the
+paper's own definition of ``R`` does not null either component of
+``(w_i, w_j)``; the derivation above (verified numerically in
+``tests/test_angles.py``) nulls the upper level exactly and reproduces
+the paper's operation counts, so we regard the printed formulas as a
+typo of sign/ratio conventions and document the difference here.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+__all__ = ["disentangling_rotation", "MERGE_CUTOFF"]
+
+#: Weights below this magnitude count as zero when deriving angles.
+MERGE_CUTOFF = 1e-14
+
+
+def disentangling_rotation(
+    a: complex, b: complex
+) -> tuple[float, float, complex]:
+    """Parameters of the rotation merging weight ``b`` into weight ``a``.
+
+    Args:
+        a: Weight of the lower level ``i`` (kept).
+        b: Weight of the upper level ``j`` (zeroed).
+
+    Returns:
+        ``(theta, phi, merged)`` such that applying
+        ``R_{i,j}(theta, phi)`` to the two-component vector ``(a, b)``
+        yields ``(merged, 0)``; ``|merged| = hypot(|a|, |b|)`` and
+        ``merged`` keeps the phase of ``a`` (or is real positive when
+        ``a`` is zero).
+
+    The degenerate cases are handled explicitly: ``b = 0`` yields the
+    identity rotation ``(0, 0, a)``; ``a = 0`` yields ``theta = pi``.
+    """
+    a = complex(a)
+    b = complex(b)
+    magnitude_a = abs(a)
+    magnitude_b = abs(b)
+    if magnitude_b <= MERGE_CUTOFF:
+        return 0.0, 0.0, a
+    # math.atan2 instead of cmath.phase: the latter raises a range
+    # error on subnormal components (CPython quirk found by fuzzing).
+    arg_a = (
+        math.atan2(a.imag, a.real) if magnitude_a > MERGE_CUTOFF else 0.0
+    )
+    arg_b = math.atan2(b.imag, b.real)
+    theta = 2.0 * math.atan2(magnitude_b, magnitude_a)
+    phi = arg_b - arg_a - math.pi / 2.0
+    merged = cmath.exp(1j * arg_a) * math.hypot(magnitude_a, magnitude_b)
+    return theta, phi, merged

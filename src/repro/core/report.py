@@ -1,0 +1,64 @@
+"""Structured synthesis reports (the columns of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SynthesisReport"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """All metrics the paper reports for one synthesis run.
+
+    Attributes:
+        dims: Qudit dimensions, most significant first.
+        tree_nodes: Full decomposition-tree size (Table 1 "Nodes",
+            Exact group) — a function of ``dims`` only.
+        visited_nodes: Path-expanded non-zero tree size including
+            per-edge terminals (Table 1 "Nodes", Approximated group).
+        dag_nodes: Distinct shared nodes of the diagram (reduction
+            quality; not printed by the paper but useful).
+        distinct_complex: Distinct complex values in the diagram
+            (Table 1 "DistinctC").
+        operations: Number of emitted controlled rotations
+            (Table 1 "Operations").
+        median_controls: Median controls per operation
+            (Table 1 "#Controls").
+        mean_controls: Mean controls per operation (auxiliary).
+        synthesis_time: Approximation plus synthesis wall time in
+            seconds (Table 1 "Time [s]").
+        fidelity: ``|<target|prepared>|^2`` (Table 1 "Fidelity");
+            ``None`` when verification was skipped.
+        approximation_fidelity: Fidelity between the original and the
+            approximated diagram (1.0 for exact synthesis).
+    """
+
+    dims: tuple[int, ...]
+    tree_nodes: int
+    visited_nodes: int
+    dag_nodes: int
+    distinct_complex: int
+    operations: int
+    median_controls: float
+    mean_controls: float
+    synthesis_time: float
+    fidelity: float | None = None
+    approximation_fidelity: float = 1.0
+
+    def row(self) -> dict[str, object]:
+        """Flatten to a printable dict in Table 1 column order."""
+        return {
+            "dims": "x".join(str(d) for d in self.dims),
+            "nodes": self.tree_nodes,
+            "visited": self.visited_nodes,
+            "distinct_c": self.distinct_complex,
+            "operations": self.operations,
+            "controls": self.median_controls,
+            "time_s": round(self.synthesis_time, 4),
+            "fidelity": (
+                round(self.fidelity, 4)
+                if self.fidelity is not None
+                else None
+            ),
+        }

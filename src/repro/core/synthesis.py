@@ -1,0 +1,135 @@
+"""Circuit synthesis from decision diagrams (Section 4.2 of the paper).
+
+The routine traverses the decision diagram once and, for every visited
+node of dimension ``d``, emits a ladder of ``d - 1`` two-level Givens
+rotations followed by one two-level phase rotation, each controlled on
+the root-to-node path (one ``(qudit, level)`` control per ancestor
+edge).  The emitted circuit *disentangles* the represented state down
+to ``|0...0>``; the preparation circuit is its reversed adjoint.
+Complexity is linear in the number of path-expanded DD nodes, matching
+the paper's complexity claim.
+
+The tensor-product rule of Section 4.3 is applied on the fly: when all
+non-zero edges of a node point to the same child, the subtree is
+synthesised once *without* a control on that node's qudit.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.controls import Control
+from repro.circuit.gates import GivensRotation, PhaseRotation
+from repro.core.angles import disentangling_rotation
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.node import DDNode
+from repro.exceptions import SynthesisError
+
+__all__ = ["synthesize_unpreparation", "synthesize_preparation"]
+
+
+def _emit_node_ladder(
+    circuit: Circuit,
+    node: DDNode,
+    controls: tuple[Control, ...],
+    emit_identity_rotations: bool,
+) -> None:
+    """Emit the rotations that merge ``node``'s weights into level 0."""
+    target = node.level
+    weights = list(node.weights)
+    for upper in range(node.dimension - 1, 0, -1):
+        lower = upper - 1
+        theta, phi, merged = disentangling_rotation(
+            weights[lower], weights[upper]
+        )
+        weights[lower] = merged
+        weights[upper] = 0.0
+        if emit_identity_rotations or abs(theta) > 1e-14:
+            circuit.append(
+                GivensRotation(target, lower, upper, theta, phi, controls)
+            )
+    # The residual phase on level 0; for canonically normalised nodes
+    # (first non-zero weight real positive) this is exactly zero, but
+    # it is computed -- not assumed -- so non-canonical diagrams stay
+    # correct.
+    residual_phase = cmath.phase(weights[0]) if weights[0] != 0 else 0.0
+    if emit_identity_rotations or abs(residual_phase) > 1e-14:
+        circuit.append(
+            PhaseRotation(target, 0, 1, 2.0 * residual_phase, controls)
+        )
+
+
+def synthesize_unpreparation(
+    dd: DecisionDiagram,
+    tensor_elision: bool = True,
+    emit_identity_rotations: bool = True,
+) -> Circuit:
+    """Synthesise the circuit mapping the DD's state to ``|0...0>``.
+
+    Args:
+        dd: Decision diagram of the state (canonical, non-zero).
+        tensor_elision: Apply the tensor-product rule — subtrees whose
+            parent factorises are synthesised once without the parent
+            control.  Disable to obtain per-path controls everywhere.
+        emit_identity_rotations: Emit rotations with zero angle (the
+            paper counts them; disabling yields shorter circuits with
+            identical action).
+
+    Returns:
+        Circuit ``U`` with ``U|psi> = w |0...0>`` where ``w`` is the
+        DD's root weight (a pure phase for unit-norm states).
+
+    Raises:
+        SynthesisError: If the diagram is zero.
+    """
+    if dd.root.is_zero:
+        raise SynthesisError("cannot synthesise the zero state")
+    circuit = Circuit(dd.register)
+
+    def unprepare(node: DDNode, controls: tuple[Control, ...]) -> None:
+        shared_child = (
+            node.unique_nonzero_child() if tensor_elision else None
+        )
+        if shared_child is not None:
+            if not shared_child.is_terminal:
+                # Tensor-product rule: one uncontrolled-by-this-qudit
+                # recursion covers every non-zero branch.
+                unprepare(shared_child, controls)
+        else:
+            for digit, edge in node.nonzero_edges():
+                if not edge.node.is_terminal:
+                    unprepare(
+                        edge.node,
+                        controls + (Control(node.level, digit),),
+                    )
+        _emit_node_ladder(
+            circuit, node, controls, emit_identity_rotations
+        )
+
+    unprepare(dd.root.node, ())
+    return circuit
+
+
+def synthesize_preparation(
+    dd: DecisionDiagram,
+    tensor_elision: bool = True,
+    emit_identity_rotations: bool = True,
+) -> Circuit:
+    """Synthesise the circuit preparing the DD's state from ``|0...0>``.
+
+    The reversed adjoint of :func:`synthesize_unpreparation`, with the
+    root weight's phase applied as a global phase so the prepared state
+    matches the diagram exactly (not merely up to phase).
+
+    Returns:
+        Circuit ``P`` with ``P|0...0> = |psi> / ||psi||``.
+    """
+    unprep = synthesize_unpreparation(
+        dd,
+        tensor_elision=tensor_elision,
+        emit_identity_rotations=emit_identity_rotations,
+    )
+    preparation = unprep.inverse()
+    preparation.global_phase = cmath.phase(dd.root.weight)
+    return preparation

@@ -1,0 +1,27 @@
+"""Verification of synthesised circuits against target states."""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.states.fidelity import fidelity
+from repro.states.statevector import StateVector
+from repro.simulator.statevector_sim import simulate
+
+__all__ = ["verify_preparation", "prepared_state"]
+
+
+def prepared_state(circuit: Circuit) -> StateVector:
+    """Simulate the circuit on ``|0...0>`` and return the result."""
+    return simulate(circuit)
+
+
+def verify_preparation(
+    circuit: Circuit, target: StateVector
+) -> float:
+    """Return ``|<target|circuit(0...0)>|^2``.
+
+    The target is normalised before comparison, so callers may pass
+    unnormalised amplitude vectors.
+    """
+    produced = prepared_state(circuit)
+    return fidelity(target.normalized(), produced)

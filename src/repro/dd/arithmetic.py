@@ -1,0 +1,193 @@
+"""Arithmetic on decision diagrams: inner products and linear combinations.
+
+These operations work directly on the shared graph structure without
+expanding to dense vectors.  They power the DD-level circuit simulator
+(:mod:`repro.simulator.dd_sim`) and the fidelity estimates of the
+approximation module.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.dd.builder import normalize_edges
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.edge import WEIGHT_ZERO_CUTOFF, Edge
+from repro.dd.node import DDNode, TERMINAL
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import DecisionDiagramError, DimensionError
+
+__all__ = ["inner_product", "linear_combination", "project"]
+
+
+def inner_product(bra: DecisionDiagram, ket: DecisionDiagram) -> complex:
+    """Return ``<bra|ket>`` without densifying either diagram.
+
+    Recursion over node pairs with memoisation; shared substructure is
+    therefore exploited in both operands simultaneously.
+
+    Raises:
+        DimensionError: If the diagrams live on different registers.
+    """
+    if bra.register != ket.register:
+        raise DimensionError(
+            f"cannot overlap diagrams on registers {bra.dims} and {ket.dims}"
+        )
+    if bra.root.is_zero or ket.root.is_zero:
+        return 0.0
+
+    cache: dict[tuple[int, int], complex] = {}
+
+    def recurse(a: DDNode, b: DDNode) -> complex:
+        if a.is_terminal and b.is_terminal:
+            return 1.0
+        if a.is_terminal or b.is_terminal:
+            raise DecisionDiagramError(
+                "diagrams of identical registers disagree on depth"
+            )
+        key = (id(a), id(b))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0 + 0.0j
+        for edge_a, edge_b in zip(a.edges, b.edges):
+            if edge_a.is_zero or edge_b.is_zero:
+                continue
+            total += (
+                edge_a.weight.conjugate()
+                * edge_b.weight
+                * recurse(edge_a.node, edge_b.node)
+            )
+        cache[key] = total
+        return total
+
+    return (
+        bra.root.weight.conjugate()
+        * ket.root.weight
+        * recurse(bra.root.node, ket.root.node)
+    )
+
+
+def linear_combination(
+    terms: Sequence[tuple[complex, Edge]],
+    table: UniqueTable,
+) -> Edge:
+    """Return the canonical edge for ``sum_k coeff_k * |edge_k>``.
+
+    All participating edges must be rooted at the same level (or be
+    zero/terminal edges).  The result is renormalised bottom-up, so its
+    node satisfies the canonical invariants; the returned edge weight
+    carries the norm of the combination.
+
+    Raises:
+        DecisionDiagramError: If operand levels disagree.
+    """
+    live = [
+        (coeff * edge.weight, edge.node)
+        for coeff, edge in terms
+        if abs(coeff * edge.weight) > WEIGHT_ZERO_CUTOFF
+    ]
+    if not live:
+        return Edge.zero()
+    if all(node.is_terminal for _, node in live):
+        total = sum(weight for weight, _ in live)
+        if abs(total) <= WEIGHT_ZERO_CUTOFF:
+            return Edge.zero()
+        return Edge(total, TERMINAL)
+    levels = {node.level for _, node in live if not node.is_terminal}
+    if len(levels) != 1 or any(node.is_terminal for _, node in live):
+        raise DecisionDiagramError(
+            "linear combination operands must share a level"
+        )
+    level = levels.pop()
+    dimension = live[0][1].dimension
+    if any(node.dimension != dimension for _, node in live):
+        raise DecisionDiagramError(
+            "linear combination operands must share a dimension"
+        )
+    # Single term: no structural work needed.
+    if len(live) == 1:
+        weight, node = live[0]
+        return Edge(weight, node)
+    children = []
+    for digit in range(dimension):
+        children.append(
+            linear_combination(
+                [
+                    (weight, node.successor(digit))
+                    for weight, node in live
+                ],
+                table,
+            )
+        )
+    return normalize_edges(children, table, level)
+
+
+def project(
+    edge: Edge,
+    target_level: int,
+    digit: int,
+    table: UniqueTable,
+    current_level: int | None = None,
+) -> Edge:
+    """Project a sub-diagram onto ``digit`` at ``target_level``.
+
+    Returns the (unnormalised-in-norm, canonical-in-structure) edge for
+    the component of the state whose qudit at ``target_level`` reads
+    ``digit``; all other branches at that level are zeroed.  The edge
+    weight shrinks by the amplitude mass removed, so projections of the
+    same edge onto all digits sum back to the original state.
+    """
+    if edge.is_zero:
+        return Edge.zero()
+    node = edge.node
+    if node.is_terminal:
+        raise DecisionDiagramError(
+            f"projection level {target_level} below the terminal"
+        )
+    level = node.level if current_level is None else current_level
+    if level == target_level:
+        branch = node.successor(digit)
+        if branch.is_zero:
+            return Edge.zero()
+        children = [
+            branch if index == digit else Edge.zero()
+            for index in range(node.dimension)
+        ]
+        projected = normalize_edges(children, table, level)
+        return projected.scaled(edge.weight)
+    children = [
+        project(child, target_level, digit, table, level + 1)
+        for child in node.edges
+    ]
+    projected = normalize_edges(children, table, level)
+    return projected.scaled(edge.weight)
+
+
+def norm_of(edge: Edge) -> float:
+    """Euclidean norm of the state represented by ``edge``.
+
+    For canonically normalised diagrams this is ``abs(edge.weight)``;
+    computed explicitly so it remains correct for intermediate edges.
+    """
+    if edge.is_zero:
+        return 0.0
+
+    cache: dict[int, float] = {}
+
+    def mass(node: DDNode) -> float:
+        if node.is_terminal:
+            return 1.0
+        cached = cache.get(id(node))
+        if cached is not None:
+            return cached
+        total = math.fsum(
+            abs(child.weight) ** 2 * mass(child.node)
+            for child in node.edges
+            if not child.is_zero
+        )
+        cache[id(node)] = total
+        return total
+
+    return abs(edge.weight) * math.sqrt(mass(edge.node))

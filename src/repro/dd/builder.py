@@ -1,0 +1,104 @@
+"""Construction of decision diagrams from state vectors.
+
+This implements the first step of the paper's pipeline (Section 4.1):
+the state vector is recursively split into ``d_k`` equal parts at each
+level ``k``, each part becomes a successor, and the edge weights are
+the normalisation factors computed bottom-up.  The fixed normalisation
+scheme — L2 norm extraction plus making the first non-zero weight real
+positive — yields canonical nodes, so the unique table merges all
+identical sub-states and the diagram is maximally reduced.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.edge import WEIGHT_ZERO_CUTOFF, Edge
+from repro.dd.node import TERMINAL
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import StateError
+from repro.registers.register import as_register
+from repro.states.statevector import StateVector
+
+__all__ = ["build_dd", "normalize_edges"]
+
+
+def normalize_edges(
+    raw_edges: list[Edge], table: UniqueTable, level: int
+) -> Edge:
+    """Intern a node for ``raw_edges`` and return its normalised in-edge.
+
+    The raw edge weights may have any magnitudes; this routine extracts
+    the L2 norm ``n`` and the phase ``lam`` of the first non-zero
+    weight, divides all weights by ``n * lam`` (making the node
+    canonical), and returns an edge with weight ``n * lam`` pointing to
+    the interned node.  A list of all-zero edges yields the zero edge.
+    """
+    norm_sq = math.fsum(abs(edge.weight) ** 2 for edge in raw_edges)
+    norm = math.sqrt(norm_sq)
+    if norm <= WEIGHT_ZERO_CUTOFF:
+        return Edge.zero()
+    phase = 1.0 + 0.0j
+    for edge in raw_edges:
+        if abs(edge.weight) > WEIGHT_ZERO_CUTOFF:
+            phase = edge.weight / abs(edge.weight)
+            break
+    factor = norm * phase
+    normalized = [
+        Edge(edge.weight / factor, edge.node)
+        if abs(edge.weight) > WEIGHT_ZERO_CUTOFF
+        else Edge.zero()
+        for edge in raw_edges
+    ]
+    node = table.get_node(level, normalized)
+    return Edge(factor, node)
+
+
+def build_dd(
+    state: StateVector,
+    table: UniqueTable | None = None,
+) -> DecisionDiagram:
+    """Build the canonical decision diagram of a state vector.
+
+    Args:
+        state: The state to represent (any norm; the root edge weight
+            absorbs the global norm and phase).
+        table: Optional unique table to intern nodes into; sharing a
+            table across diagrams lets equal sub-states of different
+            diagrams share nodes.
+
+    Returns:
+        The decision diagram; ``dd.to_statevector()`` reproduces the
+        input amplitudes up to rounding.
+
+    Raises:
+        StateError: If the state vector is entirely zero.
+    """
+    if table is None:
+        table = UniqueTable()
+    register = as_register(state.register)
+    dims = register.dims
+    amplitudes = np.ascontiguousarray(state.amplitudes)
+
+    def build(offset: int, length: int, level: int) -> Edge:
+        """Build the edge for ``amplitudes[offset : offset + length]``."""
+        if level == len(dims):
+            weight = complex(amplitudes[offset])
+            if abs(weight) <= WEIGHT_ZERO_CUTOFF:
+                return Edge.zero()
+            return Edge(weight, TERMINAL)
+        dimension = dims[level]
+        part = length // dimension
+        children = [
+            build(offset + digit * part, part, level + 1)
+            for digit in range(dimension)
+        ]
+        return normalize_edges(children, table, level)
+
+    root = build(0, register.size, 0)
+    if root.is_zero:
+        raise StateError("cannot build a decision diagram of the zero state")
+    return DecisionDiagram(root, register, table)

@@ -1,0 +1,206 @@
+"""The :class:`DecisionDiagram` facade.
+
+Bundles a root edge, the register it is defined over, and the unique
+table its nodes live in, and exposes queries (amplitudes, vector
+reconstruction), structural statistics (DAG and tree node counts,
+distinct complex values), and traversal helpers used by the synthesis
+and approximation routines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.dd.edge import Edge
+from repro.dd.node import DDNode
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import DecisionDiagramError, DimensionError
+from repro.linalg.complex_table import ComplexTable
+from repro.registers import QuditRegister
+from repro.registers.register import RegisterLike, as_register
+from repro.states.statevector import StateVector
+
+__all__ = ["DecisionDiagram"]
+
+
+class DecisionDiagram:
+    """An edge-weighted decision diagram over a mixed-dimensional register.
+
+    Instances are produced by :func:`repro.dd.builder.build_dd` and by
+    :func:`repro.dd.approximation.approximate`; direct construction is
+    possible when the root edge already satisfies the canonical
+    invariants.
+    """
+
+    __slots__ = ("_root", "_register", "_table")
+
+    def __init__(
+        self,
+        root: Edge,
+        register: RegisterLike,
+        table: UniqueTable,
+    ):
+        self._root = root
+        self._register = as_register(register)
+        self._table = table
+        if not root.is_zero and root.node.is_terminal:
+            raise DecisionDiagramError(
+                "root edge of a non-trivial diagram must point to a node"
+            )
+        if not root.is_zero and root.node.level != 0:
+            raise DecisionDiagramError(
+                f"root node must be at level 0, got {root.node.level}"
+            )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Edge:
+        """The root edge (its weight carries global norm and phase)."""
+        return self._root
+
+    @property
+    def register(self) -> QuditRegister:
+        """The register the diagram is defined over."""
+        return self._register
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Per-qudit dimensions."""
+        return self._register.dims
+
+    @property
+    def unique_table(self) -> UniqueTable:
+        """The unique table interning this diagram's nodes."""
+        return self._table
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def amplitude(self, digits: Sequence[int]) -> complex:
+        """Amplitude of the basis state ``|digits>``.
+
+        Computed by multiplying the edge weights along the path from
+        the root, exactly as in Example 4 of the paper.
+        """
+        if len(digits) != self._register.num_qudits:
+            raise DimensionError(
+                f"expected {self._register.num_qudits} digits, "
+                f"got {len(digits)}"
+            )
+        value = self._root.weight
+        node = self._root.node
+        for level, digit in enumerate(digits):
+            if node.is_terminal:
+                return 0.0 if self._root.is_zero else value
+            if not 0 <= digit < node.dimension:
+                raise DimensionError(
+                    f"digit {digit} out of range at level {level}"
+                )
+            edge = node.successor(digit)
+            if edge.is_zero:
+                return 0.0
+            value *= edge.weight
+            node = edge.node
+        return value
+
+    def to_statevector(self) -> StateVector:
+        """Reconstruct the dense state vector represented by the DD."""
+        cache: dict[DDNode, np.ndarray] = {}
+        dims = self.dims
+
+        def expand(node: DDNode, level: int) -> np.ndarray:
+            if node in cache:
+                return cache[node]
+            size = 1
+            for dim in dims[level + 1 :]:
+                size *= dim
+            parts = []
+            for edge in node.edges:
+                if edge.is_zero:
+                    parts.append(np.zeros(size, dtype=np.complex128))
+                elif edge.node.is_terminal:
+                    parts.append(
+                        np.array([edge.weight], dtype=np.complex128)
+                    )
+                else:
+                    parts.append(edge.weight * expand(edge.node, level + 1))
+            vector = np.concatenate(parts)
+            cache[node] = vector
+            return vector
+
+        if self._root.is_zero:
+            return StateVector(
+                np.zeros(self._register.size, dtype=np.complex128),
+                self._register,
+            )
+        return StateVector(
+            self._root.weight * expand(self._root.node, 0), self._register
+        )
+
+    # ------------------------------------------------------------------
+    # Traversal and statistics
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[DDNode]:
+        """Yield the distinct non-terminal nodes reachable from the root.
+
+        Nodes are yielded in depth-first pre-order; each shared node is
+        visited once (DAG traversal, not tree expansion).
+        """
+        if self._root.is_zero:
+            return
+        seen: set[int] = set()
+        stack = [self._root.node]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node.is_terminal:
+                continue
+            seen.add(id(node))
+            yield node
+            for edge in reversed(node.edges):
+                if not edge.is_zero and not edge.node.is_terminal:
+                    stack.append(edge.node)
+
+    def num_nodes(self) -> int:
+        """Number of distinct reachable non-terminal nodes (DAG size)."""
+        return sum(1 for _ in self.nodes())
+
+    def num_edges(self) -> int:
+        """Total number of out-edges of reachable nodes."""
+        return sum(node.dimension for node in self.nodes())
+
+    def distinct_complex_values(
+        self, tolerance: float = 1e-12
+    ) -> int:
+        """Number of distinct complex values in the diagram.
+
+        This is the "DistinctC" metric of Table 1: all edge weights of
+        reachable nodes plus the root weight, deduplicated through a
+        complex table at the given tolerance.
+        """
+        table = ComplexTable(tolerance)
+        table.lookup(self._root.weight)
+        for node in self.nodes():
+            for weight in node.weights:
+                table.lookup(weight)
+        return len(table)
+
+    def nodes_per_level(self) -> dict[int, int]:
+        """Histogram of distinct reachable nodes by level."""
+        histogram: dict[int, int] = {}
+        for node in self.nodes():
+            histogram[node.level] = histogram.get(node.level, 0) + 1
+        return histogram
+
+    def is_product_at(self, node: DDNode) -> bool:
+        """Whether ``node`` factorises from its subtree (tensor rule)."""
+        return node.unique_nonzero_child() is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionDiagram(dims={list(self.dims)}, "
+            f"nodes={self.num_nodes()})"
+        )

@@ -1,0 +1,73 @@
+"""Weighted edges of the decision diagram.
+
+An edge bundles a complex weight with the node it points to.  Edges are
+immutable value objects; the zero edge (weight 0, pointing at the
+terminal) represents an absent subtree — the amplitude of every basis
+state whose path takes a zero edge is 0.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dd.node import DDNode
+
+__all__ = ["Edge"]
+
+#: Weights with magnitude below this value are normalised to exact zero
+#: during DD construction, so "zero edge" is a crisp structural notion.
+WEIGHT_ZERO_CUTOFF = 1e-14
+
+
+class Edge:
+    """A complex-weighted pointer to a decision-diagram node.
+
+    Attributes:
+        weight: Complex edge weight (normalisation factor of the
+            subtree it points to).
+        node: Target node; the shared terminal for leaf/zero edges.
+    """
+
+    __slots__ = ("weight", "node")
+
+    def __init__(self, weight: complex, node: "DDNode"):
+        object.__setattr__(self, "weight", complex(weight))
+        object.__setattr__(self, "node", node)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Edge is immutable")
+
+    @classmethod
+    def zero(cls) -> "Edge":
+        """Return a zero edge (absent subtree)."""
+        from repro.dd.node import TERMINAL
+
+        return cls(0.0, TERMINAL)
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this edge carries no amplitude."""
+        return abs(self.weight) <= WEIGHT_ZERO_CUTOFF
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this edge points to the terminal node."""
+        return self.node.is_terminal
+
+    def scaled(self, factor: complex) -> "Edge":
+        """Return a copy of this edge with the weight multiplied."""
+        if abs(factor) <= WEIGHT_ZERO_CUTOFF:
+            return Edge.zero()
+        return Edge(self.weight * factor, self.node)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Edge):
+            return self.weight == other.weight and self.node is other.node
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.weight, id(self.node)))
+
+    def __repr__(self) -> str:
+        return f"Edge({self.weight:.6g} -> {self.node!r})"

@@ -1,0 +1,78 @@
+"""Projective measurement and collapse on decision diagrams.
+
+Complements :mod:`repro.dd.sampling` (which draws whole basis strings):
+here a *single* qudit is measured, the outcome is drawn from its
+marginal distribution, and the diagram is collapsed (projected and
+renormalised) onto the observed level — all without densifying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dd.arithmetic import norm_of, project
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.edge import Edge
+from repro.dd.observables import level_populations
+from repro.exceptions import DecisionDiagramError
+
+__all__ = ["collapse", "measure_qudit"]
+
+
+def collapse(
+    dd: DecisionDiagram, qudit: int, level: int
+) -> DecisionDiagram:
+    """Project onto ``qudit = level`` and renormalise.
+
+    Returns the post-measurement state as a unit-norm diagram.
+
+    Raises:
+        DecisionDiagramError: If the outcome has zero probability or
+            the indices are out of range.
+    """
+    dims = dd.dims
+    if not 0 <= qudit < len(dims):
+        raise DecisionDiagramError(
+            f"qudit {qudit} out of range for {len(dims)} qudits"
+        )
+    if not 0 <= level < dims[qudit]:
+        raise DecisionDiagramError(
+            f"level {level} out of range for dimension {dims[qudit]}"
+        )
+    projected = project(dd.root, qudit, level, dd.unique_table)
+    norm = norm_of(projected)
+    if norm <= 1e-12:
+        raise DecisionDiagramError(
+            f"outcome {level} on qudit {qudit} has zero probability"
+        )
+    renormalised = Edge(projected.weight / norm, projected.node)
+    return DecisionDiagram(renormalised, dd.register, dd.unique_table)
+
+
+def measure_qudit(
+    dd: DecisionDiagram,
+    qudit: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[int, DecisionDiagram]:
+    """Measure one qudit and collapse the diagram.
+
+    Args:
+        dd: Unit-norm decision diagram.
+        qudit: The qudit to measure.
+        rng: Numpy generator or seed.
+
+    Returns:
+        ``(outcome, post_measurement_diagram)``; the outcome is drawn
+        from the qudit's marginal distribution.
+    """
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    probabilities = np.array(level_populations(dd, qudit))
+    probabilities = probabilities / probabilities.sum()
+    outcome = int(
+        generator.choice(len(probabilities), p=probabilities)
+    )
+    return outcome, collapse(dd, qudit, outcome)

@@ -1,0 +1,147 @@
+"""Decision-diagram nodes with a variable number of successors.
+
+A node at level ``k`` represents a (canonically normalised) quantum
+state over the suffix register ``q_k, q_{k+1}, ..., q_{n-1}`` and has
+exactly ``d_k`` outgoing edges, one per level of qudit ``k``.  The
+shared :data:`TERMINAL` node sits below the last level and carries no
+successors.
+
+Canonical normalisation invariants (established by the builder and
+checked by :meth:`DDNode.check_invariants`):
+
+* the squared magnitudes of the out-edge weights sum to 1,
+* the first non-zero out-edge weight is real and positive,
+* zero-weight edges point to the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.dd.edge import WEIGHT_ZERO_CUTOFF, Edge
+from repro.exceptions import DecisionDiagramError
+
+__all__ = ["DDNode", "TERMINAL"]
+
+
+class DDNode:
+    """A level of decision together with its weighted successors.
+
+    Nodes are immutable after construction and are shared: identical
+    ``(level, edges)`` combinations are represented by one object via
+    the unique table, so identity comparison doubles as structural
+    equality for canonically built diagrams.
+    """
+
+    __slots__ = ("level", "edges", "__weakref__")
+
+    def __init__(self, level: int, edges: Sequence[Edge]):
+        if level < 0 and edges:
+            raise DecisionDiagramError(
+                "only the terminal node may have no successors"
+            )
+        object.__setattr__(self, "level", level)
+        object.__setattr__(self, "edges", tuple(edges))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("DDNode is immutable")
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this is the shared terminal node."""
+        return not self.edges
+
+    @property
+    def dimension(self) -> int:
+        """Number of successors (the local dimension of the qudit)."""
+        return len(self.edges)
+
+    @property
+    def weights(self) -> tuple[complex, ...]:
+        """Out-edge weights in successor order."""
+        return tuple(edge.weight for edge in self.edges)
+
+    def successor(self, level_value: int) -> Edge:
+        """Return the out-edge taken for digit ``level_value``."""
+        return self.edges[level_value]
+
+    def nonzero_edges(self) -> Iterator[tuple[int, Edge]]:
+        """Yield ``(digit, edge)`` pairs for edges carrying amplitude."""
+        for digit, edge in enumerate(self.edges):
+            if not edge.is_zero:
+                yield digit, edge
+
+    def num_nonzero_edges(self) -> int:
+        """Number of out-edges carrying amplitude."""
+        return sum(1 for _ in self.nonzero_edges())
+
+    def unique_nonzero_child(self) -> "DDNode | None":
+        """Return the single child of all non-zero edges, if shared.
+
+        This is the structural condition of the paper's tensor-product
+        rule (Section 4.3): when every non-zero out-edge points to the
+        same child, this node factorises from the subtree below and the
+        child can be synthesised without a control on this qudit.
+        Returns ``None`` when the condition does not hold or the node
+        has no non-zero edges.
+        """
+        child: DDNode | None = None
+        for _, edge in self.nonzero_edges():
+            if child is None:
+                child = edge.node
+            elif child is not edge.node:
+                return None
+        return child
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_invariants(self, tolerance: float = 1e-9) -> None:
+        """Assert the canonical normalisation invariants.
+
+        Raises:
+            DecisionDiagramError: If an invariant is violated.
+        """
+        if self.is_terminal:
+            return
+        total = math.fsum(abs(w) ** 2 for w in self.weights)
+        if abs(total - 1.0) > tolerance:
+            raise DecisionDiagramError(
+                f"node at level {self.level}: squared weights sum to "
+                f"{total}, expected 1"
+            )
+        for digit, edge in enumerate(self.edges):
+            if edge.is_zero and not edge.node.is_terminal:
+                raise DecisionDiagramError(
+                    f"zero edge {digit} at level {self.level} does not "
+                    "point to the terminal"
+                )
+        for _, edge in self.nonzero_edges():
+            first = edge.weight
+            if abs(first.imag) > tolerance or first.real <= 0:
+                raise DecisionDiagramError(
+                    f"first non-zero weight {first} at level {self.level} "
+                    "is not real positive"
+                )
+            break
+
+    # ------------------------------------------------------------------
+    # Representation
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return "TERMINAL"
+        return f"DDNode(level={self.level}, dimension={self.dimension})"
+
+
+#: The unique terminal node shared by all decision diagrams.
+TERMINAL = DDNode(level=-1, edges=())
+
+
+def is_effectively_zero(weight: complex) -> bool:
+    """Whether a weight should be treated as structural zero."""
+    return abs(weight) <= WEIGHT_ZERO_CUTOFF

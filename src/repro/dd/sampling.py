@@ -1,0 +1,78 @@
+"""Measurement sampling directly from a decision diagram.
+
+Sampling walks the diagram from the root, choosing each digit with
+probability proportional to the squared magnitude of the corresponding
+edge weight.  For canonical diagrams the per-node weights are already
+normalised, so each step is a single categorical draw — no dense
+probability vector is ever materialised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dd.diagram import DecisionDiagram
+from repro.exceptions import DecisionDiagramError
+
+__all__ = ["sample"]
+
+
+def sample(
+    dd: DecisionDiagram,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+) -> dict[tuple[int, ...], int]:
+    """Sample computational-basis outcomes from a decision diagram.
+
+    Args:
+        dd: A canonical, unit-norm decision diagram.
+        shots: Number of measurement samples (positive).
+        rng: Numpy generator or seed for reproducibility.
+
+    Returns:
+        Histogram mapping digit tuples to counts.
+
+    Raises:
+        DecisionDiagramError: If ``shots`` is not positive or the
+            diagram is zero.
+    """
+    if shots <= 0:
+        raise DecisionDiagramError(f"shots must be positive, got {shots}")
+    if dd.root.is_zero:
+        raise DecisionDiagramError("cannot sample from the zero diagram")
+    generator = (
+        rng
+        if isinstance(rng, np.random.Generator)
+        else np.random.default_rng(rng)
+    )
+    num_qudits = dd.register.num_qudits
+    histogram: dict[tuple[int, ...], int] = {}
+    # Per-node outcome probabilities are cached; diagrams are small
+    # compared to the number of shots in typical use.
+    probability_cache: dict[int, np.ndarray] = {}
+
+    for _ in range(shots):
+        node = dd.root.node
+        digits = []
+        for _level in range(num_qudits):
+            probabilities = probability_cache.get(id(node))
+            if probabilities is None:
+                probabilities = np.array(
+                    [abs(w) ** 2 for w in node.weights], dtype=np.float64
+                )
+                total = probabilities.sum()
+                if total <= 0.0:  # pragma: no cover - canonical DDs
+                    raise DecisionDiagramError(
+                        "reached a node without outgoing amplitude"
+                    )
+                probabilities = probabilities / total
+                probability_cache[id(node)] = probabilities
+            digit = int(
+                generator.choice(node.dimension, p=probabilities)
+            )
+            digits.append(digit)
+            edge = node.successor(digit)
+            node = edge.node
+        key = tuple(digits)
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

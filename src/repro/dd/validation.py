@@ -1,0 +1,99 @@
+"""Structural validation of decision diagrams.
+
+:func:`validate_diagram` checks every invariant the rest of the
+library relies on, raising :class:`DecisionDiagramError` with a
+precise message on the first violation.  Useful when diagrams come
+from external sources (the DDTXT loader) or hand-construction in
+tests; the builder always produces valid diagrams.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.node import DDNode
+from repro.exceptions import DecisionDiagramError
+
+__all__ = ["validate_diagram"]
+
+
+def validate_diagram(
+    dd: DecisionDiagram, tolerance: float = 1e-9
+) -> None:
+    """Check all structural and numerical invariants of a diagram.
+
+    Verified properties:
+
+    * node dimensions match the register's per-level dimensions;
+    * child levels strictly increase by one (terminal below the last
+      level only);
+    * zero-weight edges point to the terminal;
+    * every node is normalised (unit sum of squared weights) with a
+      real-positive first non-zero weight;
+    * the diagram is acyclic (guaranteed by the level check).
+
+    Raises:
+        DecisionDiagramError: On the first violated invariant.
+    """
+    dims = dd.dims
+    if dd.root.is_zero:
+        return
+    if dd.root.node.level != 0:
+        raise DecisionDiagramError(
+            f"root node at level {dd.root.node.level}, expected 0"
+        )
+
+    seen: set[int] = set()
+
+    def check(node: DDNode) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        level = node.level
+        if not 0 <= level < len(dims):
+            raise DecisionDiagramError(
+                f"node level {level} out of range for register {dims}"
+            )
+        if node.dimension != dims[level]:
+            raise DecisionDiagramError(
+                f"node at level {level} has {node.dimension} "
+                f"successors, register expects {dims[level]}"
+            )
+        total = math.fsum(abs(w) ** 2 for w in node.weights)
+        if abs(total - 1.0) > tolerance:
+            raise DecisionDiagramError(
+                f"node at level {level} has squared-weight sum {total}"
+            )
+        first_seen = False
+        for digit, edge in enumerate(node.edges):
+            if edge.is_zero:
+                if not edge.node.is_terminal:
+                    raise DecisionDiagramError(
+                        f"zero edge {digit} at level {level} does not "
+                        "point to the terminal"
+                    )
+                continue
+            if not first_seen:
+                first_seen = True
+                weight = edge.weight
+                if abs(weight.imag) > tolerance or weight.real <= 0:
+                    raise DecisionDiagramError(
+                        f"first non-zero weight {weight} at level "
+                        f"{level} is not real positive"
+                    )
+            if edge.node.is_terminal:
+                if level != len(dims) - 1:
+                    raise DecisionDiagramError(
+                        f"terminal edge at level {level}, but the "
+                        f"register has {len(dims)} levels"
+                    )
+            else:
+                if edge.node.level != level + 1:
+                    raise DecisionDiagramError(
+                        f"edge from level {level} jumps to level "
+                        f"{edge.node.level}"
+                    )
+                check(edge.node)
+
+    check(dd.root.node)

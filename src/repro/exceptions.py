@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the failure categories below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DimensionError",
+    "StateError",
+    "NormalizationError",
+    "DecisionDiagramError",
+    "ApproximationError",
+    "CircuitError",
+    "ControlError",
+    "SynthesisError",
+    "SimulationError",
+    "TranspilationError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class DimensionError(ReproError, ValueError):
+    """A qudit dimension or register shape is invalid.
+
+    Raised when a dimension is smaller than 2, when the number of
+    amplitudes does not match the register size, or when two objects
+    defined over different registers are combined.
+    """
+
+
+class StateError(ReproError, ValueError):
+    """A state vector is malformed (wrong size, all-zero, non-finite)."""
+
+
+class NormalizationError(StateError):
+    """A vector or decision-diagram node could not be normalised."""
+
+
+class DecisionDiagramError(ReproError):
+    """A decision-diagram operation received inconsistent structure."""
+
+
+class ApproximationError(DecisionDiagramError):
+    """Approximation parameters are invalid (e.g. fidelity not in (0, 1])."""
+
+
+class CircuitError(ReproError, ValueError):
+    """A circuit or gate is malformed."""
+
+
+class ControlError(CircuitError):
+    """A control specification is invalid (bad qudit index or level)."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis routine failed to realise the requested state."""
+
+
+class SimulationError(ReproError):
+    """The simulator was asked to perform an unsupported operation."""
+
+
+class TranspilationError(ReproError):
+    """A transpilation pass could not lower a gate."""
+
+
+class SerializationError(ReproError, ValueError):
+    """Textual circuit serialisation or parsing failed."""

@@ -1,0 +1,28 @@
+"""Numerical building blocks: complex uniquing and qudit gate matrices."""
+
+from repro.linalg.complex_table import ComplexTable
+from repro.linalg.embeddings import embed_two_level, embedded_identity
+from repro.linalg.rotations import (
+    givens_matrix,
+    phase_two_level_matrix,
+    rotation_generator,
+)
+from repro.linalg.standard_gates import (
+    clock_matrix,
+    fourier_matrix,
+    permutation_matrix,
+    shift_matrix,
+)
+
+__all__ = [
+    "ComplexTable",
+    "clock_matrix",
+    "embed_two_level",
+    "embedded_identity",
+    "fourier_matrix",
+    "givens_matrix",
+    "permutation_matrix",
+    "phase_two_level_matrix",
+    "rotation_generator",
+    "shift_matrix",
+]

@@ -1,0 +1,67 @@
+"""Embedding of small unitaries into qudit operation matrices.
+
+The synthesis algorithm of the paper emits *two-level* operations: a
+2x2 unitary acting on the span of two levels ``|i>`` and ``|j>`` of a
+single ``d``-dimensional qudit, identity elsewhere.  These helpers
+construct the corresponding ``d x d`` matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["embed_two_level", "embedded_identity"]
+
+
+def embedded_identity(dimension: int) -> np.ndarray:
+    """Return the ``dimension x dimension`` complex identity matrix.
+
+    Raises:
+        DimensionError: If ``dimension`` < 2.
+    """
+    if dimension < 2:
+        raise DimensionError(f"dimension must be >= 2, got {dimension}")
+    return np.eye(dimension, dtype=np.complex128)
+
+
+def embed_two_level(
+    block: np.ndarray, dimension: int, level_i: int, level_j: int
+) -> np.ndarray:
+    """Embed a 2x2 unitary into the ``(level_i, level_j)`` subspace.
+
+    The returned matrix acts as ``block`` on the ordered basis
+    ``(|level_i>, |level_j>)`` and as the identity on all other levels.
+
+    Args:
+        block: A 2x2 complex matrix.
+        dimension: Local dimension ``d`` of the qudit.
+        level_i: First level (row/column ``block[0]`` maps to).
+        level_j: Second level; must differ from ``level_i``.
+
+    Returns:
+        The embedded ``d x d`` matrix.
+
+    Raises:
+        DimensionError: If the levels are out of range or equal, or if
+            ``block`` is not 2x2.
+    """
+    block = np.asarray(block, dtype=np.complex128)
+    if block.shape != (2, 2):
+        raise DimensionError(f"block must be 2x2, got shape {block.shape}")
+    if dimension < 2:
+        raise DimensionError(f"dimension must be >= 2, got {dimension}")
+    if level_i == level_j:
+        raise DimensionError(f"levels must differ, got {level_i} twice")
+    for level in (level_i, level_j):
+        if not 0 <= level < dimension:
+            raise DimensionError(
+                f"level {level} out of range for dimension {dimension}"
+            )
+    matrix = embedded_identity(dimension)
+    matrix[level_i, level_i] = block[0, 0]
+    matrix[level_i, level_j] = block[0, 1]
+    matrix[level_j, level_i] = block[1, 0]
+    matrix[level_j, level_j] = block[1, 1]
+    return matrix

@@ -1,0 +1,106 @@
+"""Two-level Givens and phase rotation matrices.
+
+The paper's elementary synthesis operation is the two-level rotation
+
+    R_{i,j}(theta, phi) = exp(-i theta/2 (cos(phi) sx_ij + sin(phi) sy_ij))
+
+where ``sx_ij``/``sy_ij`` are the Pauli-X/Y matrices embedded into the
+``(|i>, |j>)`` subspace of a ``d``-level qudit [Ringbauer et al., Nature
+Physics 2022].  Writing ``c = cos(theta/2)`` and ``s = sin(theta/2)``,
+the 2x2 block is::
+
+        [      c          -i e^{-i phi} s ]
+        [ -i e^{i phi} s         c        ]
+
+The phase rotation used to finish each node's ladder is the two-level
+Z rotation ``RZ_{i,j}(delta) = diag(e^{-i delta/2}, e^{i delta/2})`` on
+the same subspace.  The paper's decomposition identity
+
+    Z(theta) = R(-pi/2, 0) . R(theta, pi/2) . R(pi/2, 0)
+
+holds for these conventions up to a global phase and is checked in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.linalg.embeddings import embed_two_level
+
+__all__ = [
+    "givens_block",
+    "givens_matrix",
+    "phase_two_level_block",
+    "phase_two_level_matrix",
+    "rotation_generator",
+]
+
+_SIGMA_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=np.complex128)
+_SIGMA_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=np.complex128)
+
+
+def rotation_generator(phi: float) -> np.ndarray:
+    """Return the Hermitian generator ``cos(phi) sx + sin(phi) sy``.
+
+    ``R(theta, phi) = exp(-i theta/2 * rotation_generator(phi))`` on the
+    two-level subspace.
+    """
+    return math.cos(phi) * _SIGMA_X + math.sin(phi) * _SIGMA_Y
+
+
+def givens_block(theta: float, phi: float) -> np.ndarray:
+    """Return the 2x2 block of ``R(theta, phi)``.
+
+    Computed in closed form (the generator squares to the identity, so
+    the exponential is ``cos(theta/2) I - i sin(theta/2) G``).
+    """
+    c = math.cos(theta / 2.0)
+    s = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -1j * cmath.exp(-1j * phi) * s],
+            [-1j * cmath.exp(1j * phi) * s, c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def givens_matrix(
+    dimension: int, level_i: int, level_j: int, theta: float, phi: float
+) -> np.ndarray:
+    """Return ``R_{i,j}(theta, phi)`` embedded into ``d x d``.
+
+    Args:
+        dimension: Local dimension of the qudit.
+        level_i: Lower level of the rotation subspace.
+        level_j: Upper level of the rotation subspace.
+        theta: Rotation angle.
+        phi: Rotation phase (axis in the X-Y plane).
+    """
+    return embed_two_level(
+        givens_block(theta, phi), dimension, level_i, level_j
+    )
+
+
+def phase_two_level_block(delta: float) -> np.ndarray:
+    """Return the 2x2 block ``diag(e^{-i delta/2}, e^{i delta/2})``."""
+    return np.array(
+        [
+            [cmath.exp(-1j * delta / 2.0), 0.0],
+            [0.0, cmath.exp(1j * delta / 2.0)],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def phase_two_level_matrix(
+    dimension: int, level_i: int, level_j: int, delta: float
+) -> np.ndarray:
+    """Return ``RZ_{i,j}(delta)`` embedded into ``d x d``."""
+    return embed_two_level(
+        phase_two_level_block(delta), dimension, level_i, level_j
+    )

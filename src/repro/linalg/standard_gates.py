@@ -1,0 +1,91 @@
+"""Standard single-qudit gate matrices for arbitrary dimensions.
+
+These are the generalized Pauli and Fourier operations used throughout
+the qudit literature (see Wang et al., Frontiers in Physics 2020) and by
+the paper's motivating examples: the qutrit Hadamard of Example 2 is
+``fourier_matrix(3)`` and the ``+1``/``+2`` controlled increments of
+Figure 1 are ``shift_matrix(3, 1)`` / ``shift_matrix(3, 2)``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "shift_matrix",
+    "clock_matrix",
+    "fourier_matrix",
+    "permutation_matrix",
+]
+
+
+def _check_dimension(dimension: int) -> None:
+    if dimension < 2:
+        raise DimensionError(f"dimension must be >= 2, got {dimension}")
+
+
+def shift_matrix(dimension: int, amount: int = 1) -> np.ndarray:
+    """Return the cyclic shift ``X^amount``: ``|l> -> |(l+amount) mod d>``.
+
+    ``shift_matrix(2, 1)`` is the qubit Pauli-X.
+    """
+    _check_dimension(dimension)
+    matrix = np.zeros((dimension, dimension), dtype=np.complex128)
+    for level in range(dimension):
+        matrix[(level + amount) % dimension, level] = 1.0
+    return matrix
+
+
+def clock_matrix(dimension: int, amount: int = 1) -> np.ndarray:
+    """Return the clock matrix ``Z^amount``: ``|l> -> w^(l*amount) |l>``.
+
+    ``w = exp(2 pi i / d)``; ``clock_matrix(2, 1)`` is the qubit Pauli-Z.
+    """
+    _check_dimension(dimension)
+    omega = cmath.exp(2j * math.pi / dimension)
+    return np.diag(
+        [omega ** (level * amount) for level in range(dimension)]
+    ).astype(np.complex128)
+
+
+def fourier_matrix(dimension: int) -> np.ndarray:
+    """Return the discrete-Fourier (generalized Hadamard) matrix.
+
+    ``F[k, l] = w^(k*l) / sqrt(d)`` with ``w = exp(2 pi i / d)``.  For
+    ``d = 3`` this is the qutrit Hadamard used in Example 2 of the
+    paper; applied to ``|0>`` it yields the uniform superposition.
+    """
+    _check_dimension(dimension)
+    omega = cmath.exp(2j * math.pi / dimension)
+    matrix = np.empty((dimension, dimension), dtype=np.complex128)
+    for row in range(dimension):
+        for col in range(dimension):
+            matrix[row, col] = omega ** (row * col)
+    return matrix / math.sqrt(dimension)
+
+
+def permutation_matrix(dimension: int, permutation: list[int]) -> np.ndarray:
+    """Return the unitary that maps ``|l> -> |permutation[l]>``.
+
+    Args:
+        dimension: Local dimension of the qudit.
+        permutation: A permutation of ``range(dimension)``.
+
+    Raises:
+        DimensionError: If ``permutation`` is not a permutation of
+            ``range(dimension)``.
+    """
+    _check_dimension(dimension)
+    if sorted(permutation) != list(range(dimension)):
+        raise DimensionError(
+            f"{permutation!r} is not a permutation of range({dimension})"
+        )
+    matrix = np.zeros((dimension, dimension), dtype=np.complex128)
+    for source, target in enumerate(permutation):
+        matrix[target, source] = 1.0
+    return matrix

@@ -1,0 +1,31 @@
+"""Mixed-radix qudit registers.
+
+A *register* fixes the number of qudits and the local dimension of each
+qudit.  Basis states of the composite system are indexed either by a
+flat integer (row index into the state vector) or by a tuple of digits,
+one digit per qudit, most significant qudit first.  This subpackage
+provides the bijections between the two representations together with a
+small value type, :class:`QuditRegister`, that the rest of the library
+uses to agree on shapes.
+"""
+
+from repro.registers.mixed_radix import (
+    digits_to_index,
+    index_to_digits,
+    iter_digits,
+    strides,
+    total_dimension,
+    validate_dims,
+)
+from repro.registers.register import QuditRegister, as_register
+
+__all__ = [
+    "QuditRegister",
+    "as_register",
+    "digits_to_index",
+    "index_to_digits",
+    "iter_digits",
+    "strides",
+    "total_dimension",
+    "validate_dims",
+]

@@ -1,0 +1,146 @@
+"""Mixed-radix arithmetic for qudit registers.
+
+A register of qudits with dimensions ``dims = (d_0, ..., d_{n-1})``
+(most significant qudit first) spans a Hilbert space of dimension
+``prod(dims)``.  The computational basis state ``|a_0 a_1 ... a_{n-1}>``
+with digit ``a_k`` on qudit ``k`` corresponds to the flat row index
+
+    index = sum_k a_k * stride_k,   stride_k = prod_{j > k} d_j.
+
+These helpers are deliberately free functions operating on plain tuples
+so that performance-sensitive callers (the decision-diagram builder and
+the simulator) can use them without constructing register objects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "validate_dims",
+    "total_dimension",
+    "strides",
+    "digits_to_index",
+    "index_to_digits",
+    "iter_digits",
+]
+
+
+def validate_dims(dims: Sequence[int]) -> tuple[int, ...]:
+    """Validate qudit dimensions and return them as a tuple.
+
+    Every dimension must be an integer of at least 2 (a qudit with a
+    single level carries no information and is rejected).
+
+    Args:
+        dims: Local dimension of each qudit, most significant first.
+
+    Returns:
+        The dimensions as an immutable tuple.
+
+    Raises:
+        DimensionError: If ``dims`` is empty or contains an entry < 2.
+    """
+    dims = tuple(dims)
+    if not dims:
+        raise DimensionError("a register needs at least one qudit")
+    for position, dim in enumerate(dims):
+        if not isinstance(dim, int) or isinstance(dim, bool):
+            raise DimensionError(
+                f"dimension of qudit {position} must be an int, got {dim!r}"
+            )
+        if dim < 2:
+            raise DimensionError(
+                f"dimension of qudit {position} must be >= 2, got {dim}"
+            )
+    return dims
+
+
+def total_dimension(dims: Sequence[int]) -> int:
+    """Return the dimension of the composite Hilbert space."""
+    return math.prod(validate_dims(dims))
+
+
+def strides(dims: Sequence[int]) -> tuple[int, ...]:
+    """Return the flat-index stride of each qudit.
+
+    ``strides(dims)[k]`` is the amount the flat index changes when the
+    digit of qudit ``k`` increases by one.
+
+    Example:
+        >>> strides((3, 6, 2))
+        (12, 2, 1)
+    """
+    dims = validate_dims(dims)
+    result = [1] * len(dims)
+    for k in range(len(dims) - 2, -1, -1):
+        result[k] = result[k + 1] * dims[k + 1]
+    return tuple(result)
+
+
+def digits_to_index(digits: Sequence[int], dims: Sequence[int]) -> int:
+    """Convert per-qudit digits into the flat basis-state index.
+
+    Args:
+        digits: One digit per qudit, most significant first.
+        dims: Register dimensions (same length and order as ``digits``).
+
+    Returns:
+        The flat row index into the state vector.
+
+    Raises:
+        DimensionError: If the lengths differ or a digit is out of range.
+    """
+    dims = validate_dims(dims)
+    if len(digits) != len(dims):
+        raise DimensionError(
+            f"expected {len(dims)} digits, got {len(digits)}"
+        )
+    index = 0
+    for digit, dim in zip(digits, dims):
+        if not 0 <= digit < dim:
+            raise DimensionError(
+                f"digit {digit} out of range for dimension {dim}"
+            )
+        index = index * dim + digit
+    return index
+
+
+def index_to_digits(index: int, dims: Sequence[int]) -> tuple[int, ...]:
+    """Convert a flat basis-state index into per-qudit digits.
+
+    Inverse of :func:`digits_to_index`.
+
+    Raises:
+        DimensionError: If ``index`` is outside ``[0, prod(dims))``.
+    """
+    dims = validate_dims(dims)
+    size = math.prod(dims)
+    if not 0 <= index < size:
+        raise DimensionError(f"index {index} out of range for size {size}")
+    digits = [0] * len(dims)
+    for k in range(len(dims) - 1, -1, -1):
+        index, digits[k] = divmod(index, dims[k])
+    return tuple(digits)
+
+
+def iter_digits(dims: Sequence[int]) -> Iterator[tuple[int, ...]]:
+    """Iterate all digit tuples of the register in flat-index order.
+
+    Example:
+        >>> list(iter_digits((2, 3)))[:4]
+        [(0, 0), (0, 1), (0, 2), (1, 0)]
+    """
+    dims = validate_dims(dims)
+    digits = [0] * len(dims)
+    size = math.prod(dims)
+    for _ in range(size):
+        yield tuple(digits)
+        for k in range(len(dims) - 1, -1, -1):
+            digits[k] += 1
+            if digits[k] < dims[k]:
+                break
+            digits[k] = 0

@@ -1,0 +1,161 @@
+"""The :class:`QuditRegister` value type.
+
+A register bundles the qudit dimensions of a mixed-dimensional system
+and offers the index arithmetic of :mod:`repro.registers.mixed_radix`
+as methods.  Registers are immutable and hashable, so they can be used
+as dictionary keys and compared cheaply; two registers are equal exactly
+when their dimension tuples are equal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+from typing import Union
+
+from repro.exceptions import DimensionError
+from repro.registers import mixed_radix
+
+__all__ = ["QuditRegister"]
+
+
+class QuditRegister:
+    """An ordered collection of qudits with per-qudit dimensions.
+
+    The qudit at position 0 is the *most significant* qudit: it is the
+    root level of decision diagrams built over this register and varies
+    slowest in the flat indexing of state vectors.
+
+    Example:
+        >>> reg = QuditRegister((3, 6, 2))
+        >>> reg.size
+        36
+        >>> reg.index((1, 0, 1))
+        13
+        >>> reg.digits(13)
+        (1, 0, 1)
+    """
+
+    __slots__ = ("_dims", "_strides", "_size")
+
+    def __init__(self, dims: Sequence[int]):
+        self._dims = mixed_radix.validate_dims(dims)
+        self._strides = mixed_radix.strides(self._dims)
+        self._size = math.prod(self._dims)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Per-qudit dimensions, most significant qudit first."""
+        return self._dims
+
+    @property
+    def num_qudits(self) -> int:
+        """Number of qudits in the register."""
+        return len(self._dims)
+
+    @property
+    def size(self) -> int:
+        """Dimension of the composite Hilbert space (``prod(dims)``)."""
+        return self._size
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Flat-index stride of each qudit."""
+        return self._strides
+
+    def dimension_of(self, qudit: int) -> int:
+        """Return the local dimension of one qudit.
+
+        Raises:
+            DimensionError: If ``qudit`` is not a valid position.
+        """
+        self._check_qudit(qudit)
+        return self._dims[qudit]
+
+    def is_uniform(self) -> bool:
+        """Return ``True`` when all qudits share the same dimension."""
+        return len(set(self._dims)) == 1
+
+    # ------------------------------------------------------------------
+    # Index arithmetic
+    # ------------------------------------------------------------------
+    def index(self, digits: Sequence[int]) -> int:
+        """Flat index of the basis state with the given digits."""
+        return mixed_radix.digits_to_index(digits, self._dims)
+
+    def digits(self, index: int) -> tuple[int, ...]:
+        """Digits of the basis state with the given flat index."""
+        return mixed_radix.index_to_digits(index, self._dims)
+
+    def basis_labels(self) -> Iterator[str]:
+        """Yield ket labels such as ``'|102>'`` in flat-index order.
+
+        Digits of qudits with dimension > 10 are separated by commas to
+        stay unambiguous, e.g. ``'|0,11,3>'``.
+        """
+        wide = any(d > 10 for d in self._dims)
+        separator = "," if wide else ""
+        for digit_tuple in mixed_radix.iter_digits(self._dims):
+            yield "|" + separator.join(str(d) for d in digit_tuple) + ">"
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def suffix(self, start: int) -> "QuditRegister":
+        """Return the sub-register of qudits ``start, ..., n-1``.
+
+        Decision-diagram levels correspond to suffix registers: the
+        subtree below an edge at level ``k`` is a state over
+        ``self.suffix(k + 1)``.
+
+        Raises:
+            DimensionError: If the suffix would be empty or ``start`` is
+                out of range.
+        """
+        if not 0 <= start < self.num_qudits:
+            raise DimensionError(
+                f"suffix start {start} out of range for {self.num_qudits} qudits"
+            )
+        return QuditRegister(self._dims[start:])
+
+    def _check_qudit(self, qudit: int) -> None:
+        if not 0 <= qudit < self.num_qudits:
+            raise DimensionError(
+                f"qudit index {qudit} out of range for {self.num_qudits} qudits"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._dims)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._dims)
+
+    def __getitem__(self, qudit: int) -> int:
+        return self._dims[qudit]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QuditRegister):
+            return self._dims == other._dims
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._dims)
+
+    def __repr__(self) -> str:
+        return f"QuditRegister({list(self._dims)})"
+
+
+RegisterLike = Union[QuditRegister, Sequence[int]]
+
+
+def as_register(register: RegisterLike) -> QuditRegister:
+    """Coerce a register-like value (register or dims) to a register."""
+    if isinstance(register, QuditRegister):
+        return register
+    return QuditRegister(register)

@@ -1,0 +1,82 @@
+"""Explicit unitary matrices of gates and circuits.
+
+Intended for verification on small registers: the full matrix of a
+multi-controlled gate makes equivalence checks against transpiled or
+decomposed circuits straightforward.  Cost is ``O(N^2)`` memory for an
+``N``-dimensional composite space; callers should keep ``N`` modest.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gate import Gate
+from repro.exceptions import SimulationError
+from repro.registers.register import RegisterLike, as_register
+
+__all__ = ["gate_unitary", "circuit_unitary"]
+
+#: Refuse to densify composite spaces larger than this.
+MAX_DENSE_DIMENSION = 4096
+
+
+def gate_unitary(gate: Gate, register: RegisterLike) -> np.ndarray:
+    """Return the full ``N x N`` unitary of a controlled gate.
+
+    Raises:
+        SimulationError: If the composite space exceeds
+            :data:`MAX_DENSE_DIMENSION`.
+    """
+    register = as_register(register)
+    if register.size > MAX_DENSE_DIMENSION:
+        raise SimulationError(
+            f"refusing to densify a {register.size}-dimensional space"
+        )
+    gate.validate(register.dims)
+    local = gate.matrix(register.dims[gate.target])
+    result = np.zeros(
+        (register.size, register.size), dtype=np.complex128
+    )
+    for column in range(register.size):
+        digits = register.digits(column)
+        satisfied = all(
+            digits[control.qudit] == control.level
+            for control in gate.controls
+        )
+        if not satisfied:
+            result[column, column] = 1.0
+            continue
+        source_level = digits[gate.target]
+        new_digits = list(digits)
+        for target_level in range(register.dims[gate.target]):
+            amplitude = local[target_level, source_level]
+            if amplitude == 0:
+                continue
+            new_digits[gate.target] = target_level
+            result[register.index(new_digits), column] = amplitude
+    return result
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Return the full unitary implemented by a circuit.
+
+    Includes the circuit's global phase.
+
+    Raises:
+        SimulationError: If the composite space exceeds
+            :data:`MAX_DENSE_DIMENSION`.
+    """
+    register = circuit.register
+    if register.size > MAX_DENSE_DIMENSION:
+        raise SimulationError(
+            f"refusing to densify a {register.size}-dimensional space"
+        )
+    result = np.eye(register.size, dtype=np.complex128)
+    for gate in circuit.gates:
+        result = gate_unitary(gate, register) @ result
+    if circuit.global_phase:
+        result = result * cmath.exp(1j * circuit.global_phase)
+    return result

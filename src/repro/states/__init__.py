@@ -1,0 +1,34 @@
+"""Quantum states over mixed-dimensional qudit registers."""
+
+from repro.states.fidelity import fidelity, overlap
+from repro.states.library import (
+    basis_state,
+    cyclic_state,
+    dicke_state,
+    embedded_w_state,
+    ghz_state,
+    product_state,
+    uniform_state,
+    w_state,
+)
+from repro.states.random_states import (
+    random_state,
+    random_sparse_state,
+)
+from repro.states.statevector import StateVector
+
+__all__ = [
+    "StateVector",
+    "basis_state",
+    "cyclic_state",
+    "dicke_state",
+    "embedded_w_state",
+    "fidelity",
+    "ghz_state",
+    "overlap",
+    "product_state",
+    "random_sparse_state",
+    "random_state",
+    "uniform_state",
+    "w_state",
+]

@@ -1,0 +1,38 @@
+"""State overlap and fidelity.
+
+The paper's quality metric is the state fidelity
+``F = |<psi|phi>|^2`` between the target state and the state produced
+by the synthesised circuit (Section 5, "Fidelity" column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.states.statevector import StateVector
+
+__all__ = ["overlap", "fidelity"]
+
+
+def overlap(bra: StateVector, ket: StateVector) -> complex:
+    """Return the inner product ``<bra|ket>``.
+
+    Raises:
+        DimensionError: If the states live on different registers.
+    """
+    if bra.register != ket.register:
+        raise DimensionError(
+            f"cannot overlap states on registers {bra.dims} and {ket.dims}"
+        )
+    return complex(np.vdot(bra.amplitudes, ket.amplitudes))
+
+
+def fidelity(target: StateVector, candidate: StateVector) -> float:
+    """Return ``|<target|candidate>|^2``.
+
+    Both states should be normalised; the value is clipped into
+    ``[0, 1]`` to guard against rounding overshoot.
+    """
+    value = abs(overlap(target, candidate)) ** 2
+    return float(min(max(value, 0.0), 1.0))

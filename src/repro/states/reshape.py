@@ -1,0 +1,93 @@
+"""Fusing and splitting qudits (register reshaping).
+
+The authors' companion work ("Compression of Qubit Circuits: Mapping
+to Mixed-Dimensional Quantum Systems", QSW 2023 — reference [15] of
+the paper) maps groups of qubits onto single higher-dimensional
+qudits.  State-vector-level support for that mapping is a pair of
+inverse reshapes:
+
+* :func:`fuse_qudits` — merge two *adjacent* qudits of dimensions
+  ``(a, b)`` into one qudit of dimension ``a * b`` (digit
+  ``l = a_digit * b + b_digit``);
+* :func:`split_qudit` — the inverse, factoring one qudit into two.
+
+Fusing never changes amplitudes — only the register structure — but it
+changes the decision diagram (one level fewer) and therefore the
+synthesised circuit: rotations on the fused qudit address the joint
+space directly, trading controls for local dimension.  The effect is
+quantified in ``benchmarks/bench_fusion.py`` (E13).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DimensionError
+from repro.states.statevector import StateVector
+
+__all__ = ["fuse_qudits", "split_qudit", "fuse_all"]
+
+
+def fuse_qudits(state: StateVector, position: int) -> StateVector:
+    """Merge qudits ``position`` and ``position + 1`` into one.
+
+    The basis correspondence is
+    ``|.., a, b, ..> -> |.., a * d_b + b, ..>``; amplitudes are
+    unchanged (the flat vector is identical).
+
+    Raises:
+        DimensionError: If ``position`` has no right neighbour.
+    """
+    dims = state.dims
+    if not 0 <= position < len(dims) - 1:
+        raise DimensionError(
+            f"cannot fuse at position {position} of {len(dims)} qudits"
+        )
+    new_dims = (
+        dims[:position]
+        + (dims[position] * dims[position + 1],)
+        + dims[position + 2:]
+    )
+    return StateVector(state.amplitudes, new_dims)
+
+
+def split_qudit(
+    state: StateVector, position: int, factors: tuple[int, int]
+) -> StateVector:
+    """Split qudit ``position`` into two qudits of the given dims.
+
+    Inverse of :func:`fuse_qudits`:
+    ``|.., l, ..> -> |.., l // factors[1], l % factors[1], ..>``.
+
+    Raises:
+        DimensionError: If the factors do not multiply to the qudit's
+            dimension or are smaller than 2.
+    """
+    dims = state.dims
+    if not 0 <= position < len(dims):
+        raise DimensionError(
+            f"qudit {position} out of range for {len(dims)} qudits"
+        )
+    a, b = factors
+    if a < 2 or b < 2:
+        raise DimensionError(
+            f"split factors must each be >= 2, got {factors}"
+        )
+    if a * b != dims[position]:
+        raise DimensionError(
+            f"factors {factors} do not multiply to dimension "
+            f"{dims[position]}"
+        )
+    new_dims = dims[:position] + (a, b) + dims[position + 1:]
+    return StateVector(state.amplitudes, new_dims)
+
+
+def fuse_all(state: StateVector) -> StateVector:
+    """Fuse the entire register into a single qudit.
+
+    The resulting one-qudit state synthesises into a pure rotation
+    ladder with no controls at all — the degenerate extreme of the
+    compression trade-off.
+    """
+    result = state
+    while result.register.num_qudits > 1:
+        result = fuse_qudits(result, 0)
+    return result

@@ -1,0 +1,37 @@
+"""Lowering synthesised circuits towards two-qudit gate sets.
+
+The paper justifies counting multi-controlled operations by noting
+that they "can later be transposed into a sequence of local and
+two-qudit operations [35] with linear complexity in terms of depth
+[36]".  This package provides that substrate:
+
+* :mod:`repro.transpile.passes` — peephole simplifications (identity
+  removal, adjacent-rotation merging, phase-to-Givens lowering),
+* :mod:`repro.transpile.counter` — an executable decomposition of
+  multi-controlled gates into two-qudit gates using one ancilla
+  counter qudit (2k + 1 two-qudit gates per k-controlled operation),
+* :mod:`repro.transpile.cost_model` — closed-form two-qudit cost
+  estimates for synthesised circuits.
+"""
+
+from repro.transpile.cost_model import (
+    two_qudit_cost,
+    two_qudit_cost_of_circuit,
+)
+from repro.transpile.counter import decompose_multicontrolled
+from repro.transpile.passes import (
+    decompose_phases,
+    drop_identities,
+    merge_rotations,
+    peephole_optimize,
+)
+
+__all__ = [
+    "decompose_multicontrolled",
+    "decompose_phases",
+    "drop_identities",
+    "merge_rotations",
+    "peephole_optimize",
+    "two_qudit_cost",
+    "two_qudit_cost_of_circuit",
+]

@@ -1,0 +1,129 @@
+"""Peephole circuit simplification passes.
+
+All passes are semantics-preserving: the transformed circuit implements
+the same unitary (up to global phase only where explicitly stated).
+They operate on the gate list of a circuit and return a new circuit.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GivensRotation, PhaseRotation
+
+__all__ = [
+    "drop_identities",
+    "merge_rotations",
+    "decompose_phases",
+    "peephole_optimize",
+]
+
+
+def drop_identities(circuit: Circuit, tolerance: float = 1e-12) -> Circuit:
+    """Remove rotations whose action is the identity.
+
+    Zero-angle Givens rotations and zero-angle phase rotations are
+    dropped (the synthesis emits them to match the paper's operation
+    counts; hardware does not need them).
+    """
+    result = Circuit(circuit.register)
+    for gate in circuit.gates:
+        if isinstance(gate, GivensRotation) and gate.is_identity(tolerance):
+            continue
+        if isinstance(gate, PhaseRotation) and gate.is_identity(tolerance):
+            continue
+        result.append(gate)
+    result.global_phase = circuit.global_phase
+    return result
+
+
+def _mergeable(a, b) -> bool:
+    """Whether two rotations combine into one by angle addition."""
+    if isinstance(a, GivensRotation) and isinstance(b, GivensRotation):
+        return (
+            a.target == b.target
+            and a.level_i == b.level_i
+            and a.level_j == b.level_j
+            and abs(a.phi - b.phi) <= 1e-12
+            and a.controls == b.controls
+        )
+    if isinstance(a, PhaseRotation) and isinstance(b, PhaseRotation):
+        return (
+            a.target == b.target
+            and a.level_i == b.level_i
+            and a.level_j == b.level_j
+            and a.controls == b.controls
+        )
+    return False
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fuse adjacent rotations on the same subspace and controls.
+
+    Two consecutive Givens rotations with equal target, levels, phase
+    ``phi``, and controls add their ``theta`` angles (same-axis
+    rotations commute and compose additively); phase rotations add
+    their ``delta`` angles.  The pass runs to a fixed point over
+    adjacent pairs.
+    """
+    gates = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        merged = []
+        position = 0
+        while position < len(gates):
+            current = gates[position]
+            if position + 1 < len(gates) and _mergeable(
+                current, gates[position + 1]
+            ):
+                following = gates[position + 1]
+                if isinstance(current, GivensRotation):
+                    replacement = GivensRotation(
+                        current.target,
+                        current.level_i,
+                        current.level_j,
+                        current.theta + following.theta,
+                        current.phi,
+                        current.controls,
+                    )
+                else:
+                    replacement = PhaseRotation(
+                        current.target,
+                        current.level_i,
+                        current.level_j,
+                        current.delta + following.delta,
+                        current.controls,
+                    )
+                merged.append(replacement)
+                position += 2
+                changed = True
+            else:
+                merged.append(current)
+                position += 1
+        gates = merged
+    result = Circuit(circuit.register)
+    result.extend(gates)
+    result.global_phase = circuit.global_phase
+    return result
+
+
+def decompose_phases(circuit: Circuit) -> Circuit:
+    """Lower every phase rotation into three Givens rotations.
+
+    Uses the (sign-corrected) identity of Section 4.2 of the paper,
+    ``RZ(delta) = R(-pi/2, 0) R(-delta, pi/2) R(pi/2, 0)``; the result
+    contains only Givens rotations and non-rotation gates.
+    """
+    result = Circuit(circuit.register)
+    for gate in circuit.gates:
+        if isinstance(gate, PhaseRotation):
+            result.extend(gate.decompose_to_givens())
+        else:
+            result.append(gate)
+    result.global_phase = circuit.global_phase
+    return result
+
+
+def peephole_optimize(circuit: Circuit) -> Circuit:
+    """Run the standard cleanup pipeline: merge, then drop identities."""
+    return drop_identities(merge_rotations(circuit))

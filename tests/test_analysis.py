@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness (Table 1, figures, rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.benchmarks_def import (
+    BENCHMARK_FAMILIES,
+    TABLE1_ROWS,
+    BenchmarkCase,
+    benchmark_state,
+)
+from repro.analysis.figures import figure1, figure2, figure3, figure4
+from repro.analysis.rendering import render_table
+from repro.analysis.scaling import (
+    approximation_tradeoff,
+    synthesis_scaling,
+)
+from repro.analysis.table1 import (
+    format_rows,
+    run_table1,
+    run_table1_row,
+)
+
+
+class TestBenchmarkDefinitions:
+    def test_row_count_matches_paper(self):
+        assert len(TABLE1_ROWS) == 14
+
+    def test_family_distribution(self):
+        families = [case.family for case in TABLE1_ROWS]
+        assert families.count("Emb. W-State") == 3
+        assert families.count("GHZ State") == 3
+        assert families.count("W-State") == 3
+        assert families.count("Random State") == 5
+
+    def test_all_families_instantiable(self):
+        rng = np.random.default_rng(0)
+        for name, factory in BENCHMARK_FAMILIES.items():
+            state = factory((3, 6, 2), rng)
+            assert state.is_normalized(), name
+
+    def test_benchmark_state_deterministic_families(self):
+        case = TABLE1_ROWS[0]
+        assert benchmark_state(case, rng=1) == benchmark_state(case, rng=2)
+
+    def test_benchmark_state_random_family_varies(self):
+        case = TABLE1_ROWS[-1]
+        a = benchmark_state(case, rng=1)
+        b = benchmark_state(case, rng=2)
+        assert not a.isclose(b)
+
+
+class TestRunRow:
+    def test_ghz_row_matches_table1(self):
+        case = BenchmarkCase("GHZ State", (3, 6, 2), "[1x3,1x6,1x2]", True)
+        row = run_table1_row(case, runs=1)
+        assert row.exact.tree_nodes == 58
+        assert row.exact.operations == 19
+        assert row.exact.distinct_complex == 3
+        assert row.approx.visited_nodes == 20
+        assert row.approx.operations == 19
+        assert row.approx.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_w_row_matches_table1(self):
+        case = BenchmarkCase("W-State", (9, 5, 6, 3),
+                             "[1x9,1x5,1x6,1x3]", True)
+        row = run_table1_row(case, runs=1)
+        assert row.exact.tree_nodes == 1135
+        assert row.exact.operations == 186
+        assert row.exact.median_controls == 2.0
+
+    def test_random_row_exact_ops(self):
+        case = BenchmarkCase("Random State", (3, 6, 2),
+                             "[1x3,1x6,1x2]", False)
+        row = run_table1_row(case, runs=2)
+        assert row.exact.operations == 57
+        assert row.approx.fidelity >= 0.98 - 1e-9
+        assert row.approx.operations <= row.exact.operations
+
+    def test_cells_shape(self):
+        case = TABLE1_ROWS[3]
+        row = run_table1_row(case, runs=1)
+        assert len(row.cells()) == 14
+
+
+class TestRunTable:
+    def test_subset_run(self):
+        cases = [c for c in TABLE1_ROWS if c.dims == (3, 6, 2)]
+        rows = run_table1(runs=1, cases=cases)
+        assert len(rows) == 4
+        text = format_rows(rows)
+        assert "GHZ State" in text and "Random State" in text
+
+
+class TestFigures:
+    def test_figure1_mentions_fidelity_one(self):
+        assert "fidelity: 1.0000000000" in figure1()
+
+    def test_figure2_prunes(self):
+        text = figure2()
+        assert "achieved fidelity: 0.900" in text
+        assert "5 operations" in text
+
+    def test_figure3_sharing_true(self):
+        assert "share a child: True" in figure3()
+
+    def test_figure4_theta(self):
+        assert "1.570796" in figure4()
+
+
+class TestScalingDrivers:
+    def test_scaling_points_monotone_nodes(self):
+        points = synthesis_scaling(
+            dims_ladder=[(2, 2), (3, 2, 2), (3, 3, 2, 2)], repeats=1
+        )
+        sizes = [p.visited_nodes for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_tradeoff_respects_thresholds(self):
+        points = approximation_tradeoff(
+            dims=(3, 3, 2), thresholds=[1.0, 0.9, 0.7]
+        )
+        for point in points:
+            assert point.achieved_fidelity >= point.min_fidelity - 1e-9
+
+    def test_tradeoff_sizes_decrease(self):
+        points = approximation_tradeoff(
+            dims=(3, 3, 2), thresholds=[1.0, 0.9, 0.7, 0.5]
+        )
+        sizes = [p.visited_nodes for p in points]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestRendering:
+    def test_alignment(self):
+        text = render_table(
+            ["a", "long_header"], [[1, 2.5], [10, 3.25]]
+        )
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[0:1])) == 1
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_whole_floats_one_decimal(self):
+        text = render_table(["x"], [[58.0]])
+        assert "58.0" in text

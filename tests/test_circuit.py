@@ -1,0 +1,210 @@
+"""Tests for the Circuit container and its statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GivensRotation, PhaseRotation, ShiftGate
+from repro.circuit.stats import statistics
+from repro.circuit.text import draw
+from repro.exceptions import CircuitError
+from repro.simulator.statevector_sim import simulate
+
+
+class TestAppend:
+    def test_append_and_length(self):
+        circuit = Circuit((3, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.5, 0.0))
+        assert len(circuit) == 1
+        assert circuit.num_operations == 1
+
+    def test_validates_target_range(self):
+        circuit = Circuit((3, 2))
+        with pytest.raises(CircuitError):
+            circuit.append(ShiftGate(2))
+
+    def test_validates_levels(self):
+        circuit = Circuit((3, 2))
+        with pytest.raises(CircuitError):
+            circuit.append(GivensRotation(1, 0, 2, 0.5, 0.0))
+
+    def test_validates_control_levels(self):
+        circuit = Circuit((3, 2))
+        with pytest.raises(CircuitError):
+            circuit.append(
+                GivensRotation(1, 0, 1, 0.5, 0.0, controls=[(0, 3)])
+            )
+
+    def test_extend(self):
+        circuit = Circuit((3, 2))
+        circuit.extend(
+            [ShiftGate(0), ShiftGate(1)]
+        )
+        assert circuit.num_operations == 2
+
+
+class TestInverse:
+    def test_inverse_reverses_and_inverts(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.5, 0.1))
+        circuit.append(PhaseRotation(0, 0, 1, 0.7))
+        inverse = circuit.inverse()
+        assert isinstance(inverse.gates[0], PhaseRotation)
+        assert inverse.gates[0].delta == -0.7
+        assert inverse.gates[1].theta == -0.5
+
+    def test_circuit_times_inverse_is_identity(self):
+        circuit = Circuit((3, 2))
+        circuit.append(GivensRotation(0, 0, 2, 0.9, 0.3))
+        circuit.append(GivensRotation(1, 0, 1, -0.4, 1.1, [(0, 2)]))
+        circuit.append(PhaseRotation(0, 1, 2, 0.6))
+        round_trip = circuit.compose(circuit.inverse())
+        state = simulate(round_trip)
+        expected = np.zeros(6)
+        expected[0] = 1.0
+        assert np.allclose(state.amplitudes, expected, atol=1e-12)
+
+    def test_global_phase_negated(self):
+        circuit = Circuit((2,))
+        circuit.global_phase = 0.5
+        assert np.isclose(circuit.inverse().global_phase, -0.5)
+
+
+class TestCompose:
+    def test_concatenates_gates(self):
+        a = Circuit((2, 2))
+        a.append(ShiftGate(0))
+        b = Circuit((2, 2))
+        b.append(ShiftGate(1))
+        combined = a.compose(b)
+        assert combined.num_operations == 2
+        assert combined.gates[0].target == 0
+
+    def test_register_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit((2, 2)).compose(Circuit((2, 3)))
+
+    def test_global_phases_add(self):
+        a = Circuit((2,))
+        a.global_phase = 0.25
+        b = Circuit((2,))
+        b.global_phase = 0.5
+        assert np.isclose(a.compose(b).global_phase, 0.75)
+
+
+class TestGlobalPhase:
+    def test_wraps_into_principal_range(self):
+        circuit = Circuit((2,))
+        circuit.global_phase = 3 * math.pi
+        assert abs(circuit.global_phase) <= math.pi + 1e-12
+
+    def test_add_global_phase(self):
+        circuit = Circuit((2,))
+        circuit.add_global_phase(0.25)
+        circuit.add_global_phase(0.25)
+        assert np.isclose(circuit.global_phase, 0.5)
+
+
+class TestDepth:
+    def test_disjoint_gates_parallel(self):
+        circuit = Circuit((2, 2, 2))
+        circuit.append(ShiftGate(0))
+        circuit.append(ShiftGate(1))
+        circuit.append(ShiftGate(2))
+        assert circuit.depth() == 1
+
+    def test_controls_serialize(self):
+        circuit = Circuit((2, 2))
+        circuit.append(ShiftGate(0))
+        circuit.append(ShiftGate(1, controls=[(0, 1)]))
+        assert circuit.depth() == 2
+
+    def test_empty_circuit(self):
+        assert Circuit((2,)).depth() == 0
+
+
+class TestStatistics:
+    def _example(self):
+        circuit = Circuit((3, 3, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.5, 0.0))
+        circuit.append(
+            GivensRotation(1, 0, 2, 0.5, 0.0, controls=[(0, 1)])
+        )
+        circuit.append(
+            PhaseRotation(2, 0, 1, 0.2, controls=[(0, 1), (1, 2)])
+        )
+        return circuit
+
+    def test_median_controls(self):
+        assert statistics(self._example()).median_controls == 1.0
+
+    def test_mean_controls(self):
+        assert statistics(self._example()).mean_controls == pytest.approx(1.0)
+
+    def test_max_controls(self):
+        assert statistics(self._example()).max_controls == 2
+
+    def test_histograms(self):
+        stats = statistics(self._example())
+        assert stats.control_histogram == {0: 1, 1: 1, 2: 1}
+        assert stats.gate_histogram == {"givens": 2, "phase": 1}
+
+    def test_empty_circuit(self):
+        stats = statistics(Circuit((2,)))
+        assert stats.num_operations == 0
+        assert stats.median_controls == 0.0
+
+
+class TestDrawing:
+    def test_draw_contains_wires(self):
+        circuit = Circuit((3, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.5, 0.0))
+        art = draw(circuit)
+        assert "q0(d=3)" in art and "q1(d=2)" in art
+        assert "[R01]" in art
+
+    def test_controls_rendered_as_levels(self):
+        circuit = Circuit((3, 2))
+        circuit.append(
+            GivensRotation(1, 0, 1, 0.5, 0.0, controls=[(0, 2)])
+        )
+        assert "(2)" in draw(circuit)
+
+    def test_elision_marker(self):
+        circuit = Circuit((2,))
+        for _ in range(30):
+            circuit.append(ShiftGate(0))
+        assert "+6 gates" in draw(circuit, max_columns=24)
+
+
+class TestDunder:
+    def test_iteration(self):
+        circuit = Circuit((2,))
+        circuit.append(ShiftGate(0))
+        assert [g.name for g in circuit] == ["shift"]
+
+    def test_getitem(self):
+        circuit = Circuit((2,))
+        circuit.append(ShiftGate(0))
+        assert circuit[0].name == "shift"
+
+    def test_equality(self):
+        a = Circuit((2,))
+        a.append(ShiftGate(0))
+        b = Circuit((2,))
+        b.append(ShiftGate(0))
+        assert a == b
+
+    def test_copy_is_independent(self):
+        a = Circuit((2,))
+        a.append(ShiftGate(0))
+        b = a.copy()
+        b.append(ShiftGate(0))
+        assert a.num_operations == 1
+
+    def test_str_lists_gates(self):
+        circuit = Circuit((2,))
+        circuit.append(ShiftGate(0))
+        assert "shift" in str(circuit)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestMainDispatch:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["nonsense"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+
+    def test_tradeoff(self, capsys):
+        assert main(["tradeoff"]) == 0
+        assert "Approximation trade-off" in capsys.readouterr().out
+
+    def test_table1_family_filter(self, capsys):
+        assert main(
+            ["table1", "--runs", "1", "--family", "GHZ",
+             "--no-verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "GHZ State" in out
+        assert "Random State" not in out
+
+
+class TestSubprocessEntry:
+    def test_python_dash_m(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table1", "--runs", "1",
+             "--family", "Emb", "--no-verify"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode == 0
+        assert "Emb. W-State" in completed.stdout
+
+    def test_table1_ghz_values_match_paper(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table1", "--runs", "1",
+             "--family", "GHZ"],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert completed.returncode == 0
+        first_row = [
+            line for line in completed.stdout.splitlines()
+            if line.startswith("GHZ State")
+        ][0]
+        assert "58.0" in first_row     # tree nodes
+        assert "19.0" in first_row     # operations

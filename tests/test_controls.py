@@ -1,0 +1,68 @@
+"""Tests for control specifications."""
+
+import pytest
+
+from repro.circuit.controls import Control, normalize_controls
+from repro.exceptions import ControlError
+
+
+class TestControl:
+    def test_attributes(self):
+        control = Control(2, 3)
+        assert control.qudit == 2 and control.level == 3
+
+    def test_immutable(self):
+        control = Control(0, 1)
+        with pytest.raises(AttributeError):
+            control.level = 2
+
+    def test_rejects_negative_qudit(self):
+        with pytest.raises(ControlError):
+            Control(-1, 0)
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ControlError):
+            Control(0, -1)
+
+    def test_equality_and_hash(self):
+        assert Control(1, 2) == Control(1, 2)
+        assert len({Control(1, 2), Control(1, 2)}) == 1
+
+    def test_ordering(self):
+        assert Control(0, 5) < Control(1, 0)
+        assert Control(1, 0) < Control(1, 2)
+
+    def test_validate_against_dims(self):
+        Control(1, 5).validate((3, 6, 2))
+
+    def test_validate_rejects_qudit(self):
+        with pytest.raises(ControlError):
+            Control(3, 0).validate((3, 6, 2))
+
+    def test_validate_rejects_level(self):
+        with pytest.raises(ControlError):
+            Control(2, 2).validate((3, 6, 2))
+
+    def test_repr(self):
+        assert "qudit=1" in repr(Control(1, 2))
+
+
+class TestNormalizeControls:
+    def test_none_gives_empty(self):
+        assert normalize_controls(None) == ()
+
+    def test_tuples_coerced(self):
+        controls = normalize_controls([(1, 2), (0, 3)])
+        assert controls == (Control(0, 3), Control(1, 2))
+
+    def test_sorted_output(self):
+        controls = normalize_controls([Control(2, 0), Control(0, 1)])
+        assert [c.qudit for c in controls] == [0, 2]
+
+    def test_duplicates_collapsed(self):
+        controls = normalize_controls([(1, 2), (1, 2)])
+        assert len(controls) == 1
+
+    def test_conflicting_levels_rejected(self):
+        with pytest.raises(ControlError):
+            normalize_controls([(1, 2), (1, 3)])

@@ -1,0 +1,169 @@
+"""Tests for decision-diagram arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.dd.arithmetic import (
+    inner_product,
+    linear_combination,
+    norm_of,
+    project,
+)
+from repro.dd.builder import build_dd
+from repro.dd.edge import Edge
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import DimensionError
+from repro.states.fidelity import overlap
+from repro.states.library import ghz_state, w_state
+from repro.states.statevector import StateVector
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+
+class TestInnerProduct:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_matches_dense_overlap(self, dims):
+        table = UniqueTable()
+        a = random_statevector(dims, seed=11)
+        b = random_statevector(dims, seed=12)
+        dd_a = build_dd(a, table)
+        dd_b = build_dd(b, table)
+        assert np.isclose(
+            inner_product(dd_a, dd_b), overlap(a, b), atol=1e-10
+        )
+
+    def test_self_inner_product_is_one(self):
+        dd = build_dd(w_state((3, 6, 2)))
+        assert np.isclose(inner_product(dd, dd), 1.0)
+
+    def test_orthogonal_states(self):
+        table = UniqueTable()
+        a = build_dd(StateVector([1, 0, 0, 0], (2, 2)), table)
+        b = build_dd(StateVector([0, 0, 0, 1], (2, 2)), table)
+        assert inner_product(a, b) == 0.0
+
+    def test_register_mismatch_rejected(self):
+        a = build_dd(ghz_state((3, 3)))
+        b = build_dd(ghz_state((2, 2)))
+        with pytest.raises(DimensionError):
+            inner_product(a, b)
+
+    def test_conjugate_symmetry(self):
+        table = UniqueTable()
+        a = build_dd(random_statevector((3, 2), seed=1), table)
+        b = build_dd(random_statevector((3, 2), seed=2), table)
+        assert np.isclose(
+            inner_product(a, b), np.conj(inner_product(b, a))
+        )
+
+
+class TestLinearCombination:
+    def _as_vector(self, edge, dims, table):
+        from repro.dd.diagram import DecisionDiagram
+
+        if edge.is_zero:
+            size = int(np.prod(dims))
+            return np.zeros(size, dtype=complex)
+        return DecisionDiagram(edge, dims, table).to_statevector().amplitudes
+
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 2), (3, 6, 2)])
+    def test_matches_dense_sum(self, dims):
+        table = UniqueTable()
+        a = random_statevector(dims, seed=21)
+        b = random_statevector(dims, seed=22)
+        dd_a = build_dd(a, table)
+        dd_b = build_dd(b, table)
+        combined = linear_combination(
+            [(0.5, dd_a.root), (-0.25j, dd_b.root)], table
+        )
+        expected = 0.5 * a.amplitudes - 0.25j * b.amplitudes
+        assert np.allclose(
+            self._as_vector(combined, dims, table), expected, atol=1e-10
+        )
+
+    def test_cancellation_gives_zero_edge(self):
+        table = UniqueTable()
+        sv = random_statevector((2, 2), seed=23)
+        dd = build_dd(sv, table)
+        result = linear_combination(
+            [(1.0, dd.root), (-1.0, dd.root)], table
+        )
+        assert result.is_zero
+
+    def test_empty_terms_give_zero(self):
+        assert linear_combination([], UniqueTable()).is_zero
+
+    def test_single_term_scales(self):
+        table = UniqueTable()
+        sv = random_statevector((3, 2), seed=24)
+        dd = build_dd(sv, table)
+        result = linear_combination([(2.0, dd.root)], table)
+        assert np.allclose(
+            self._as_vector(result, (3, 2), table),
+            2.0 * sv.amplitudes,
+            atol=1e-10,
+        )
+
+    def test_result_is_canonical(self):
+        table = UniqueTable()
+        a = build_dd(random_statevector((3, 2), seed=25), table)
+        b = build_dd(random_statevector((3, 2), seed=26), table)
+        combined = linear_combination(
+            [(1.0, a.root), (1.0, b.root)], table
+        )
+        combined.node.check_invariants()
+
+
+class TestProject:
+    @pytest.mark.parametrize("dims", [(3, 2), (3, 6, 2), (2, 3, 2)])
+    def test_projection_matches_dense(self, dims):
+        table = UniqueTable()
+        sv = random_statevector(dims, seed=31)
+        dd = build_dd(sv, table)
+        register = sv.register
+        for qudit in range(len(dims)):
+            for level in range(dims[qudit]):
+                projected = project(dd.root, qudit, level, table)
+                dense = sv.amplitudes.copy()
+                for index in range(register.size):
+                    if register.digits(index)[qudit] != level:
+                        dense[index] = 0.0
+                from repro.dd.diagram import DecisionDiagram
+
+                if projected.is_zero:
+                    assert np.allclose(dense, 0.0)
+                else:
+                    result = DecisionDiagram(
+                        projected, dims, table
+                    ).to_statevector()
+                    assert np.allclose(
+                        result.amplitudes, dense, atol=1e-10
+                    )
+
+    def test_projections_partition_the_state(self):
+        table = UniqueTable()
+        sv = random_statevector((3, 2), seed=32)
+        dd = build_dd(sv, table)
+        pieces = [
+            project(dd.root, 0, level, table) for level in range(3)
+        ]
+        recombined = linear_combination(
+            [(1.0, piece) for piece in pieces], table
+        )
+        from repro.dd.diagram import DecisionDiagram
+
+        result = DecisionDiagram(recombined, (3, 2), table)
+        assert result.to_statevector().isclose(sv, tolerance=1e-10)
+
+
+class TestNorm:
+    def test_normalized_state_has_unit_norm(self):
+        dd = build_dd(w_state((3, 4)))
+        assert np.isclose(norm_of(dd.root), 1.0)
+
+    def test_scaled_edge(self):
+        dd = build_dd(ghz_state((2, 2)))
+        assert np.isclose(norm_of(dd.root.scaled(3.0)), 3.0)
+
+    def test_zero_edge(self):
+        assert norm_of(Edge.zero()) == 0.0

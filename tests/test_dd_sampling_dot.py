@@ -1,0 +1,78 @@
+"""Tests for DD sampling and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.dd.builder import build_dd
+from repro.dd.dot import to_dot
+from repro.dd.sampling import sample
+from repro.exceptions import DecisionDiagramError
+from repro.states.library import basis_state, ghz_state, uniform_state
+
+from tests.conftest import random_statevector
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        dd = build_dd(random_statevector((3, 2), seed=61))
+        histogram = sample(dd, 300, rng=0)
+        assert sum(histogram.values()) == 300
+
+    def test_basis_state_is_deterministic(self):
+        dd = build_dd(basis_state((3, 4), (2, 3)))
+        histogram = sample(dd, 64, rng=0)
+        assert histogram == {(2, 3): 64}
+
+    def test_ghz_only_diagonal_outcomes(self):
+        dd = build_dd(ghz_state((3, 3)))
+        histogram = sample(dd, 500, rng=1)
+        assert set(histogram) <= {(0, 0), (1, 1), (2, 2)}
+
+    def test_matches_dense_distribution(self):
+        sv = random_statevector((4, 3), seed=62)
+        dd = build_dd(sv)
+        shots = 20000
+        histogram = sample(dd, shots, rng=2)
+        for digits, count in histogram.items():
+            expected = sv.probability(digits)
+            assert abs(count / shots - expected) < 0.02
+
+    def test_rejects_zero_shots(self):
+        dd = build_dd(ghz_state((2, 2)))
+        with pytest.raises(DecisionDiagramError):
+            sample(dd, 0)
+
+    def test_seed_reproducibility(self):
+        dd = build_dd(random_statevector((3, 3), seed=63))
+        assert sample(dd, 100, rng=7) == sample(dd, 100, rng=7)
+
+
+class TestDot:
+    def test_contains_header_and_terminal(self):
+        dot = to_dot(build_dd(ghz_state((3, 3))))
+        assert dot.startswith("digraph DecisionDiagram")
+        assert "terminal" in dot
+
+    def test_one_label_per_level(self):
+        dot = to_dot(build_dd(uniform_state((3, 2))))
+        assert 'label="q1"' in dot
+        assert 'label="q0"' in dot
+
+    def test_zero_edges_hidden_by_default(self):
+        dot = to_dot(build_dd(ghz_state((3, 6, 2))))
+        assert "dashed" not in dot
+
+    def test_zero_edges_shown_on_request(self):
+        dot = to_dot(
+            build_dd(ghz_state((3, 6, 2))), show_zero_edges=True
+        )
+        assert "dashed" in dot
+
+    def test_weight_formatting_complex(self):
+        sv = random_statevector((2, 2), seed=64)
+        dot = to_dot(build_dd(sv))
+        assert "->" in dot
+
+    def test_balanced_braces(self):
+        dot = to_dot(build_dd(random_statevector((3, 2, 2), seed=65)))
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,132 @@
+"""Tests for the decision-diagram simulator (cross-checked vs dense)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.dd.builder import build_dd
+from repro.exceptions import SimulationError
+from repro.simulator.dd_sim import apply_gate_dd, simulate_dd
+from repro.simulator.statevector_sim import apply_gate, simulate
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+GATE_CASES = [
+    # (dims, gate)
+    ((3, 2), FourierGate(0)),
+    ((3, 2), FourierGate(1)),
+    ((3, 2), ShiftGate(1, 1, controls=[(0, 2)])),
+    ((2, 3), ShiftGate(0, 1, controls=[(1, 2)])),  # control below
+    ((3, 4, 2), GivensRotation(1, 0, 3, 0.91, -0.27, [(0, 1)])),
+    ((3, 4, 2), GivensRotation(0, 1, 2, 0.5, 0.3, [(2, 1)])),
+    ((3, 4, 2), PhaseRotation(2, 0, 1, 0.73, [(0, 2), (1, 3)])),
+    ((2, 3, 2), ShiftGate(1, 2, controls=[(0, 1), (2, 1)])),  # both sides
+    ((4,), FourierGate(0)),
+]
+
+
+class TestApplyGateDD:
+    @pytest.mark.parametrize("dims,gate", GATE_CASES)
+    def test_matches_dense_simulator(self, dims, gate):
+        state = random_statevector(dims, seed=81)
+        dd = build_dd(state)
+        via_dd = apply_gate_dd(dd, gate).to_statevector()
+        via_dense = apply_gate(state, gate)
+        assert via_dd.isclose(via_dense, tolerance=1e-9)
+
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_uncontrolled_gate_on_every_qudit(self, dims):
+        state = random_statevector(dims, seed=82)
+        dd = build_dd(state)
+        for target in range(len(dims)):
+            gate = GivensRotation(target, 0, dims[target] - 1, 1.1, 0.2)
+            via_dd = apply_gate_dd(dd, gate).to_statevector()
+            via_dense = apply_gate(state, gate)
+            assert via_dd.isclose(via_dense, tolerance=1e-9)
+
+    def test_result_nodes_canonical(self):
+        dd = build_dd(random_statevector((3, 3), seed=83))
+        result = apply_gate_dd(dd, FourierGate(1))
+        for node in result.nodes():
+            node.check_invariants()
+
+    def test_norm_preserved(self):
+        dd = build_dd(random_statevector((3, 4), seed=84))
+        result = apply_gate_dd(
+            dd, GivensRotation(0, 0, 2, 0.7, 0.1)
+        )
+        assert np.isclose(abs(result.root.weight), 1.0, atol=1e-9)
+
+
+class TestSimulateDD:
+    def test_ghz_circuit(self):
+        circuit = Circuit((3, 3))
+        circuit.append(FourierGate(0))
+        circuit.append(ShiftGate(1, 1, controls=[(0, 1)]))
+        circuit.append(ShiftGate(1, 2, controls=[(0, 2)]))
+        dd = simulate_dd(circuit)
+        dense = simulate(circuit)
+        assert dd.to_statevector().isclose(dense, tolerance=1e-9)
+
+    def test_ghz_dd_is_compact(self):
+        circuit = Circuit((3, 3))
+        circuit.append(FourierGate(0))
+        circuit.append(ShiftGate(1, 1, controls=[(0, 1)]))
+        circuit.append(ShiftGate(1, 2, controls=[(0, 2)]))
+        dd = simulate_dd(circuit)
+        # GHZ has 1 root + 3 distinct children.
+        assert dd.num_nodes() == 4
+
+    def test_random_circuit_cross_check(self):
+        rng = np.random.default_rng(85)
+        dims = (3, 2, 4)
+        circuit = Circuit(dims)
+        for _ in range(12):
+            target = int(rng.integers(0, len(dims)))
+            levels = sorted(
+                rng.choice(dims[target], size=2, replace=False)
+            )
+            controls = []
+            for qudit in range(len(dims)):
+                if qudit != target and rng.random() < 0.4:
+                    controls.append(
+                        (qudit, int(rng.integers(0, dims[qudit])))
+                    )
+            circuit.append(
+                GivensRotation(
+                    target, int(levels[0]), int(levels[1]),
+                    float(rng.normal()), float(rng.normal()),
+                    controls,
+                )
+            )
+        dd = simulate_dd(circuit)
+        dense = simulate(circuit)
+        assert dd.to_statevector().isclose(dense, tolerance=1e-8)
+
+    def test_global_phase_folded_into_root(self):
+        circuit = Circuit((2,))
+        circuit.global_phase = math.pi / 2
+        dd = simulate_dd(circuit)
+        assert np.isclose(dd.root.weight, 1j)
+
+    def test_initial_register_mismatch(self):
+        circuit = Circuit((2,))
+        wrong = build_dd(random_statevector((3,), seed=86))
+        with pytest.raises(SimulationError):
+            simulate_dd(circuit, wrong)
+
+    def test_custom_initial_diagram(self):
+        state = random_statevector((3, 2), seed=87)
+        circuit = Circuit((3, 2))
+        circuit.append(ShiftGate(0, 1))
+        dd = simulate_dd(circuit, build_dd(state))
+        dense = simulate(circuit, state)
+        assert dd.to_statevector().isclose(dense, tolerance=1e-9)

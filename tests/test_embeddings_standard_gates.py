@@ -1,0 +1,153 @@
+"""Tests for matrix embeddings and the standard qudit gates."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.linalg.embeddings import embed_two_level, embedded_identity
+from repro.linalg.standard_gates import (
+    clock_matrix,
+    fourier_matrix,
+    permutation_matrix,
+    shift_matrix,
+)
+
+
+class TestEmbeddedIdentity:
+    def test_identity(self):
+        assert np.allclose(embedded_identity(4), np.eye(4))
+
+    def test_rejects_dimension_one(self):
+        with pytest.raises(DimensionError):
+            embedded_identity(1)
+
+
+class TestEmbedTwoLevel:
+    def test_block_placement(self):
+        block = np.array([[1, 2], [3, 4]], dtype=complex)
+        matrix = embed_two_level(block, 4, 1, 3)
+        assert matrix[1, 1] == 1 and matrix[1, 3] == 2
+        assert matrix[3, 1] == 3 and matrix[3, 3] == 4
+
+    def test_identity_elsewhere(self):
+        block = np.array([[0, 1], [1, 0]], dtype=complex)
+        matrix = embed_two_level(block, 4, 0, 2)
+        assert matrix[1, 1] == 1 and matrix[3, 3] == 1
+
+    def test_rejects_non_2x2(self):
+        with pytest.raises(DimensionError):
+            embed_two_level(np.eye(3), 4, 0, 1)
+
+    def test_rejects_equal_levels(self):
+        with pytest.raises(DimensionError):
+            embed_two_level(np.eye(2), 4, 2, 2)
+
+    def test_rejects_level_out_of_range(self):
+        with pytest.raises(DimensionError):
+            embed_two_level(np.eye(2), 3, 0, 5)
+
+
+class TestShift:
+    def test_qubit_shift_is_pauli_x(self):
+        assert np.allclose(shift_matrix(2, 1), [[0, 1], [1, 0]])
+
+    def test_maps_levels_cyclically(self):
+        matrix = shift_matrix(3, 1)
+        for level in range(3):
+            basis = np.zeros(3)
+            basis[level] = 1.0
+            image = matrix @ basis
+            assert image[(level + 1) % 3] == 1.0
+
+    def test_shift_by_dimension_is_identity(self):
+        assert np.allclose(shift_matrix(4, 4), np.eye(4))
+
+    def test_negative_amount_inverts(self):
+        forward = shift_matrix(5, 2)
+        backward = shift_matrix(5, -2)
+        assert np.allclose(forward @ backward, np.eye(5))
+
+    @given(st.integers(2, 7), st.integers(-6, 6))
+    def test_unitary(self, dim, amount):
+        matrix = shift_matrix(dim, amount)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim))
+
+
+class TestClock:
+    def test_qubit_clock_is_pauli_z(self):
+        assert np.allclose(clock_matrix(2, 1), [[1, 0], [0, -1]])
+
+    def test_diagonal(self):
+        matrix = clock_matrix(5, 2)
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))
+
+    def test_weyl_commutation(self):
+        # Z X = w X Z with w = exp(2 pi i / d).
+        dim = 4
+        x = shift_matrix(dim)
+        z = clock_matrix(dim)
+        omega = cmath.exp(2j * math.pi / dim)
+        assert np.allclose(z @ x, omega * (x @ z))
+
+    @given(st.integers(2, 7), st.integers(-4, 4))
+    def test_unitary(self, dim, amount):
+        matrix = clock_matrix(dim, amount)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim))
+
+
+class TestFourier:
+    def test_qubit_fourier_is_hadamard(self):
+        hadamard = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(fourier_matrix(2), hadamard)
+
+    def test_paper_example2_uniform_superposition(self):
+        # H|0> on a qutrit = uniform superposition (Example 2).
+        image = fourier_matrix(3) @ np.array([1, 0, 0])
+        assert np.allclose(image, np.full(3, 1 / math.sqrt(3)))
+
+    def test_diagonalizes_shift(self):
+        # F X F^dagger is diagonal (the clock matrix up to ordering).
+        dim = 5
+        f = fourier_matrix(dim)
+        x = shift_matrix(dim)
+        conjugated = f @ x @ f.conj().T
+        off_diagonal = conjugated - np.diag(np.diag(conjugated))
+        assert np.allclose(off_diagonal, 0, atol=1e-12)
+
+    @given(st.integers(2, 8))
+    def test_unitary(self, dim):
+        matrix = fourier_matrix(dim)
+        assert np.allclose(
+            matrix @ matrix.conj().T, np.eye(dim), atol=1e-12
+        )
+
+
+class TestPermutation:
+    def test_identity_permutation(self):
+        assert np.allclose(permutation_matrix(3, [0, 1, 2]), np.eye(3))
+
+    def test_swap(self):
+        matrix = permutation_matrix(3, [1, 0, 2])
+        basis = np.zeros(3)
+        basis[0] = 1.0
+        assert (matrix @ basis)[1] == 1.0
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(DimensionError):
+            permutation_matrix(3, [0, 0, 2])
+
+    def test_composition_matches_function_composition(self):
+        p = permutation_matrix(4, [1, 2, 3, 0])
+        q = permutation_matrix(4, [3, 2, 1, 0])
+        combined = q @ p
+        for source in range(4):
+            basis = np.zeros(4)
+            basis[source] = 1.0
+            image = combined @ basis
+            expected = [3, 2, 1, 0][[1, 2, 3, 0][source]]
+            assert image[expected] == 1.0

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run successfully.
+
+The examples double as integration tests of the public API; each
+asserts its own correctness conditions internally, so a zero exit
+status means the demonstrated behaviour actually holds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[s.stem for s in EXAMPLES]
+)
+def test_example_runs(script, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(script), str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_examples_exist():
+    # The deliverable requires at least three runnable examples.
+    assert len(EXAMPLES) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

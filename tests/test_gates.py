@@ -1,0 +1,208 @@
+"""Tests for the concrete gate classes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.controls import Control
+from repro.circuit.gates import (
+    ClockGate,
+    FourierGate,
+    GivensRotation,
+    PermutationGate,
+    PhaseRotation,
+    ShiftGate,
+    UnitaryGate,
+)
+from repro.exceptions import CircuitError
+
+
+def assert_unitary(matrix):
+    assert np.allclose(
+        matrix @ matrix.conj().T, np.eye(matrix.shape[0]), atol=1e-12
+    )
+
+
+class TestGateBasics:
+    def test_target_and_controls(self):
+        gate = GivensRotation(2, 0, 1, 0.5, 0.0, controls=[(0, 1)])
+        assert gate.target == 2
+        assert gate.controls == (Control(0, 1),)
+        assert gate.num_controls == 1
+
+    def test_qudits_includes_controls(self):
+        gate = GivensRotation(2, 0, 1, 0.5, 0.0, controls=[(0, 1)])
+        assert gate.qudits == (0, 2)
+
+    def test_target_cannot_be_control(self):
+        with pytest.raises(CircuitError):
+            GivensRotation(1, 0, 1, 0.5, 0.0, controls=[(1, 0)])
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(CircuitError):
+            ShiftGate(-1)
+
+    def test_with_controls_replaces(self):
+        gate = ShiftGate(0, 1)
+        controlled = gate.with_controls([(1, 2)])
+        assert controlled.controls == (Control(1, 2),)
+        assert controlled.amount == 1
+
+    def test_equality(self):
+        a = GivensRotation(0, 0, 1, 0.5, 0.1)
+        b = GivensRotation(0, 0, 1, 0.5, 0.1)
+        assert a == b and hash(a) == hash(b)
+
+    def test_inequality_on_parameters(self):
+        a = GivensRotation(0, 0, 1, 0.5, 0.1)
+        b = GivensRotation(0, 0, 1, 0.6, 0.1)
+        assert a != b
+
+    def test_repr_contains_controls(self):
+        gate = PhaseRotation(1, 0, 1, 0.3, controls=[(0, 2)])
+        assert "q0=2" in repr(gate)
+
+
+class TestGivensRotation:
+    def test_matrix_unitary(self):
+        assert_unitary(GivensRotation(0, 1, 3, 0.7, 0.2).matrix(5))
+
+    def test_inverse_negates_theta(self):
+        gate = GivensRotation(0, 0, 2, 0.7, 0.2)
+        inverse = gate.inverse()
+        assert inverse.theta == -0.7 and inverse.phi == 0.2
+
+    def test_inverse_matrix_is_adjoint(self):
+        gate = GivensRotation(0, 0, 1, 0.9, -0.4)
+        assert np.allclose(
+            gate.inverse().matrix(3), gate.matrix(3).conj().T
+        )
+
+    def test_identity_detection(self):
+        assert GivensRotation(0, 0, 1, 0.0, 0.3).is_identity()
+        assert not GivensRotation(0, 0, 1, 0.1, 0.3).is_identity()
+        # theta = 2 pi is -identity (global phase), not identity.
+        assert not GivensRotation(0, 0, 1, 2 * math.pi, 0).is_identity()
+        assert GivensRotation(0, 0, 1, 4 * math.pi, 0).is_identity()
+
+    def test_rejects_equal_levels(self):
+        with pytest.raises(CircuitError):
+            GivensRotation(0, 1, 1, 0.5, 0.0)
+
+    def test_level_validation_against_dims(self):
+        gate = GivensRotation(0, 0, 4, 0.5, 0.0)
+        with pytest.raises(CircuitError):
+            gate.validate((3,))
+
+
+class TestPhaseRotation:
+    def test_matrix_diagonal(self):
+        matrix = PhaseRotation(0, 0, 2, 0.8).matrix(3)
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))
+
+    def test_inverse(self):
+        gate = PhaseRotation(0, 0, 1, 0.8)
+        assert np.allclose(
+            gate.inverse().matrix(2), gate.matrix(2).conj().T
+        )
+
+    def test_identity_detection(self):
+        assert PhaseRotation(0, 0, 1, 0.0).is_identity()
+        assert not PhaseRotation(0, 0, 1, 0.5).is_identity()
+
+    def test_decompose_to_givens_matches(self):
+        gate = PhaseRotation(0, 0, 1, 0.9123)
+        product = np.eye(2, dtype=complex)
+        for rotation in gate.decompose_to_givens():
+            product = rotation.matrix(2) @ product
+        assert np.allclose(product, gate.matrix(2), atol=1e-12)
+
+    def test_decompose_preserves_controls(self):
+        gate = PhaseRotation(1, 0, 1, 0.4, controls=[(0, 2)])
+        for rotation in gate.decompose_to_givens():
+            assert rotation.controls == gate.controls
+
+    def test_decompose_on_embedded_levels(self):
+        gate = PhaseRotation(0, 1, 3, -0.61)
+        product = np.eye(5, dtype=complex)
+        for rotation in gate.decompose_to_givens():
+            product = rotation.matrix(5) @ product
+        assert np.allclose(product, gate.matrix(5), atol=1e-12)
+
+
+class TestShiftClock:
+    def test_shift_inverse_cancels(self):
+        gate = ShiftGate(0, 2)
+        assert np.allclose(
+            gate.matrix(5) @ gate.inverse().matrix(5), np.eye(5)
+        )
+
+    def test_clock_inverse_cancels(self):
+        gate = ClockGate(0, 3)
+        assert np.allclose(
+            gate.matrix(5) @ gate.inverse().matrix(5), np.eye(5)
+        )
+
+
+class TestFourier:
+    def test_matrix_unitary(self):
+        assert_unitary(FourierGate(0).matrix(5))
+
+    def test_inverse_round_trip(self):
+        gate = FourierGate(0)
+        assert np.allclose(
+            gate.matrix(4) @ gate.inverse().matrix(4), np.eye(4),
+            atol=1e-12,
+        )
+
+    def test_double_inverse_is_fourier(self):
+        gate = FourierGate(0)
+        assert isinstance(gate.inverse().inverse(), FourierGate)
+
+
+class TestPermutationGate:
+    def test_matrix(self):
+        gate = PermutationGate(0, [2, 0, 1])
+        basis = np.zeros(3)
+        basis[0] = 1
+        assert (gate.matrix(3) @ basis)[2] == 1.0
+
+    def test_inverse_composes_to_identity(self):
+        gate = PermutationGate(0, [2, 0, 3, 1])
+        assert np.allclose(
+            gate.inverse().matrix(4) @ gate.matrix(4), np.eye(4)
+        )
+
+    def test_validation_against_dims(self):
+        gate = PermutationGate(0, [1, 0])
+        with pytest.raises(CircuitError):
+            gate.validate((3,))
+
+
+class TestUnitaryGate:
+    def test_accepts_unitary(self):
+        gate = UnitaryGate(0, np.eye(3))
+        assert np.allclose(gate.matrix(3), np.eye(3))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(CircuitError):
+            UnitaryGate(0, np.array([[1, 1], [0, 1]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(CircuitError):
+            UnitaryGate(0, np.ones((2, 3)))
+
+    def test_dimension_mismatch_rejected(self):
+        gate = UnitaryGate(0, np.eye(3))
+        with pytest.raises(CircuitError):
+            gate.validate((4,))
+
+    def test_inverse_is_adjoint(self):
+        from repro.linalg.standard_gates import fourier_matrix
+
+        gate = UnitaryGate(0, fourier_matrix(3))
+        assert np.allclose(
+            gate.inverse().matrix(3) @ gate.matrix(3), np.eye(3),
+            atol=1e-12,
+        )

@@ -1,0 +1,151 @@
+"""End-to-end integration matrix.
+
+Crosses every state family with several mixed-dimensional registers
+and both synthesis modes, validating the complete pipeline — state,
+diagram, (approximation,) synthesis, simulation, verification — plus
+the consistency contracts between the report fields.  These tests are
+the regression net for the whole library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.preparation import prepare_state
+from repro.dd.metrics import (
+    decomposition_tree_size,
+    visited_tree_size,
+)
+from repro.dd.validation import validate_diagram
+from repro.simulator.dd_sim import simulate_dd
+from repro.simulator.statevector_sim import simulate
+from repro.states.fidelity import fidelity
+from repro.states.library import (
+    dicke_state,
+    embedded_w_state,
+    ghz_state,
+    uniform_state,
+    w_state,
+)
+from repro.states.random_states import random_sparse_state, random_state
+
+REGISTERS = [(3, 2), (2, 3, 2), (3, 6, 2), (4, 3, 2)]
+
+FAMILIES = {
+    "ghz": ghz_state,
+    "w": w_state,
+    "embedded_w": embedded_w_state,
+    "uniform": uniform_state,
+    "dicke2": lambda dims: dicke_state(dims, 2),
+    "random": lambda dims: random_state(dims, rng=7),
+    "sparse": lambda dims: random_sparse_state(dims, 4, rng=7),
+}
+
+
+@pytest.mark.parametrize("dims", REGISTERS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestExactPipelineMatrix:
+    def test_fidelity_and_consistency(self, dims, family):
+        state = FAMILIES[family](dims)
+        result = prepare_state(state, tensor_elision=False)
+        report = result.report
+
+        # Exactness.
+        assert report.fidelity == pytest.approx(1.0, abs=1e-9)
+        # Report consistency contracts.
+        assert report.operations == result.circuit.num_operations
+        assert report.visited_nodes == report.operations + 1
+        assert report.tree_nodes == decomposition_tree_size(dims)
+        assert report.dag_nodes <= report.visited_nodes
+        assert report.approximation_fidelity == 1.0
+        # The synthesised diagram is structurally sound.
+        validate_diagram(result.diagram)
+
+    def test_dd_simulator_agrees(self, dims, family):
+        state = FAMILIES[family](dims)
+        result = prepare_state(state, verify=False)
+        dense = simulate(result.circuit)
+        diagram = simulate_dd(result.circuit)
+        assert diagram.to_statevector().isclose(dense, tolerance=1e-8)
+        assert fidelity(state, dense) == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.mark.parametrize("dims", [(3, 6, 2), (4, 3, 2)])
+@pytest.mark.parametrize("threshold", [0.98, 0.9])
+class TestApproximatePipelineMatrix:
+    def test_random_state_guarantees(self, dims, threshold):
+        state = random_state(dims, rng=13)
+        result = prepare_state(state, min_fidelity=threshold)
+        report = result.report
+
+        assert report.fidelity >= threshold - 1e-9
+        assert report.fidelity == pytest.approx(
+            report.approximation_fidelity, abs=1e-9
+        )
+        assert report.operations == result.circuit.num_operations
+        validate_diagram(result.diagram)
+        # The circuit prepares the *approximated* diagram exactly.
+        produced = simulate(result.circuit)
+        assert fidelity(
+            result.diagram.to_statevector(), produced
+        ) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCrossFeatureIntegration:
+    def test_serialise_synthesise_round_trip(self):
+        """DDTXT-stored diagrams synthesise identically to fresh ones."""
+        from repro.dd import io as dd_io
+        from repro.dd.builder import build_dd
+        from repro.core.synthesis import synthesize_preparation
+
+        state = w_state((3, 6, 2))
+        dd = build_dd(state)
+        restored = dd_io.loads(dd_io.dumps(dd))
+        original = synthesize_preparation(dd)
+        reloaded = synthesize_preparation(restored)
+        assert original.num_operations == reloaded.num_operations
+        assert simulate(reloaded).isclose(
+            simulate(original), tolerance=1e-9
+        )
+
+    def test_qdasm_persisted_circuit_still_prepares(self):
+        from repro.circuit import qasm
+
+        state = random_state((3, 4, 2), rng=21)
+        result = prepare_state(state, verify=False)
+        restored = qasm.loads(qasm.dumps(result.circuit))
+        assert fidelity(state, simulate(restored)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_measure_prepared_ghz(self):
+        """Prepare GHZ, then measure it qudit by qudit on the DD."""
+        from repro.dd.measurement import measure_qudit
+
+        result = prepare_state(ghz_state((3, 3, 3)), verify=False)
+        diagram = simulate_dd(result.circuit)
+        first, collapsed = measure_qudit(diagram, 0, rng=3)
+        second, collapsed = measure_qudit(collapsed, 1, rng=4)
+        third, _ = measure_qudit(collapsed, 2, rng=5)
+        assert first == second == third
+
+    def test_observable_after_approximation(self):
+        """Excitation number stays near 1 for a pruned W state."""
+        from repro.dd.builder import build_dd
+        from repro.dd.approximation import approximate
+        from repro.dd.observables import expectation_local_sum
+
+        dims = (4, 5, 3)
+        dd = build_dd(w_state(dims))
+        pruned = approximate(dd, 0.85).diagram
+        occupation = [[0.0] + [1.0] * (d - 1) for d in dims]
+        value = expectation_local_sum(pruned, occupation)
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_transpiled_circuit_equivalence_check(self):
+        from repro.simulator.equivalence import circuits_equivalent
+        from repro.transpile.passes import peephole_optimize
+
+        state = random_state((2, 3, 2), rng=31)
+        result = prepare_state(state, verify=False)
+        cleaned = peephole_optimize(result.circuit)
+        assert circuits_equivalent(result.circuit, cleaned)

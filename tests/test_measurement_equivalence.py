@@ -1,0 +1,147 @@
+"""Tests for DD measurement/collapse and circuit equivalence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GivensRotation, PhaseRotation, ShiftGate
+from repro.dd.builder import build_dd
+from repro.dd.measurement import collapse, measure_qudit
+from repro.dd.validation import validate_diagram
+from repro.exceptions import DecisionDiagramError, SimulationError
+from repro.simulator.equivalence import circuits_equivalent
+from repro.states.library import ghz_state, w_state
+from repro.transpile.passes import (
+    decompose_phases,
+    drop_identities,
+    merge_rotations,
+)
+
+from tests.conftest import random_statevector
+
+
+class TestCollapse:
+    def test_ghz_collapse_propagates(self):
+        # Measuring the first qutrit of GHZ at level 1 collapses the
+        # whole register to |11>.
+        dd = build_dd(ghz_state((3, 3)))
+        collapsed = collapse(dd, 0, 1)
+        assert np.isclose(
+            abs(collapsed.amplitude((1, 1))), 1.0, atol=1e-9
+        )
+
+    def test_collapse_renormalises(self):
+        dd = build_dd(random_statevector((3, 4), seed=191))
+        collapsed = collapse(dd, 0, 2)
+        assert np.isclose(
+            collapsed.to_statevector().norm(), 1.0, atol=1e-9
+        )
+
+    def test_collapse_matches_dense_projection(self):
+        state = random_statevector((3, 2, 2), seed=192)
+        dd = build_dd(state)
+        collapsed = collapse(dd, 1, 1).to_statevector()
+        dense = state.as_tensor().copy()
+        dense[:, 0, :] = 0.0
+        dense = dense.reshape(-1)
+        dense = dense / np.linalg.norm(dense)
+        # Compare up to global phase (projection keeps phases; the
+        # collapse does too, so this is exact).
+        assert np.allclose(
+            collapsed.amplitudes, dense, atol=1e-9
+        )
+
+    def test_collapsed_diagram_is_valid(self):
+        dd = build_dd(random_statevector((3, 4, 2), seed=193))
+        validate_diagram(collapse(dd, 1, 3))
+
+    def test_zero_probability_outcome_rejected(self):
+        from repro.states.library import basis_state
+
+        basis_dd = build_dd(basis_state((3, 3), (0, 0)))
+        with pytest.raises(DecisionDiagramError):
+            collapse(basis_dd, 0, 2)
+
+    def test_index_validation(self):
+        dd = build_dd(ghz_state((2, 2)))
+        with pytest.raises(DecisionDiagramError):
+            collapse(dd, 2, 0)
+        with pytest.raises(DecisionDiagramError):
+            collapse(dd, 0, 2)
+
+
+class TestMeasureQudit:
+    def test_outcome_distribution(self):
+        dd = build_dd(ghz_state((2, 2)))
+        counts = {0: 0, 1: 0}
+        for seed in range(200):
+            outcome, _ = measure_qudit(dd, 0, rng=seed)
+            counts[outcome] += 1
+        assert 60 < counts[0] < 140  # ~100 expected
+
+    def test_post_state_consistent_with_outcome(self):
+        dd = build_dd(w_state((2, 2, 2)))
+        outcome, post = measure_qudit(dd, 0, rng=3)
+        from repro.dd.observables import level_populations
+
+        populations = level_populations(post, 0)
+        assert populations[outcome] == pytest.approx(1.0, abs=1e-9)
+
+    def test_sequential_measurement_of_ghz_is_correlated(self):
+        dd = build_dd(ghz_state((3, 3)))
+        outcome, post = measure_qudit(dd, 0, rng=11)
+        second, _ = measure_qudit(post, 1, rng=12)
+        assert second == outcome
+
+
+class TestEquivalence:
+    def test_circuit_equals_itself(self):
+        circuit = Circuit((3, 2))
+        circuit.append(GivensRotation(0, 0, 2, 0.7, 0.1, [(1, 1)]))
+        assert circuits_equivalent(circuit, circuit)
+
+    def test_detects_difference(self):
+        a = Circuit((3,))
+        a.append(GivensRotation(0, 0, 1, 0.7, 0.0))
+        b = Circuit((3,))
+        b.append(GivensRotation(0, 0, 1, 0.8, 0.0))
+        assert not circuits_equivalent(a, b)
+
+    def test_global_phase_tolerated(self):
+        a = Circuit((2,))
+        a.append(ShiftGate(0))
+        b = Circuit((2,))
+        b.append(ShiftGate(0))
+        b.add_global_phase(0.4)
+        assert circuits_equivalent(a, b, up_to_global_phase=True)
+        assert not circuits_equivalent(
+            a, b, up_to_global_phase=False
+        )
+
+    def test_register_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            circuits_equivalent(Circuit((2,)), Circuit((3,)))
+
+    def test_passes_preserve_equivalence(self):
+        circuit = Circuit((4, 2))
+        circuit.append(GivensRotation(0, 0, 3, 0.0, 0.2))  # identity
+        circuit.append(GivensRotation(0, 1, 2, 0.4, 0.1))
+        circuit.append(GivensRotation(0, 1, 2, 0.3, 0.1))
+        circuit.append(PhaseRotation(1, 0, 1, -0.6, [(0, 2)]))
+        for transform in (
+            drop_identities, merge_rotations, decompose_phases,
+        ):
+            assert circuits_equivalent(circuit, transform(circuit))
+
+    def test_probe_path_on_larger_register(self):
+        # (4, 4, 4, 4, 4) = 1024 > dense limit: exercises probing.
+        dims = (4, 4, 4, 4, 4)
+        a = Circuit(dims)
+        a.append(GivensRotation(2, 0, 3, 0.9, 0.1, [(0, 1)]))
+        b = a.copy()
+        assert circuits_equivalent(a, b, rng=5)
+        c = Circuit(dims)
+        c.append(GivensRotation(2, 0, 3, 0.9, 0.2, [(0, 1)]))
+        assert not circuits_equivalent(a, c, rng=5)

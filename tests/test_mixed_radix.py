@@ -1,0 +1,155 @@
+"""Tests for mixed-radix index arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.registers import mixed_radix as mr
+
+DIMS_STRATEGY = st.lists(
+    st.integers(min_value=2, max_value=7), min_size=1, max_size=5
+).map(tuple)
+
+
+class TestValidateDims:
+    def test_accepts_valid_dims(self):
+        assert mr.validate_dims([3, 6, 2]) == (3, 6, 2)
+
+    def test_returns_tuple(self):
+        assert isinstance(mr.validate_dims([2, 2]), tuple)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([])
+
+    def test_rejects_dimension_one(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([3, 1, 2])
+
+    def test_rejects_zero(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([2, -3])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([2.5, 3])
+
+    def test_rejects_bool(self):
+        with pytest.raises(DimensionError):
+            mr.validate_dims([True, 2])
+
+
+class TestTotalDimension:
+    def test_single_qudit(self):
+        assert mr.total_dimension([5]) == 5
+
+    def test_mixed(self):
+        assert mr.total_dimension([3, 6, 2]) == 36
+
+    def test_qubits(self):
+        assert mr.total_dimension([2] * 6 ) == 64
+
+
+class TestStrides:
+    def test_paper_example(self):
+        assert mr.strides((3, 6, 2)) == (12, 2, 1)
+
+    def test_single(self):
+        assert mr.strides((7,)) == (1,)
+
+    def test_least_significant_is_one(self):
+        assert mr.strides((4, 3, 5, 2))[-1] == 1
+
+    def test_stride_recurrence(self):
+        dims = (4, 3, 5, 2)
+        strides = mr.strides(dims)
+        for k in range(len(dims) - 1):
+            assert strides[k] == strides[k + 1] * dims[k + 1]
+
+
+class TestDigitsToIndex:
+    def test_zero(self):
+        assert mr.digits_to_index((0, 0, 0), (3, 6, 2)) == 0
+
+    def test_last(self):
+        assert mr.digits_to_index((2, 5, 1), (3, 6, 2)) == 35
+
+    def test_example(self):
+        # |1,0,1> -> 1*12 + 0*2 + 1 = 13
+        assert mr.digits_to_index((1, 0, 1), (3, 6, 2)) == 13
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DimensionError):
+            mr.digits_to_index((1, 0), (3, 6, 2))
+
+    def test_rejects_digit_overflow(self):
+        with pytest.raises(DimensionError):
+            mr.digits_to_index((3, 0, 0), (3, 6, 2))
+
+    def test_rejects_negative_digit(self):
+        with pytest.raises(DimensionError):
+            mr.digits_to_index((0, -1, 0), (3, 6, 2))
+
+
+class TestIndexToDigits:
+    def test_zero(self):
+        assert mr.index_to_digits(0, (3, 6, 2)) == (0, 0, 0)
+
+    def test_last(self):
+        assert mr.index_to_digits(35, (3, 6, 2)) == (2, 5, 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DimensionError):
+            mr.index_to_digits(36, (3, 6, 2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DimensionError):
+            mr.index_to_digits(-1, (3, 6, 2))
+
+
+class TestIterDigits:
+    def test_order_matches_flat_index(self):
+        dims = (3, 2, 2)
+        for index, digits in enumerate(mr.iter_digits(dims)):
+            assert digits == mr.index_to_digits(index, dims)
+
+    def test_count(self):
+        assert sum(1 for _ in mr.iter_digits((3, 4))) == 12
+
+    def test_first_entries(self):
+        assert list(mr.iter_digits((2, 3)))[:4] == [
+            (0, 0), (0, 1), (0, 2), (1, 0),
+        ]
+
+
+class TestRoundTripProperties:
+    @given(DIMS_STRATEGY, st.integers(min_value=0, max_value=10**6))
+    def test_index_digits_round_trip(self, dims, raw_index):
+        size = math.prod(dims)
+        index = raw_index % size
+        digits = mr.index_to_digits(index, dims)
+        assert mr.digits_to_index(digits, dims) == index
+
+    @given(DIMS_STRATEGY)
+    def test_digits_in_range(self, dims):
+        size = math.prod(dims)
+        for index in range(0, size, max(1, size // 17)):
+            digits = mr.index_to_digits(index, dims)
+            assert all(0 <= d < dim for d, dim in zip(digits, dims))
+
+    @given(DIMS_STRATEGY)
+    def test_lexicographic_monotonicity(self, dims):
+        size = math.prod(dims)
+        previous = None
+        for index in range(0, size, max(1, size // 29)):
+            digits = mr.index_to_digits(index, dims)
+            if previous is not None:
+                assert digits > previous
+            previous = digits

@@ -1,0 +1,133 @@
+"""Tests for the noise-aware threshold study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.noise import (
+    NoiseModel,
+    estimate_run_fidelity,
+    optimal_threshold,
+    sweep_thresholds,
+)
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import GivensRotation, ShiftGate
+from repro.exceptions import ReproError
+from repro.states.library import ghz_state
+
+from tests.conftest import random_statevector
+
+
+class TestNoiseModel:
+    def test_default_local_error(self):
+        model = NoiseModel(two_qudit_error=0.01)
+        assert model.local_error == pytest.approx(0.001)
+
+    def test_rejects_bad_two_qudit_error(self):
+        with pytest.raises(ReproError):
+            NoiseModel(two_qudit_error=1.0)
+
+    def test_rejects_bad_local_error(self):
+        with pytest.raises(ReproError):
+            NoiseModel(two_qudit_error=0.01, local_error=-0.1)
+
+    def test_gate_success_local(self):
+        model = NoiseModel(two_qudit_error=0.01, local_error=0.002)
+        assert model.gate_success(0) == pytest.approx(0.998)
+
+    def test_gate_success_one_control(self):
+        model = NoiseModel(two_qudit_error=0.01)
+        assert model.gate_success(1) == pytest.approx(0.99)
+
+    def test_gate_success_two_controls_uses_counter_cost(self):
+        model = NoiseModel(two_qudit_error=0.01)
+        # 2 controls -> 5 two-qudit gates.
+        assert model.gate_success(2) == pytest.approx(0.99**5)
+
+    def test_circuit_success_multiplies(self):
+        model = NoiseModel(two_qudit_error=0.01, local_error=0.0)
+        circuit = Circuit((2, 2))
+        circuit.append(ShiftGate(0))
+        circuit.append(ShiftGate(1, 1, controls=[(0, 1)]))
+        assert model.circuit_success(circuit) == pytest.approx(0.99)
+
+    def test_zero_noise_gives_certainty(self):
+        model = NoiseModel(two_qudit_error=0.0, local_error=0.0)
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.4, 0.0))
+        assert model.circuit_success(circuit) == 1.0
+
+
+class TestEstimate:
+    def test_exact_threshold_has_unit_approximation_fidelity(self):
+        estimate = estimate_run_fidelity(
+            random_statevector((3, 3), seed=131),
+            NoiseModel(two_qudit_error=0.01),
+            threshold=1.0,
+        )
+        assert estimate.approximation_fidelity == 1.0
+        assert estimate.total_fidelity == pytest.approx(
+            estimate.circuit_success
+        )
+
+    def test_lower_threshold_fewer_operations(self):
+        state = random_statevector((3, 4, 2), seed=132)
+        model = NoiseModel(two_qudit_error=0.01)
+        exact = estimate_run_fidelity(state, model, 1.0)
+        rough = estimate_run_fidelity(state, model, 0.8)
+        assert rough.operations <= exact.operations
+        assert rough.circuit_success >= exact.circuit_success
+
+    def test_structured_state_noise_only(self):
+        estimate = estimate_run_fidelity(
+            ghz_state((3, 3)), NoiseModel(two_qudit_error=0.02), 0.98
+        )
+        assert estimate.approximation_fidelity == pytest.approx(1.0)
+        assert estimate.total_fidelity < 1.0
+
+
+class TestSweep:
+    def test_sweep_covers_thresholds(self):
+        points = sweep_thresholds(
+            random_statevector((3, 3), seed=133),
+            NoiseModel(two_qudit_error=0.01),
+            thresholds=[1.0, 0.9, 0.8],
+        )
+        assert [p.threshold for p in points] == [1.0, 0.9, 0.8]
+
+    def test_success_monotone_in_threshold(self):
+        points = sweep_thresholds(
+            random_statevector((3, 4, 2), seed=134),
+            NoiseModel(two_qudit_error=0.02),
+            thresholds=[1.0, 0.95, 0.85, 0.7],
+        )
+        successes = [p.circuit_success for p in points]
+        assert successes == sorted(successes)
+
+    def test_optimal_is_argmax(self):
+        state = random_statevector((3, 4, 2), seed=135)
+        model = NoiseModel(two_qudit_error=0.02)
+        thresholds = [1.0, 0.95, 0.9, 0.8]
+        sweep = sweep_thresholds(state, model, thresholds)
+        best = optimal_threshold(state, model, thresholds)
+        assert best.total_fidelity == max(
+            p.total_fidelity for p in sweep
+        )
+
+    def test_noisy_hardware_prefers_approximation(self):
+        # With strong gate noise, running fewer gates beats
+        # representing the state perfectly.
+        state = random_statevector((3, 4, 3), seed=136)
+        model = NoiseModel(two_qudit_error=0.005)
+        best = optimal_threshold(
+            state, model, thresholds=[1.0, 0.95, 0.9, 0.8]
+        )
+        assert best.threshold < 1.0
+
+    def test_noiseless_hardware_prefers_exact(self):
+        state = random_statevector((3, 4, 3), seed=137)
+        model = NoiseModel(two_qudit_error=0.0, local_error=0.0)
+        best = optimal_threshold(
+            state, model, thresholds=[1.0, 0.95, 0.9]
+        )
+        assert best.threshold == 1.0
+        assert best.total_fidelity == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Tests for DD-native diagonal observables."""
+
+import numpy as np
+import pytest
+
+from repro.dd.builder import build_dd
+from repro.dd.observables import (
+    expectation_local_sum,
+    level_populations,
+)
+from repro.exceptions import DecisionDiagramError
+from repro.states.library import (
+    basis_state,
+    embedded_w_state,
+    ghz_state,
+    w_state,
+)
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+
+def dense_expectation(state, local_terms):
+    """Brute-force reference implementation."""
+    total = 0.0
+    for digits, amplitude in state.nonzero_terms():
+        value = sum(
+            term[digit] for term, digit in zip(local_terms, digits)
+        )
+        total += (abs(amplitude) ** 2) * value
+    return total
+
+
+class TestExpectationLocalSum:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_matches_dense(self, dims):
+        state = random_statevector(dims, seed=151)
+        dd = build_dd(state)
+        rng = np.random.default_rng(5)
+        local_terms = [list(rng.normal(size=d)) for d in dims]
+        assert np.isclose(
+            expectation_local_sum(dd, local_terms),
+            dense_expectation(state, local_terms),
+            atol=1e-9,
+        )
+
+    def test_basis_state_reads_off_values(self):
+        dd = build_dd(basis_state((3, 4), (2, 1)))
+        local_terms = [[0, 0, 5.0], [0, 7.0, 0, 0]]
+        assert expectation_local_sum(dd, local_terms) == pytest.approx(
+            12.0
+        )
+
+    def test_excitation_number_of_w_state(self):
+        # The W state has exactly one excitation: <N> = 1 with
+        # N = sum_q level_q weighted as occupation (0 for level 0,
+        # 1 for any excited level).
+        dims = (3, 6, 2)
+        dd = build_dd(w_state(dims))
+        occupation = [
+            [0.0] + [1.0] * (d - 1) for d in dims
+        ]
+        assert expectation_local_sum(dd, occupation) == pytest.approx(
+            1.0
+        )
+
+    def test_ghz_diagonal_energy(self):
+        # For GHZ over (3, 3): <sum_q level_q> = (0 + 2 + 4)/3 = 2.
+        dd = build_dd(ghz_state((3, 3)))
+        local_terms = [[0.0, 1.0, 2.0], [0.0, 1.0, 2.0]]
+        assert expectation_local_sum(dd, local_terms) == pytest.approx(
+            2.0
+        )
+
+    def test_shape_validation(self):
+        dd = build_dd(ghz_state((3, 3)))
+        with pytest.raises(DecisionDiagramError):
+            expectation_local_sum(dd, [[0, 1, 2]])
+        with pytest.raises(DecisionDiagramError):
+            expectation_local_sum(dd, [[0, 1], [0, 1, 2]])
+
+
+class TestLevelPopulations:
+    @pytest.mark.parametrize("dims", [(3, 2), (3, 6, 2), (2, 3, 2)])
+    def test_matches_dense_marginals(self, dims):
+        state = random_statevector(dims, seed=152)
+        dd = build_dd(state)
+        tensor = np.abs(state.as_tensor()) ** 2
+        for qudit in range(len(dims)):
+            axes = tuple(
+                axis for axis in range(len(dims)) if axis != qudit
+            )
+            dense_marginal = tensor.sum(axis=axes)
+            assert np.allclose(
+                level_populations(dd, qudit), dense_marginal,
+                atol=1e-9,
+            )
+
+    def test_populations_sum_to_one(self):
+        dd = build_dd(random_statevector((4, 3), seed=153))
+        for qudit in range(2):
+            assert np.isclose(
+                sum(level_populations(dd, qudit)), 1.0, atol=1e-9
+            )
+
+    def test_embedded_w_uses_only_two_levels(self):
+        dd = build_dd(embedded_w_state((3, 4, 2)))
+        populations = level_populations(dd, 1)
+        assert populations[2] == pytest.approx(0.0)
+        assert populations[3] == pytest.approx(0.0)
+        assert populations[1] == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_bad_qudit(self):
+        dd = build_dd(ghz_state((2, 2)))
+        with pytest.raises(DecisionDiagramError):
+            level_populations(dd, 2)
+
+
+class TestCyclicState:
+    def test_rotations_present(self):
+        from repro.states.library import cyclic_state
+
+        state = cyclic_state((2, 2, 2), (1, 0, 0))
+        assert state.num_nonzero() == 3
+        for digits in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            assert np.isclose(
+                state.amplitude(digits), 1 / np.sqrt(3)
+            )
+
+    def test_symmetric_string_collapses(self):
+        from repro.states.library import cyclic_state
+
+        state = cyclic_state((3, 3), (1, 1))
+        assert state.num_nonzero() == 1
+        assert state.amplitude((1, 1)) == pytest.approx(1.0)
+
+    def test_qutrit_string(self):
+        from repro.states.library import cyclic_state
+
+        state = cyclic_state((3, 3, 3), (0, 1, 2))
+        assert state.num_nonzero() == 3
+
+    def test_rejects_mixed_register(self):
+        from repro.exceptions import DimensionError
+        from repro.states.library import cyclic_state
+
+        with pytest.raises(DimensionError):
+            cyclic_state((3, 2), (1, 0))
+
+    def test_rejects_wrong_length(self):
+        from repro.exceptions import DimensionError
+        from repro.states.library import cyclic_state
+
+        with pytest.raises(DimensionError):
+            cyclic_state((2, 2), (1, 0, 0))
+
+    def test_cyclic_state_synthesis_is_exact(self):
+        from repro.core.preparation import prepare_state
+        from repro.states.library import cyclic_state
+
+        result = prepare_state(cyclic_state((3, 3, 3), (0, 0, 2)))
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)

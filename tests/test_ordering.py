@@ -1,0 +1,92 @@
+"""Tests for the qudit-ordering study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ordering import (
+    best_ordering,
+    ordering_study,
+    reorder_state,
+)
+from repro.core.preparation import prepare_state
+from repro.exceptions import DimensionError
+from repro.states.library import ghz_state, w_state
+
+from tests.conftest import random_statevector
+
+
+class TestReorderState:
+    def test_identity_permutation(self):
+        state = random_statevector((3, 2, 4), seed=161)
+        assert reorder_state(state, (0, 1, 2)).isclose(state)
+
+    def test_dims_follow_permutation(self):
+        state = random_statevector((3, 2, 4), seed=162)
+        assert reorder_state(state, (2, 0, 1)).dims == (4, 3, 2)
+
+    def test_amplitudes_follow_permutation(self):
+        state = random_statevector((3, 2, 4), seed=163)
+        reordered = reorder_state(state, (2, 0, 1))
+        assert np.isclose(
+            reordered.amplitude((3, 1, 0)),
+            state.amplitude((1, 0, 3)),
+        )
+
+    def test_round_trip_through_inverse(self):
+        state = random_statevector((3, 2, 4), seed=164)
+        permutation = (2, 0, 1)
+        inverse = tuple(np.argsort(permutation))
+        back = reorder_state(
+            reorder_state(state, permutation), inverse
+        )
+        assert back.isclose(state)
+
+    def test_rejects_non_permutation(self):
+        state = random_statevector((2, 2), seed=165)
+        with pytest.raises(DimensionError):
+            reorder_state(state, (0, 0))
+
+    def test_norm_preserved(self):
+        state = random_statevector((3, 4, 2), seed=166)
+        assert np.isclose(
+            reorder_state(state, (1, 2, 0)).norm(), 1.0
+        )
+
+
+class TestOrderingStudy:
+    def test_all_orders_for_small_registers(self):
+        points = ordering_study(random_statevector((2, 3, 2), seed=167))
+        assert len(points) == 6
+
+    def test_sampling_caps_order_count(self):
+        state = random_statevector((2, 2, 2, 2, 2), seed=168)
+        points = ordering_study(state, max_orders=10, rng=1)
+        assert len(points) == 10
+
+    def test_sorted_by_operations(self):
+        points = ordering_study(random_statevector((3, 2, 2), seed=169))
+        operations = [p.operations for p in points]
+        assert operations == sorted(operations)
+
+    def test_ghz_uniform_dims_is_order_invariant(self):
+        # GHZ over equal dims is symmetric under qudit permutation.
+        points = ordering_study(ghz_state((3, 3, 3)))
+        assert len({p.operations for p in points}) == 1
+
+    def test_w_state_mixed_dims_varies_with_order(self):
+        points = ordering_study(w_state((3, 6, 2)))
+        assert len({p.operations for p in points}) > 1
+
+    def test_best_is_minimum(self):
+        state = w_state((3, 6, 2))
+        points = ordering_study(state)
+        assert best_ordering(state).operations == min(
+            p.operations for p in points
+        )
+
+    def test_reordered_state_still_prepared_exactly(self):
+        state = random_statevector((3, 2, 4), seed=170)
+        best = best_ordering(state)
+        reordered = reorder_state(state, best.permutation)
+        result = prepare_state(reordered)
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)

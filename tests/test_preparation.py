@@ -1,0 +1,107 @@
+"""Tests for the high-level prepare_state pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.preparation import prepare_state
+from repro.dd.metrics import decomposition_tree_size
+from repro.exceptions import ApproximationError
+from repro.simulator.statevector_sim import simulate
+from repro.states.fidelity import fidelity
+from repro.states.library import ghz_state, w_state
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+
+class TestExactPipeline:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_fidelity_one(self, dims):
+        result = prepare_state(random_statevector(dims, seed=111))
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_accepts_raw_amplitudes(self):
+        result = prepare_state([1, 0, 0, 1], dims=(2, 2))
+        produced = simulate(result.circuit)
+        assert np.isclose(abs(produced.amplitude((0, 0))), 1 / np.sqrt(2))
+
+    def test_raw_amplitudes_require_dims(self):
+        with pytest.raises(ApproximationError):
+            prepare_state([1, 0, 0, 1])
+
+    def test_normalizes_input(self):
+        result = prepare_state([2, 0, 0, 0], dims=(2, 2))
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_report_tree_nodes(self):
+        result = prepare_state(ghz_state((3, 6, 2)))
+        assert result.report.tree_nodes == decomposition_tree_size(
+            (3, 6, 2)
+        )
+
+    def test_report_operations_matches_circuit(self):
+        result = prepare_state(w_state((3, 6, 2)))
+        assert result.report.operations == result.circuit.num_operations
+
+    def test_verify_false_skips_fidelity(self):
+        result = prepare_state(ghz_state((3, 3)), verify=False)
+        assert result.report.fidelity is None
+
+    def test_no_approximation_object_for_exact(self):
+        result = prepare_state(ghz_state((3, 3)))
+        assert result.approximation is None
+        assert result.diagram is result.exact_diagram
+
+
+class TestApproximatePipeline:
+    def test_fidelity_at_least_threshold(self):
+        result = prepare_state(
+            random_statevector((3, 4, 2), seed=112), min_fidelity=0.95
+        )
+        assert result.report.fidelity >= 0.95 - 1e-9
+
+    def test_approximation_recorded(self):
+        result = prepare_state(
+            random_statevector((3, 4, 2), seed=113), min_fidelity=0.9
+        )
+        assert result.approximation is not None
+        assert result.report.approximation_fidelity <= 1.0
+
+    def test_circuit_prepares_approximated_diagram_exactly(self):
+        result = prepare_state(
+            random_statevector((3, 4), seed=114), min_fidelity=0.9
+        )
+        produced = simulate(result.circuit)
+        approximated = result.diagram.to_statevector()
+        assert fidelity(approximated, produced) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_structured_states_unaffected(self):
+        result = prepare_state(ghz_state((3, 6, 2)), min_fidelity=0.98)
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+        assert result.approximation.removed_mass == 0.0
+
+    def test_operations_do_not_increase(self):
+        state = random_statevector((3, 4, 2), seed=115)
+        exact = prepare_state(state)
+        approx = prepare_state(state, min_fidelity=0.9)
+        assert approx.report.operations <= exact.report.operations
+
+
+class TestReportContents:
+    def test_row_keys(self):
+        row = prepare_state(ghz_state((3, 3))).report.row()
+        assert set(row) == {
+            "dims", "nodes", "visited", "distinct_c", "operations",
+            "controls", "time_s", "fidelity",
+        }
+
+    def test_time_nonnegative(self):
+        report = prepare_state(ghz_state((3, 3))).report
+        assert report.synthesis_time >= 0.0
+
+    def test_visited_is_operations_plus_one(self):
+        report = prepare_state(
+            w_state((3, 6, 2)), tensor_elision=False
+        ).report
+        assert report.visited_nodes == report.operations + 1

@@ -1,0 +1,132 @@
+"""Property-based tests for the decision-diagram layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd.arithmetic import inner_product
+from repro.dd.builder import build_dd
+from repro.dd.metrics import (
+    synthesis_operation_count,
+    visited_tree_size,
+)
+from repro.dd.unique_table import UniqueTable
+from repro.states.statevector import StateVector
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=4), min_size=1, max_size=4
+).map(tuple)
+
+
+@st.composite
+def dims_and_state(draw):
+    """A register plus a random normalised state over it."""
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    sparse = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(dims))
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    if sparse and size > 2:
+        # Zero out a random subset to exercise zero-edge handling.
+        kill = rng.choice(size, size=size // 2, replace=False)
+        amplitudes[kill] = 0.0
+        if not np.any(amplitudes):
+            amplitudes[0] = 1.0
+    amplitudes = amplitudes / np.linalg.norm(amplitudes)
+    return StateVector(amplitudes, dims)
+
+
+class TestRoundTripProperty:
+    @given(dims_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_vector_dd_vector(self, state):
+        dd = build_dd(state)
+        assert dd.to_statevector().isclose(state, tolerance=1e-9)
+
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_amplitude_queries_match(self, state):
+        dd = build_dd(state)
+        register = state.register
+        for index in range(0, register.size, max(1, register.size // 7)):
+            digits = register.digits(index)
+            assert np.isclose(
+                dd.amplitude(digits), state.amplitude(digits),
+                atol=1e-10,
+            )
+
+
+class TestCanonicityProperty:
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_nodes_satisfy_invariants(self, state):
+        dd = build_dd(state)
+        for node in dd.nodes():
+            node.check_invariants()
+
+    @given(dims_and_state())
+    @settings(max_examples=30, deadline=None)
+    def test_rebuilding_shares_root(self, state):
+        table = UniqueTable()
+        first = build_dd(state, table)
+        second = build_dd(state, table)
+        assert first.root.node is second.root.node
+
+    @given(dims_and_state(), st.floats(min_value=0.1, max_value=6.2))
+    @settings(max_examples=30, deadline=None)
+    def test_global_phase_does_not_change_nodes(self, state, phase):
+        table = UniqueTable()
+        rotated = StateVector(
+            state.amplitudes * np.exp(1j * phase), state.register
+        )
+        plain = build_dd(state, table)
+        twisted = build_dd(rotated, table)
+        assert plain.root.node is twisted.root.node
+
+
+class TestMetricsProperty:
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_visited_is_ops_plus_one(self, state):
+        dd = build_dd(state)
+        assert (
+            visited_tree_size(dd)
+            == synthesis_operation_count(dd) + 1
+        )
+
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_dag_size_bounded_by_visits(self, state):
+        dd = build_dd(state)
+        assert dd.num_nodes() <= visited_tree_size(dd)
+
+
+class TestInnerProductProperty:
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_self_overlap_is_one(self, state):
+        dd = build_dd(state)
+        assert np.isclose(inner_product(dd, dd), 1.0, atol=1e-9)
+
+    @given(DIMS, st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_cauchy_schwarz(self, dims, seed_a, seed_b):
+        rng_a = np.random.default_rng(seed_a)
+        rng_b = np.random.default_rng(seed_b)
+        size = int(np.prod(dims))
+        table = UniqueTable()
+
+        def make(rng):
+            amplitudes = rng.normal(size=size) + 1j * rng.normal(
+                size=size
+            )
+            return build_dd(
+                StateVector(
+                    amplitudes / np.linalg.norm(amplitudes), dims
+                ),
+                table,
+            )
+
+        a, b = make(rng_a), make(rng_b)
+        assert abs(inner_product(a, b)) <= 1.0 + 1e-9

@@ -1,0 +1,139 @@
+"""Property-based round-trip tests for QDASM and DDTXT."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import qasm
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    ClockGate,
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.dd import io as dd_io
+from repro.dd.builder import build_dd
+from repro.dd.validation import validate_diagram
+from repro.states.statevector import StateVector
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=5), min_size=1, max_size=4
+).map(tuple)
+
+ANGLES = st.floats(
+    min_value=-10.0, max_value=10.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def serialisable_circuit(draw):
+    dims = draw(DIMS)
+    n = len(dims)
+    circuit = Circuit(dims)
+    num_gates = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(num_gates):
+        target = draw(st.integers(0, n - 1))
+        dim = dims[target]
+        controls = []
+        for qudit in range(n):
+            if qudit != target and draw(st.booleans()):
+                controls.append(
+                    (qudit, draw(st.integers(0, dims[qudit] - 1)))
+                )
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            levels = draw(
+                st.lists(
+                    st.integers(0, dim - 1),
+                    min_size=2, max_size=2, unique=True,
+                )
+            )
+            circuit.append(
+                GivensRotation(
+                    target, min(levels), max(levels),
+                    draw(ANGLES), draw(ANGLES), controls,
+                )
+            )
+        elif kind == 1:
+            levels = draw(
+                st.lists(
+                    st.integers(0, dim - 1),
+                    min_size=2, max_size=2, unique=True,
+                )
+            )
+            circuit.append(
+                PhaseRotation(
+                    target, min(levels), max(levels),
+                    draw(ANGLES), controls,
+                )
+            )
+        elif kind == 2:
+            circuit.append(
+                ShiftGate(
+                    target, draw(st.integers(-dim, dim)), controls
+                )
+            )
+        else:
+            circuit.append(FourierGate(target, controls=controls))
+    if draw(st.booleans()):
+        circuit.add_global_phase(draw(ANGLES))
+    return circuit
+
+
+@st.composite
+def random_dd(draw):
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    sparse = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(dims))
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    if sparse and size > 2:
+        kill = rng.choice(size, size=size // 2, replace=False)
+        amplitudes[kill] = 0.0
+        if not np.any(amplitudes):
+            amplitudes[0] = 1.0
+    state = StateVector(
+        amplitudes / np.linalg.norm(amplitudes), dims
+    )
+    return build_dd(state)
+
+
+class TestQdasmProperty:
+    @given(serialisable_circuit())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_equality(self, circuit):
+        restored = qasm.loads(qasm.dumps(circuit))
+        assert restored == circuit
+
+    @given(serialisable_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_double_round_trip_stable(self, circuit):
+        once = qasm.dumps(circuit)
+        twice = qasm.dumps(qasm.loads(once))
+        assert once == twice
+
+
+class TestDdtxtProperty:
+    @given(random_dd())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_state(self, dd):
+        restored = dd_io.loads(dd_io.dumps(dd))
+        assert restored.to_statevector().isclose(
+            dd.to_statevector(), tolerance=1e-10
+        )
+
+    @given(random_dd())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_structure(self, dd):
+        restored = dd_io.loads(dd_io.dumps(dd))
+        assert restored.num_nodes() == dd.num_nodes()
+        validate_diagram(restored)
+
+    @given(random_dd())
+    @settings(max_examples=30, deadline=None)
+    def test_dump_is_deterministic(self, dd):
+        assert dd_io.dumps(dd) == dd_io.dumps(dd)

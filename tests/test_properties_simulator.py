@@ -1,0 +1,130 @@
+"""Property-based tests cross-validating the two simulator back-ends."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    ClockGate,
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.dd.builder import build_dd
+from repro.simulator.dd_sim import simulate_dd
+from repro.simulator.statevector_sim import simulate
+from repro.simulator.unitary_builder import circuit_unitary
+from repro.states.statevector import StateVector
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=4), min_size=1, max_size=3
+).map(tuple)
+
+
+@st.composite
+def random_circuit(draw):
+    """A random circuit over a random small mixed register."""
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    depth = draw(st.integers(min_value=1, max_value=10))
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(dims)
+    for _ in range(depth):
+        target = int(rng.integers(0, len(dims)))
+        dim = dims[target]
+        controls = []
+        for qudit in range(len(dims)):
+            if qudit != target and rng.random() < 0.35:
+                controls.append(
+                    (qudit, int(rng.integers(0, dims[qudit])))
+                )
+        kind = rng.integers(0, 5)
+        if kind == 0:
+            circuit.append(FourierGate(target, controls=controls))
+        elif kind == 1:
+            circuit.append(
+                ShiftGate(target, int(rng.integers(1, dim)), controls)
+            )
+        elif kind == 2:
+            circuit.append(
+                ClockGate(target, int(rng.integers(1, dim)), controls)
+            )
+        elif kind == 3:
+            levels = rng.choice(dim, size=2, replace=False)
+            circuit.append(
+                GivensRotation(
+                    target, int(min(levels)), int(max(levels)),
+                    float(rng.normal()), float(rng.normal()), controls,
+                )
+            )
+        else:
+            levels = rng.choice(dim, size=2, replace=False)
+            circuit.append(
+                PhaseRotation(
+                    target, int(min(levels)), int(max(levels)),
+                    float(rng.normal()), controls,
+                )
+            )
+    return circuit
+
+
+@st.composite
+def circuit_and_state(draw):
+    circuit = draw(random_circuit())
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    size = circuit.register.size
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    state = StateVector(
+        amplitudes / np.linalg.norm(amplitudes), circuit.dims
+    )
+    return circuit, state
+
+
+class TestBackendAgreement:
+    @given(circuit_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_dd_and_dense_agree(self, circuit_state):
+        circuit, state = circuit_state
+        dense = simulate(circuit, state)
+        dd = simulate_dd(circuit, build_dd(state))
+        assert dd.to_statevector().isclose(dense, tolerance=1e-8)
+
+    @given(random_circuit())
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_backend_agrees(self, circuit):
+        dense = simulate(circuit)
+        matrix = circuit_unitary(circuit)
+        initial = np.zeros(circuit.register.size, dtype=complex)
+        initial[0] = 1.0
+        assert np.allclose(
+            dense.amplitudes, matrix @ initial, atol=1e-9
+        )
+
+
+class TestUnitarityProperties:
+    @given(circuit_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_norm_preserved(self, circuit_state):
+        circuit, state = circuit_state
+        result = simulate(circuit, state)
+        assert np.isclose(result.norm(), 1.0, atol=1e-9)
+
+    @given(circuit_and_state())
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_restores_state(self, circuit_state):
+        circuit, state = circuit_state
+        round_trip = circuit.compose(circuit.inverse())
+        result = simulate(round_trip, state)
+        assert result.isclose(state, tolerance=1e-8)
+
+    @given(random_circuit())
+    @settings(max_examples=20, deadline=None)
+    def test_unitary_matrix_is_unitary(self, circuit):
+        matrix = circuit_unitary(circuit)
+        identity = np.eye(matrix.shape[0])
+        assert np.allclose(
+            matrix @ matrix.conj().T, identity, atol=1e-9
+        )

@@ -1,0 +1,77 @@
+"""Tests for the package-level public API and exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        # The snippet from the package docstring must keep working.
+        result = repro.prepare_state(repro.ghz_state((3, 6, 2)))
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_core_types_exported(self):
+        assert repro.Circuit is not None
+        assert repro.DecisionDiagram is not None
+        assert repro.StateVector is not None
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exceptions.__all__:
+            error_type = getattr(exceptions, name)
+            assert issubclass(error_type, exceptions.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Dimension/state/circuit errors double as ValueError so
+        # numpy-style callers can catch them conventionally.
+        assert issubclass(exceptions.DimensionError, ValueError)
+        assert issubclass(exceptions.CircuitError, ValueError)
+
+    def test_catchable_via_base(self):
+        with pytest.raises(exceptions.ReproError):
+            repro.QuditRegister((1,))
+
+    def test_approximation_error_is_dd_error(self):
+        assert issubclass(
+            exceptions.ApproximationError,
+            exceptions.DecisionDiagramError,
+        )
+
+
+class TestVerification:
+    def test_verify_preparation_reports_one_for_exact(self):
+        state = repro.w_state((3, 4, 2))
+        result = repro.prepare_state(state, verify=False)
+        assert repro.verify_preparation(
+            result.circuit, state
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_verify_accepts_unnormalized_target(self):
+        import numpy as np
+
+        state = repro.StateVector([2, 0, 0, 0], (2, 2))
+        result = repro.prepare_state(
+            state.normalized(), verify=False
+        )
+        assert repro.verify_preparation(
+            result.circuit, state
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_verify_detects_wrong_circuit(self):
+        target = repro.basis_state((2, 2), (1, 1))
+        wrong = repro.prepare_state(
+            repro.basis_state((2, 2), (0, 0)), verify=False
+        )
+        assert repro.verify_preparation(
+            wrong.circuit, target
+        ) == pytest.approx(0.0, abs=1e-9)

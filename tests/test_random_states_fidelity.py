@@ -1,0 +1,106 @@
+"""Tests for random-state generation and fidelity computation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, StateError
+from repro.states.fidelity import fidelity, overlap
+from repro.states.random_states import random_sparse_state, random_state
+from repro.states.statevector import StateVector
+
+from tests.conftest import random_statevector
+
+
+class TestRandomState:
+    def test_normalized(self):
+        assert random_state((3, 6, 2), rng=0).is_normalized()
+
+    def test_seed_reproducibility(self):
+        a = random_state((3, 4), rng=42)
+        b = random_state((3, 4), rng=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_state((3, 4), rng=1)
+        b = random_state((3, 4), rng=2)
+        assert not a.isclose(b)
+
+    def test_uniform_distribution_is_real_nonnegative(self):
+        sv = random_state((4, 4), rng=7, distribution="uniform")
+        assert np.allclose(sv.amplitudes.imag, 0.0)
+        assert np.all(sv.amplitudes.real >= 0.0)
+
+    def test_uniform_phase_has_complex_entries(self):
+        sv = random_state((4, 4), rng=7, distribution="uniform_phase")
+        assert np.any(np.abs(sv.amplitudes.imag) > 1e-6)
+
+    def test_gaussian_has_negative_real_parts(self):
+        sv = random_state((4, 4), rng=7, distribution="gaussian")
+        assert np.any(sv.amplitudes.real < 0.0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(StateError):
+            random_state((2, 2), rng=0, distribution="cauchy")
+
+    def test_accepts_generator_instance(self):
+        generator = np.random.default_rng(3)
+        sv = random_state((2, 3), rng=generator)
+        assert sv.is_normalized()
+
+
+class TestRandomSparse:
+    def test_support_size(self):
+        sv = random_sparse_state((3, 4, 2), num_terms=5, rng=0)
+        assert sv.num_nonzero() == 5
+
+    def test_normalized(self):
+        assert random_sparse_state((3, 4), num_terms=3, rng=1).is_normalized()
+
+    def test_full_support_allowed(self):
+        sv = random_sparse_state((2, 2), num_terms=4, rng=2)
+        assert sv.num_nonzero() == 4
+
+    def test_rejects_zero_terms(self):
+        with pytest.raises(StateError):
+            random_sparse_state((2, 2), num_terms=0)
+
+    def test_rejects_oversized_support(self):
+        with pytest.raises(StateError):
+            random_sparse_state((2, 2), num_terms=5)
+
+
+class TestOverlapFidelity:
+    def test_self_fidelity_is_one(self):
+        sv = random_statevector((3, 2), seed=1)
+        assert np.isclose(fidelity(sv, sv), 1.0)
+
+    def test_orthogonal_states(self):
+        a = StateVector([1, 0], (2,))
+        b = StateVector([0, 1], (2,))
+        assert fidelity(a, b) == 0.0
+
+    def test_global_phase_invariance(self):
+        sv = random_statevector((3, 2), seed=2)
+        rotated = StateVector(sv.amplitudes * np.exp(0.7j), sv.register)
+        assert np.isclose(fidelity(sv, rotated), 1.0)
+
+    def test_overlap_conjugate_symmetry(self):
+        a = random_statevector((2, 3), seed=3)
+        b = random_statevector((2, 3), seed=4)
+        assert np.isclose(overlap(a, b), np.conj(overlap(b, a)))
+
+    def test_overlap_linear_in_ket(self):
+        a = random_statevector((2, 2), seed=5)
+        b = random_statevector((2, 2), seed=6)
+        scaled = StateVector(2.0 * b.amplitudes, b.register)
+        assert np.isclose(overlap(a, scaled), 2.0 * overlap(a, b))
+
+    def test_register_mismatch_rejected(self):
+        a = random_statevector((2, 2), seed=7)
+        b = random_statevector((4,), seed=8)
+        with pytest.raises(DimensionError):
+            fidelity(a, b)
+
+    def test_fidelity_clipped_to_unit_interval(self):
+        sv = StateVector([1.0 + 1e-9, 0], (2,))
+        assert fidelity(sv, sv) <= 1.0

@@ -1,0 +1,49 @@
+"""Executable documentation: the README's Python snippets must run.
+
+Extracts every fenced ``python`` block from README.md and executes it
+in a fresh namespace, so the documented API never drifts from the
+implementation.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+_BLOCK_PATTERN = re.compile(
+    r"```python\n(.*?)```", re.DOTALL
+)
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text()
+    return [match.strip() for match in _BLOCK_PATTERN.findall(text)]
+
+
+def test_readme_exists_and_has_snippets():
+    assert README.exists()
+    assert len(python_blocks()) >= 2
+
+
+@pytest.mark.parametrize(
+    "block", python_blocks(), ids=lambda b: b.splitlines()[0][:40]
+)
+def test_readme_snippet_executes(block):
+    namespace: dict = {}
+    exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
+
+
+def test_package_docstring_snippet_executes():
+    import repro
+
+    match = re.search(
+        r"Quickstart::\n\n(.+?)\n\n", repro.__doc__, re.DOTALL
+    )
+    assert match, "package docstring lost its quickstart"
+    snippet = "\n".join(
+        line[4:] for line in match.group(1).splitlines()
+    )
+    namespace: dict = {}
+    exec(compile(snippet, "repro.__doc__", "exec"), namespace)  # noqa: S102

@@ -1,0 +1,105 @@
+"""Tests for :class:`repro.registers.QuditRegister`."""
+
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.registers import QuditRegister
+from repro.registers.register import as_register
+
+
+class TestConstruction:
+    def test_dims_preserved(self):
+        assert QuditRegister((3, 6, 2)).dims == (3, 6, 2)
+
+    def test_size(self):
+        assert QuditRegister((3, 6, 2)).size == 36
+
+    def test_num_qudits(self):
+        assert QuditRegister((3, 6, 2)).num_qudits == 3
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(DimensionError):
+            QuditRegister((3, 1))
+
+    def test_strides(self):
+        assert QuditRegister((3, 6, 2)).strides == (12, 2, 1)
+
+
+class TestIndexing:
+    def test_index_digits_round_trip(self):
+        register = QuditRegister((4, 3, 5))
+        for index in range(register.size):
+            assert register.index(register.digits(index)) == index
+
+    def test_dimension_of(self):
+        register = QuditRegister((4, 3, 5))
+        assert register.dimension_of(1) == 3
+
+    def test_dimension_of_rejects_bad_index(self):
+        with pytest.raises(DimensionError):
+            QuditRegister((2, 2)).dimension_of(2)
+
+
+class TestUniformity:
+    def test_uniform(self):
+        assert QuditRegister((3, 3, 3)).is_uniform()
+
+    def test_mixed(self):
+        assert not QuditRegister((3, 6, 2)).is_uniform()
+
+
+class TestSuffix:
+    def test_suffix_dims(self):
+        assert QuditRegister((3, 6, 2)).suffix(1).dims == (6, 2)
+
+    def test_suffix_zero_is_identity(self):
+        register = QuditRegister((3, 6, 2))
+        assert register.suffix(0) == register
+
+    def test_suffix_rejects_empty(self):
+        with pytest.raises(DimensionError):
+            QuditRegister((3, 2)).suffix(2)
+
+
+class TestBasisLabels:
+    def test_compact_labels(self):
+        labels = list(QuditRegister((2, 2)).basis_labels())
+        assert labels == ["|00>", "|01>", "|10>", "|11>"]
+
+    def test_wide_dimension_uses_commas(self):
+        labels = list(QuditRegister((11, 2)).basis_labels())
+        assert labels[0] == "|0,0>"
+        assert labels[-1] == "|10,1>"
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert QuditRegister((3, 2)) == QuditRegister((3, 2))
+
+    def test_inequality(self):
+        assert QuditRegister((3, 2)) != QuditRegister((2, 3))
+
+    def test_hashable(self):
+        mapping = {QuditRegister((3, 2)): "a"}
+        assert mapping[QuditRegister((3, 2))] == "a"
+
+    def test_iteration(self):
+        assert list(QuditRegister((3, 6, 2))) == [3, 6, 2]
+
+    def test_getitem(self):
+        assert QuditRegister((3, 6, 2))[1] == 6
+
+    def test_len(self):
+        assert len(QuditRegister((3, 6, 2))) == 3
+
+    def test_repr(self):
+        assert "3, 6, 2" in repr(QuditRegister((3, 6, 2)))
+
+
+class TestAsRegister:
+    def test_passthrough(self):
+        register = QuditRegister((3, 2))
+        assert as_register(register) is register
+
+    def test_coercion(self):
+        assert as_register((3, 2)) == QuditRegister((3, 2))

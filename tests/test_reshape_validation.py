@@ -1,0 +1,147 @@
+"""Tests for register reshaping and DD validation (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.preparation import prepare_state
+from repro.dd.builder import build_dd
+from repro.dd.diagram import DecisionDiagram
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL, DDNode
+from repro.dd.unique_table import UniqueTable
+from repro.dd.validation import validate_diagram
+from repro.exceptions import DecisionDiagramError, DimensionError
+from repro.states.library import ghz_state
+from repro.states.reshape import fuse_all, fuse_qudits, split_qudit
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+
+class TestFuse:
+    def test_dims_merge(self):
+        state = random_statevector((3, 2, 4), seed=171)
+        assert fuse_qudits(state, 0).dims == (6, 4)
+        assert fuse_qudits(state, 1).dims == (3, 8)
+
+    def test_amplitudes_unchanged(self):
+        state = random_statevector((3, 2, 4), seed=172)
+        fused = fuse_qudits(state, 0)
+        assert np.array_equal(fused.amplitudes, state.amplitudes)
+
+    def test_basis_correspondence(self):
+        state = random_statevector((3, 2, 4), seed=173)
+        fused = fuse_qudits(state, 0)
+        # |a, b, c> -> |a*2 + b, c>
+        assert np.isclose(
+            fused.amplitude((2 * 2 + 1, 3)),
+            state.amplitude((2, 1, 3)),
+        )
+
+    def test_rejects_last_position(self):
+        state = random_statevector((3, 2), seed=174)
+        with pytest.raises(DimensionError):
+            fuse_qudits(state, 1)
+
+    def test_fuse_all_single_qudit(self):
+        state = random_statevector((3, 2, 2), seed=175)
+        fused = fuse_all(state)
+        assert fused.dims == (12,)
+
+
+class TestSplit:
+    def test_split_inverts_fuse(self):
+        state = random_statevector((3, 2, 4), seed=176)
+        fused = fuse_qudits(state, 1)
+        back = split_qudit(fused, 1, (2, 4))
+        assert back.isclose(state)
+
+    def test_rejects_non_factorisation(self):
+        state = random_statevector((6, 2), seed=177)
+        with pytest.raises(DimensionError):
+            split_qudit(state, 0, (4, 2))
+
+    def test_rejects_trivial_factor(self):
+        state = random_statevector((6, 2), seed=178)
+        with pytest.raises(DimensionError):
+            split_qudit(state, 0, (6, 1))
+
+    def test_rejects_bad_position(self):
+        state = random_statevector((6,), seed=179)
+        with pytest.raises(DimensionError):
+            split_qudit(state, 1, (2, 3))
+
+
+class TestFusionSynthesis:
+    def test_fused_register_prepared_exactly(self):
+        state = random_statevector((2, 2, 2, 2), seed=180)
+        fused = fuse_qudits(fuse_qudits(state, 0), 1)  # (4, 4)
+        result = prepare_state(fused)
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_fusion_removes_all_controls_in_single_qudit_limit(self):
+        state = random_statevector((2, 2, 2), seed=181)
+        result = prepare_state(fuse_all(state))
+        assert all(g.num_controls == 0 for g in result.circuit)
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_fusion_changes_operation_count(self):
+        state = ghz_state((2, 2, 2, 2))
+        plain = prepare_state(state, verify=False).report.operations
+        fused = prepare_state(
+            fuse_qudits(fuse_qudits(state, 0), 1), verify=False
+        ).report.operations
+        assert fused != plain
+
+
+class TestValidateDiagram:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_builder_output_is_valid(self, dims):
+        validate_diagram(build_dd(random_statevector(dims, seed=182)))
+
+    def test_zero_diagram_is_valid(self):
+        dd = DecisionDiagram(Edge.zero(), (2, 2), UniqueTable())
+        validate_diagram(dd)
+
+    def test_detects_wrong_dimension(self):
+        # Hand-build a node with too few successors for its level.
+        bad = DDNode(0, (Edge(1.0, TERMINAL), Edge.zero()))
+        dd = DecisionDiagram(Edge(1.0, bad), (3, 2), UniqueTable())
+        with pytest.raises(DecisionDiagramError):
+            validate_diagram(dd)
+
+    def test_detects_unnormalised_node(self):
+        bad = DDNode(0, (Edge(1.0, TERMINAL), Edge(1.0, TERMINAL)))
+        dd = DecisionDiagram(Edge(1.0, bad), (2,), UniqueTable())
+        with pytest.raises(DecisionDiagramError):
+            validate_diagram(dd)
+
+    def test_detects_bad_phase_convention(self):
+        bad = DDNode(0, (Edge(1j, TERMINAL), Edge.zero()))
+        dd = DecisionDiagram(Edge(1.0, bad), (2,), UniqueTable())
+        with pytest.raises(DecisionDiagramError):
+            validate_diagram(dd)
+
+    def test_detects_level_jump(self):
+        scale = 1.0 / np.sqrt(2)
+        leaf = DDNode(
+            2, (Edge(scale, TERMINAL), Edge(scale, TERMINAL))
+        )
+        # Root at level 0 jumps directly to level 2 in a 3-level
+        # register: invalid.
+        root = DDNode(0, (Edge(1.0, leaf), Edge.zero()))
+        dd = DecisionDiagram(Edge(1.0, root), (2, 2, 2), UniqueTable())
+        with pytest.raises(DecisionDiagramError):
+            validate_diagram(dd)
+
+    def test_detects_premature_terminal(self):
+        root = DDNode(0, (Edge(1.0, TERMINAL), Edge.zero()))
+        dd = DecisionDiagram(Edge(1.0, root), (2, 2), UniqueTable())
+        with pytest.raises(DecisionDiagramError):
+            validate_diagram(dd)
+
+    def test_loaded_ddtxt_is_validated_clean(self):
+        from repro.dd import io as dd_io
+
+        dd = build_dd(ghz_state((3, 6, 2)))
+        restored = dd_io.loads(dd_io.dumps(dd))
+        validate_diagram(restored)

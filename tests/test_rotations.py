@@ -1,0 +1,147 @@
+"""Tests for the two-level rotation matrices (paper Section 4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.linalg.rotations import (
+    givens_block,
+    givens_matrix,
+    phase_two_level_block,
+    phase_two_level_matrix,
+    rotation_generator,
+)
+
+ANGLES = st.floats(
+    min_value=-2 * math.pi, max_value=2 * math.pi,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def assert_unitary(matrix: np.ndarray) -> None:
+    identity = np.eye(matrix.shape[0])
+    assert np.allclose(matrix @ matrix.conj().T, identity, atol=1e-12)
+
+
+class TestGenerator:
+    def test_phi_zero_is_pauli_x(self):
+        assert np.allclose(
+            rotation_generator(0.0), [[0, 1], [1, 0]]
+        )
+
+    def test_phi_half_pi_is_pauli_y(self):
+        assert np.allclose(
+            rotation_generator(math.pi / 2), [[0, -1j], [1j, 0]]
+        )
+
+    def test_generator_is_hermitian(self):
+        generator = rotation_generator(0.731)
+        assert np.allclose(generator, generator.conj().T)
+
+    def test_generator_squares_to_identity(self):
+        generator = rotation_generator(1.234)
+        assert np.allclose(generator @ generator, np.eye(2), atol=1e-12)
+
+
+class TestGivensBlock:
+    def test_zero_angle_is_identity(self):
+        assert np.allclose(givens_block(0.0, 0.37), np.eye(2))
+
+    def test_matches_matrix_exponential(self):
+        theta, phi = 0.83, -1.21
+        generator = rotation_generator(phi)
+        # exp(-i theta/2 G) with G^2 = I.
+        expected = (
+            math.cos(theta / 2) * np.eye(2)
+            - 1j * math.sin(theta / 2) * generator
+        )
+        assert np.allclose(givens_block(theta, phi), expected)
+
+    @given(ANGLES, ANGLES)
+    def test_always_unitary(self, theta, phi):
+        assert_unitary(givens_block(theta, phi))
+
+    @given(ANGLES, ANGLES)
+    def test_determinant_is_one(self, theta, phi):
+        # SU(2): the block has unit determinant.
+        block = givens_block(theta, phi)
+        assert np.isclose(np.linalg.det(block), 1.0, atol=1e-12)
+
+    def test_theta_pi_swaps_levels_up_to_phase(self):
+        block = givens_block(math.pi, 0.0)
+        assert np.allclose(np.abs(block), [[0, 1], [1, 0]], atol=1e-12)
+
+    @given(ANGLES, ANGLES)
+    def test_inverse_is_negated_angle(self, theta, phi):
+        block = givens_block(theta, phi)
+        inverse = givens_block(-theta, phi)
+        assert np.allclose(block @ inverse, np.eye(2), atol=1e-12)
+
+
+class TestGivensMatrix:
+    def test_embeds_identity_elsewhere(self):
+        matrix = givens_matrix(5, 1, 3, 0.9, 0.3)
+        for level in (0, 2, 4):
+            basis = np.zeros(5)
+            basis[level] = 1.0
+            assert np.allclose(matrix @ basis, basis)
+
+    def test_acts_on_selected_subspace(self):
+        matrix = givens_matrix(4, 0, 2, math.pi, math.pi / 2)
+        basis = np.zeros(4)
+        basis[0] = 1.0
+        image = matrix @ basis
+        assert np.isclose(abs(image[2]), 1.0)
+
+    @given(
+        st.integers(min_value=2, max_value=6),
+        ANGLES,
+        ANGLES,
+    )
+    def test_unitary_for_all_dimensions(self, dim, theta, phi):
+        matrix = givens_matrix(dim, 0, dim - 1, theta, phi)
+        assert_unitary(matrix)
+
+    def test_rejects_equal_levels(self):
+        with pytest.raises(DimensionError):
+            givens_matrix(3, 1, 1, 0.1, 0.0)
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(DimensionError):
+            givens_matrix(3, 0, 3, 0.1, 0.0)
+
+
+class TestPhaseRotation:
+    def test_block_diagonal(self):
+        block = phase_two_level_block(0.8)
+        assert block[0, 1] == 0 and block[1, 0] == 0
+
+    def test_phases_opposite(self):
+        block = phase_two_level_block(0.8)
+        assert np.isclose(block[0, 0], np.conj(block[1, 1]))
+
+    @given(ANGLES)
+    def test_unitary(self, delta):
+        assert_unitary(phase_two_level_matrix(4, 1, 3, delta))
+
+    def test_zero_angle_is_identity(self):
+        assert np.allclose(phase_two_level_matrix(3, 0, 1, 0.0), np.eye(3))
+
+    def test_untouched_levels(self):
+        matrix = phase_two_level_matrix(4, 0, 1, 1.3)
+        assert matrix[2, 2] == 1.0 and matrix[3, 3] == 1.0
+
+    def test_paper_z_decomposition_identity(self):
+        # RZ(delta) = R(-pi/2, 0) R(-delta, pi/2) R(pi/2, 0)
+        # (sign-corrected form of the paper's identity).
+        delta = 0.9123
+        product = (
+            givens_block(-math.pi / 2, 0.0)
+            @ givens_block(-delta, math.pi / 2)
+            @ givens_block(math.pi / 2, 0.0)
+        )
+        assert np.allclose(product, phase_two_level_block(delta), atol=1e-12)

@@ -1,0 +1,169 @@
+"""Tests for the benchmark state library (paper Section 5 families)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, StateError
+from repro.states.library import (
+    basis_state,
+    dicke_state,
+    embedded_w_state,
+    ghz_state,
+    product_state,
+    uniform_state,
+    w_state,
+)
+
+
+class TestBasisState:
+    def test_single_amplitude(self):
+        sv = basis_state((3, 6, 2), (1, 4, 1))
+        assert sv.amplitude((1, 4, 1)) == 1.0
+        assert sv.num_nonzero() == 1
+
+    def test_rejects_bad_digits(self):
+        with pytest.raises(DimensionError):
+            basis_state((3, 2), (3, 0))
+
+
+class TestGHZ:
+    def test_two_qutrits_matches_example3(self):
+        sv = ghz_state((3, 3))
+        expected = 1 / math.sqrt(3)
+        for level in range(3):
+            assert np.isclose(sv.amplitude((level, level)), expected)
+        assert sv.num_nonzero() == 3
+
+    def test_mixed_dims_span_is_min(self):
+        sv = ghz_state((3, 6, 2))
+        assert sv.num_nonzero() == 2
+        assert np.isclose(
+            sv.amplitude((1, 1, 1)), 1 / math.sqrt(2)
+        )
+
+    def test_explicit_levels(self):
+        sv = ghz_state((4, 4), levels=3)
+        assert sv.num_nonzero() == 3
+
+    def test_rejects_levels_beyond_dimension(self):
+        with pytest.raises(DimensionError):
+            ghz_state((3, 2), levels=3)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(DimensionError):
+            ghz_state((3, 3), levels=1)
+
+    def test_normalized(self):
+        assert ghz_state((5, 4, 3)).is_normalized()
+
+
+class TestWState:
+    def test_qubit_register_reduces_to_standard_w(self):
+        sv = w_state((2, 2, 2))
+        expected = 1 / math.sqrt(3)
+        for digits in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            assert np.isclose(sv.amplitude(digits), expected)
+        assert sv.num_nonzero() == 3
+
+    def test_term_count_is_sum_of_excitations(self):
+        sv = w_state((3, 6, 2))
+        assert sv.num_nonzero() == (3 - 1) + (6 - 1) + (2 - 1)
+
+    def test_every_excited_level_populated(self):
+        sv = w_state((4, 3))
+        for level in range(1, 4):
+            assert sv.amplitude((level, 0)) != 0
+        for level in range(1, 3):
+            assert sv.amplitude((0, level)) != 0
+
+    def test_no_double_excitations(self):
+        sv = w_state((3, 3))
+        assert sv.amplitude((1, 1)) == 0
+        assert sv.amplitude((2, 2)) == 0
+
+    def test_zero_string_not_populated(self):
+        assert w_state((3, 4)).amplitude((0, 0)) == 0
+
+    def test_normalized(self):
+        assert w_state((9, 5, 6, 3)).is_normalized()
+
+
+class TestEmbeddedW:
+    def test_uses_only_level_one(self):
+        sv = embedded_w_state((3, 6, 2))
+        assert sv.num_nonzero() == 3
+        expected = 1 / math.sqrt(3)
+        for position in range(3):
+            digits = [0, 0, 0]
+            digits[position] = 1
+            assert np.isclose(sv.amplitude(tuple(digits)), expected)
+
+    def test_higher_levels_untouched(self):
+        sv = embedded_w_state((3, 3))
+        assert sv.amplitude((2, 0)) == 0
+
+    def test_equals_w_on_qubits(self):
+        assert embedded_w_state((2, 2, 2)).isclose(w_state((2, 2, 2)))
+
+    def test_rejects_single_qudit(self):
+        with pytest.raises(DimensionError):
+            embedded_w_state((5,))
+
+
+class TestDicke:
+    def test_one_excitation_equals_embedded_w(self):
+        assert dicke_state((3, 4, 2), 1).isclose(
+            embedded_w_state((3, 4, 2))
+        )
+
+    def test_term_count_is_binomial(self):
+        sv = dicke_state((2, 2, 2, 2), 2)
+        assert sv.num_nonzero() == 6
+
+    def test_zero_excitations_is_ground(self):
+        sv = dicke_state((3, 3), 0)
+        assert sv.amplitude((0, 0)) == 1.0
+
+    def test_full_excitation(self):
+        sv = dicke_state((2, 2), 2)
+        assert sv.amplitude((1, 1)) == 1.0
+
+    def test_rejects_too_many_excitations(self):
+        with pytest.raises(DimensionError):
+            dicke_state((2, 2), 3)
+
+
+class TestUniform:
+    def test_all_equal(self):
+        sv = uniform_state((3, 2))
+        assert np.allclose(sv.amplitudes, 1 / math.sqrt(6))
+
+    def test_normalized(self):
+        assert uniform_state((4, 5, 2)).is_normalized()
+
+
+class TestProductState:
+    def test_tensor_structure(self):
+        sv = product_state(
+            (2, 3),
+            [[1, 0], [0, 0, 1]],
+        )
+        assert sv.amplitude((0, 2)) == 1.0
+
+    def test_factors_normalized_individually(self):
+        sv = product_state((2, 2), [[2, 0], [3, 3]])
+        assert sv.is_normalized()
+
+    def test_rejects_wrong_factor_count(self):
+        with pytest.raises(DimensionError):
+            product_state((2, 2), [[1, 0]])
+
+    def test_rejects_wrong_factor_length(self):
+        with pytest.raises(DimensionError):
+            product_state((2, 3), [[1, 0], [1, 0]])
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(StateError):
+            product_state((2, 2), [[1, 0], [0, 0]])

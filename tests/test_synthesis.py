@@ -1,0 +1,209 @@
+"""Tests for the synthesis algorithm — the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import GivensRotation, PhaseRotation
+from repro.circuit.stats import statistics
+from repro.core.synthesis import (
+    synthesize_preparation,
+    synthesize_unpreparation,
+)
+from repro.dd.builder import build_dd
+from repro.dd.metrics import synthesis_operation_count
+from repro.exceptions import SynthesisError
+from repro.simulator.statevector_sim import simulate
+from repro.states.fidelity import fidelity
+from repro.states.library import (
+    basis_state,
+    embedded_w_state,
+    ghz_state,
+    uniform_state,
+    w_state,
+)
+from repro.states.statevector import StateVector
+
+from tests.conftest import SMALL_MIXED_DIMS, random_statevector
+
+ALL_FAMILIES = [
+    lambda dims: ghz_state(dims),
+    lambda dims: w_state(dims),
+    lambda dims: embedded_w_state(dims),
+    lambda dims: uniform_state(dims),
+]
+
+
+class TestExactPreparation:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_random_states_prepared_exactly(self, dims):
+        target = random_statevector(dims, seed=101)
+        circuit = synthesize_preparation(build_dd(target))
+        produced = simulate(circuit)
+        assert fidelity(target, produced) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("dims", [(3, 6, 2), (9, 5, 6, 3)])
+    @pytest.mark.parametrize("family_index", range(len(ALL_FAMILIES)))
+    def test_benchmark_families_prepared_exactly(
+        self, dims, family_index
+    ):
+        target = ALL_FAMILIES[family_index](dims)
+        circuit = synthesize_preparation(build_dd(target))
+        produced = simulate(circuit)
+        assert fidelity(target, produced) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("dims", [(3, 2), (2, 3, 2)])
+    def test_exact_amplitudes_including_global_phase(self, dims):
+        # The preparation reproduces amplitudes exactly, not merely up
+        # to a global phase (the root phase is tracked).
+        target = random_statevector(dims, seed=102)
+        circuit = synthesize_preparation(build_dd(target))
+        produced = simulate(circuit)
+        assert produced.isclose(target, tolerance=1e-9)
+
+    def test_basis_state(self):
+        target = basis_state((3, 4, 2), (2, 3, 1))
+        circuit = synthesize_preparation(build_dd(target))
+        produced = simulate(circuit)
+        assert np.isclose(abs(produced.amplitude((2, 3, 1))), 1.0)
+
+    def test_complex_phases_preserved(self):
+        amplitudes = np.array(
+            [0.5, 0.5j, -0.5, -0.5j, 0, 0], dtype=complex
+        )
+        target = StateVector(amplitudes, (3, 2))
+        circuit = synthesize_preparation(build_dd(target))
+        assert simulate(circuit).isclose(target, tolerance=1e-9)
+
+
+class TestUnpreparation:
+    @pytest.mark.parametrize("dims", [(3, 2), (3, 6, 2), (2, 2, 3)])
+    def test_maps_state_to_zero(self, dims):
+        target = random_statevector(dims, seed=103)
+        circuit = synthesize_unpreparation(build_dd(target))
+        result = simulate(circuit, target)
+        assert np.isclose(abs(result.amplitude(0)), 1.0, atol=1e-9)
+
+    def test_prep_is_inverse_of_unprep(self):
+        target = random_statevector((3, 4), seed=104)
+        dd = build_dd(target)
+        unprep = synthesize_unpreparation(dd)
+        prep = synthesize_preparation(dd)
+        round_trip = prep.compose(unprep)
+        result = simulate(round_trip)
+        assert np.isclose(abs(result.amplitude(0)), 1.0, atol=1e-9)
+
+    def test_zero_diagram_rejected(self):
+        from repro.dd.diagram import DecisionDiagram
+        from repro.dd.edge import Edge
+        from repro.dd.unique_table import UniqueTable
+
+        dd = DecisionDiagram(Edge.zero(), (2, 2), UniqueTable())
+        with pytest.raises(SynthesisError):
+            synthesize_unpreparation(dd)
+
+
+class TestOperationCounts:
+    @pytest.mark.parametrize("dims", SMALL_MIXED_DIMS)
+    def test_count_matches_closed_form(self, dims):
+        dd = build_dd(random_statevector(dims, seed=105))
+        circuit = synthesize_unpreparation(dd, tensor_elision=False)
+        assert circuit.num_operations == synthesis_operation_count(dd)
+
+    def test_each_node_emits_d_minus_1_givens_plus_phase(self):
+        dd = build_dd(random_statevector((4,), seed=106))
+        circuit = synthesize_unpreparation(dd)
+        givens = [
+            g for g in circuit if isinstance(g, GivensRotation)
+        ]
+        phases = [
+            g for g in circuit if isinstance(g, PhaseRotation)
+        ]
+        assert len(givens) == 3 and len(phases) == 1
+
+    def test_identity_rotations_can_be_suppressed(self):
+        dd = build_dd(basis_state((3, 3), (0, 0)))
+        full = synthesize_preparation(dd)
+        lean = synthesize_preparation(
+            dd, emit_identity_rotations=False
+        )
+        assert lean.num_operations < full.num_operations
+        # Still prepares the right state.
+        produced = simulate(lean)
+        assert np.isclose(abs(produced.amplitude((0, 0))), 1.0)
+
+    def test_ladder_order_descending_pairs(self):
+        # For a single 4-level qudit the unprep ladder must rotate
+        # (2,3), then (1,2), then (0,1).
+        dd = build_dd(random_statevector((4,), seed=107))
+        circuit = synthesize_unpreparation(dd)
+        givens = [
+            (g.level_i, g.level_j)
+            for g in circuit
+            if isinstance(g, GivensRotation)
+        ]
+        assert givens == [(2, 3), (1, 2), (0, 1)]
+
+
+class TestControls:
+    def test_controls_follow_dd_path(self):
+        dd = build_dd(ghz_state((3, 3)))
+        circuit = synthesize_unpreparation(dd, tensor_elision=False)
+        # Gates on the second qutrit are controlled on the first.
+        for gate in circuit:
+            if gate.target == 1:
+                assert gate.num_controls == 1
+                assert gate.controls[0].qudit == 0
+            else:
+                assert gate.num_controls == 0
+
+    def test_control_levels_are_edge_indices(self):
+        dd = build_dd(ghz_state((3, 3)))
+        circuit = synthesize_unpreparation(dd, tensor_elision=False)
+        levels = {
+            gate.controls[0].level
+            for gate in circuit
+            if gate.target == 1
+        }
+        assert levels == {0, 1, 2}
+
+    def test_tensor_elision_removes_controls_on_products(self):
+        target = uniform_state((3, 3))
+        dd = build_dd(target)
+        with_elision = synthesize_unpreparation(dd, tensor_elision=True)
+        without = synthesize_unpreparation(dd, tensor_elision=False)
+        assert statistics(with_elision).max_controls == 0
+        assert statistics(without).max_controls == 1
+        # Both circuits disentangle the state correctly.
+        for circuit in (with_elision, without):
+            result = simulate(circuit, target)
+            assert np.isclose(abs(result.amplitude(0)), 1.0, atol=1e-9)
+
+    def test_elision_reduces_operation_count_on_shared_children(self):
+        target = uniform_state((3, 3))
+        dd = build_dd(target)
+        with_elision = synthesize_unpreparation(dd, tensor_elision=True)
+        without = synthesize_unpreparation(dd, tensor_elision=False)
+        assert with_elision.num_operations < without.num_operations
+
+    @pytest.mark.parametrize("dims", [(3, 2), (2, 3, 2), (3, 6, 2)])
+    def test_elision_preserves_correctness_on_random_states(self, dims):
+        target = random_statevector(dims, seed=108)
+        circuit = synthesize_preparation(
+            build_dd(target), tensor_elision=True
+        )
+        assert fidelity(target, simulate(circuit)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+
+class TestCanonicalPhaseProperty:
+    @pytest.mark.parametrize("dims", [(3, 2), (4, 3), (3, 6, 2)])
+    def test_phase_rotations_are_trivial_for_canonical_dds(self, dims):
+        # Canonical normalisation makes every node's first non-zero
+        # weight real positive, so the trailing phase rotation always
+        # has angle 0 (it is emitted only for operation-count parity).
+        dd = build_dd(random_statevector(dims, seed=109))
+        circuit = synthesize_unpreparation(dd)
+        for gate in circuit:
+            if isinstance(gate, PhaseRotation):
+                assert abs(gate.delta) <= 1e-9

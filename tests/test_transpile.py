@@ -1,0 +1,212 @@
+"""Tests for the transpilation passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.core.preparation import prepare_state
+from repro.simulator.statevector_sim import simulate
+from repro.simulator.unitary_builder import circuit_unitary
+from repro.states.fidelity import fidelity
+from repro.states.library import ghz_state
+from repro.states.statevector import StateVector
+from repro.transpile.cost_model import (
+    two_qudit_cost,
+    two_qudit_cost_of_circuit,
+)
+from repro.transpile.counter import decompose_multicontrolled
+from repro.transpile.passes import (
+    decompose_phases,
+    drop_identities,
+    merge_rotations,
+    peephole_optimize,
+)
+
+from tests.conftest import random_statevector
+
+
+def assert_same_unitary(a: Circuit, b: Circuit, atol=1e-10):
+    assert np.allclose(circuit_unitary(a), circuit_unitary(b), atol=atol)
+
+
+class TestDropIdentities:
+    def test_removes_zero_rotations(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.0, 0.3))
+        circuit.append(PhaseRotation(0, 0, 1, 0.0))
+        circuit.append(GivensRotation(0, 0, 1, 0.5, 0.3))
+        cleaned = drop_identities(circuit)
+        assert cleaned.num_operations == 1
+
+    def test_preserves_unitary(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.0, 0.3))
+        circuit.append(GivensRotation(0, 1, 2, 0.7, -0.2))
+        assert_same_unitary(circuit, drop_identities(circuit))
+
+    def test_synthesised_circuit_cleanup(self):
+        result = prepare_state(ghz_state((3, 6, 2)))
+        cleaned = drop_identities(result.circuit)
+        assert cleaned.num_operations < result.circuit.num_operations
+        produced = simulate(cleaned)
+        assert fidelity(
+            ghz_state((3, 6, 2)), produced
+        ) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestMergeRotations:
+    def test_adjacent_givens_merge(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.3, 0.1))
+        circuit.append(GivensRotation(0, 0, 1, 0.4, 0.1))
+        merged = merge_rotations(circuit)
+        assert merged.num_operations == 1
+        assert merged.gates[0].theta == pytest.approx(0.7)
+
+    def test_different_phi_not_merged(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.3, 0.1))
+        circuit.append(GivensRotation(0, 0, 1, 0.4, 0.2))
+        assert merge_rotations(circuit).num_operations == 2
+
+    def test_different_controls_not_merged(self):
+        circuit = Circuit((3, 2))
+        circuit.append(GivensRotation(1, 0, 1, 0.3, 0.0, [(0, 1)]))
+        circuit.append(GivensRotation(1, 0, 1, 0.4, 0.0, [(0, 2)]))
+        assert merge_rotations(circuit).num_operations == 2
+
+    def test_phase_rotations_merge(self):
+        circuit = Circuit((3,))
+        circuit.append(PhaseRotation(0, 0, 1, 0.3))
+        circuit.append(PhaseRotation(0, 0, 1, -0.3))
+        merged = peephole_optimize(circuit)
+        assert merged.num_operations == 0
+
+    def test_chain_merges_to_fixed_point(self):
+        circuit = Circuit((3,))
+        for _ in range(4):
+            circuit.append(GivensRotation(0, 0, 1, 0.25, 0.0))
+        assert merge_rotations(circuit).num_operations == 1
+
+    def test_preserves_unitary(self):
+        circuit = Circuit((3,))
+        circuit.append(GivensRotation(0, 0, 1, 0.3, 0.1))
+        circuit.append(GivensRotation(0, 0, 1, 0.4, 0.1))
+        circuit.append(GivensRotation(0, 1, 2, -0.2, 0.7))
+        assert_same_unitary(circuit, merge_rotations(circuit))
+
+
+class TestDecomposePhases:
+    def test_only_givens_left(self):
+        circuit = Circuit((3,))
+        circuit.append(PhaseRotation(0, 0, 2, 0.9))
+        lowered = decompose_phases(circuit)
+        assert all(isinstance(g, GivensRotation) for g in lowered)
+        assert lowered.num_operations == 3
+
+    def test_preserves_unitary(self):
+        circuit = Circuit((4,))
+        circuit.append(PhaseRotation(0, 1, 3, -0.67))
+        circuit.append(GivensRotation(0, 0, 1, 0.2, 0.0))
+        assert_same_unitary(circuit, decompose_phases(circuit))
+
+    def test_non_phase_gates_untouched(self):
+        circuit = Circuit((3,))
+        circuit.append(FourierGate(0))
+        lowered = decompose_phases(circuit)
+        assert isinstance(lowered.gates[0], FourierGate)
+
+
+class TestCounterDecomposition:
+    def test_no_multicontrols_is_identity_transform(self):
+        circuit = Circuit((3, 2))
+        circuit.append(ShiftGate(1, 1, controls=[(0, 1)]))
+        lowered = decompose_multicontrolled(circuit)
+        assert lowered.dims == circuit.dims
+        assert lowered.num_operations == 1
+
+    def test_two_controls_cost(self):
+        circuit = Circuit((2, 2, 2))
+        circuit.append(
+            ShiftGate(2, 1, controls=[(0, 1), (1, 1)])
+        )
+        lowered = decompose_multicontrolled(circuit)
+        assert lowered.num_operations == 5  # 2k + 1 with k = 2
+        assert lowered.dims == (2, 2, 2, 3)
+
+    def test_every_gate_touches_at_most_two_qudits(self):
+        state = random_statevector((2, 3, 2), seed=121)
+        circuit = prepare_state(state).circuit
+        lowered = decompose_multicontrolled(circuit)
+        assert all(len(g.qudits) <= 2 for g in lowered)
+
+    def test_toffoli_like_action_preserved(self):
+        # Doubly-controlled X on qubits: compare against dense matrix
+        # on the ancilla-|0> subspace.
+        circuit = Circuit((2, 2, 2))
+        circuit.append(ShiftGate(2, 1, controls=[(0, 1), (1, 1)]))
+        lowered = decompose_multicontrolled(circuit)
+        original = circuit_unitary(circuit)
+        extended = circuit_unitary(lowered)
+        # Restrict to ancilla = 0: indices stride by ancilla dim.
+        ancilla_dim = lowered.dims[-1]
+        restricted = extended[::ancilla_dim, ::ancilla_dim][:8, :8]
+        assert np.allclose(restricted, original, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_prepared_state_preserved(self, seed):
+        state = random_statevector((2, 3, 2), seed=seed)
+        circuit = prepare_state(state).circuit
+        lowered = decompose_multicontrolled(circuit)
+        produced = simulate(lowered)
+        # The ancilla ends in |0>, so the composite state is
+        # target (x) |0>.
+        amplitudes = produced.amplitudes
+        ancilla_dim = lowered.dims[-1]
+        on_subspace = amplitudes[::ancilla_dim]
+        off_subspace = np.delete(
+            amplitudes, np.arange(0, amplitudes.size, ancilla_dim)
+        )
+        assert np.allclose(off_subspace, 0.0, atol=1e-9)
+        restricted = StateVector(on_subspace, state.register)
+        assert fidelity(state, restricted) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_ancilla_returned_clean(self):
+        circuit = Circuit((2, 2, 2))
+        circuit.append(
+            ShiftGate(2, 1, controls=[(0, 1), (1, 1)])
+        )
+        lowered = decompose_multicontrolled(circuit)
+        state = simulate(lowered)
+        # Inputs on the ancilla-0 subspace stay there.
+        for digits, _ in state.nonzero_terms():
+            assert digits[-1] == 0
+
+
+class TestCostModel:
+    def test_costs(self):
+        assert two_qudit_cost(0) == 1
+        assert two_qudit_cost(1) == 1
+        assert two_qudit_cost(2) == 5
+        assert two_qudit_cost(5) == 11
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            two_qudit_cost(-1)
+
+    def test_matches_actual_decomposition(self):
+        state = random_statevector((2, 3, 2), seed=122)
+        circuit = prepare_state(state).circuit
+        lowered = decompose_multicontrolled(circuit)
+        assert (
+            two_qudit_cost_of_circuit(circuit)
+            == lowered.num_operations
+        )

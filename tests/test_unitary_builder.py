@@ -1,0 +1,77 @@
+"""Tests for explicit unitary construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import FourierGate, GivensRotation, ShiftGate
+from repro.exceptions import SimulationError
+from repro.registers import QuditRegister
+from repro.simulator.statevector_sim import simulate
+from repro.simulator.unitary_builder import (
+    MAX_DENSE_DIMENSION,
+    circuit_unitary,
+    gate_unitary,
+)
+
+from tests.conftest import random_statevector
+
+
+class TestGateUnitary:
+    def test_uncontrolled_is_kron_structure(self):
+        gate = FourierGate(1)
+        matrix = gate_unitary(gate, (2, 3))
+        local = gate.matrix(3)
+        expected = np.kron(np.eye(2), local)
+        assert np.allclose(matrix, expected)
+
+    def test_most_significant_target(self):
+        gate = ShiftGate(0, 1)
+        matrix = gate_unitary(gate, (2, 3))
+        expected = np.kron(gate.matrix(2), np.eye(3))
+        assert np.allclose(matrix, expected)
+
+    def test_controlled_block_structure(self):
+        gate = ShiftGate(1, 1, controls=[(0, 1)])
+        matrix = gate_unitary(gate, (2, 2))
+        # |0> block identity, |1> block X.
+        assert np.allclose(matrix[:2, :2], np.eye(2))
+        assert np.allclose(matrix[2:, 2:], [[0, 1], [1, 0]])
+
+    def test_unitarity(self):
+        gate = GivensRotation(1, 0, 2, 0.8, 0.3, controls=[(0, 2)])
+        matrix = gate_unitary(gate, (3, 3))
+        assert np.allclose(
+            matrix @ matrix.conj().T, np.eye(9), atol=1e-12
+        )
+
+    def test_size_guard(self):
+        register = QuditRegister((2,) * 13)
+        assert register.size > MAX_DENSE_DIMENSION
+        with pytest.raises(SimulationError):
+            gate_unitary(ShiftGate(0), register)
+
+
+class TestCircuitUnitary:
+    def test_matches_statevector_simulation(self):
+        circuit = Circuit((3, 2, 2))
+        circuit.append(FourierGate(0))
+        circuit.append(GivensRotation(1, 0, 1, 0.4, 0.2, [(0, 1)]))
+        circuit.append(ShiftGate(2, 1, controls=[(1, 1)]))
+        circuit.global_phase = 0.3
+        state = random_statevector((3, 2, 2), seed=91)
+        via_sim = simulate(circuit, state)
+        via_matrix = circuit_unitary(circuit) @ state.amplitudes
+        assert np.allclose(via_sim.amplitudes, via_matrix, atol=1e-12)
+
+    def test_empty_circuit_is_identity(self):
+        assert np.allclose(circuit_unitary(Circuit((3, 2))), np.eye(6))
+
+    def test_order_of_application(self):
+        circuit = Circuit((2,))
+        circuit.append(ShiftGate(0))          # X
+        circuit.append(FourierGate(0))        # H
+        # Matrix should be H @ X (X applied first).
+        x = ShiftGate(0).matrix(2)
+        h = FourierGate(0).matrix(2)
+        assert np.allclose(circuit_unitary(circuit), h @ x)
