@@ -38,6 +38,13 @@ from repro.dd import (
     approximate,
     build_dd,
 )
+from repro.engine import (
+    CircuitCache,
+    PreparationEngine,
+    PreparationJob,
+    SynthesisOptions,
+    load_batch_spec,
+)
 from repro.registers import QuditRegister
 from repro.simulator import simulate, simulate_dd
 from repro.states import (
@@ -56,13 +63,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Circuit",
+    "CircuitCache",
     "Control",
     "DecisionDiagram",
     "GivensRotation",
     "PhaseRotation",
+    "PreparationEngine",
+    "PreparationJob",
     "PreparationResult",
     "QuditRegister",
     "StateVector",
+    "SynthesisOptions",
     "SynthesisReport",
     "__version__",
     "approximate",
@@ -72,6 +83,7 @@ __all__ = [
     "embedded_w_state",
     "fidelity",
     "ghz_state",
+    "load_batch_spec",
     "prepare_state",
     "random_state",
     "simulate",

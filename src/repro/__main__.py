@@ -5,11 +5,15 @@ Commands:
 * ``table1`` — regenerate Table 1 (forwards flags to the harness),
 * ``figures`` — print the reproductions of Figures 1-4,
 * ``scaling`` — run the linear-complexity measurement (E7),
-* ``tradeoff`` — run the approximation trade-off sweep (E8).
+* ``tradeoff`` — run the approximation trade-off sweep (E8),
+* ``batch`` — run a JSON batch spec through the preparation engine
+  (``python -m repro batch spec.json``; see ``batch --help``).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.analysis import table1
@@ -71,6 +75,164 @@ def _run_tradeoff() -> int:
     return 0
 
 
+def _batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description=(
+            "Run a JSON batch spec through the preparation engine "
+            "(see docs/engine.md for the spec format)."
+        ),
+    )
+    parser.add_argument("spec", help="path to the batch-spec JSON file")
+    parser.add_argument(
+        "--executor", choices=("serial", "parallel"), default=None,
+        help=(
+            "execution backend (default: serial; --workers or "
+            "--chunk-size imply parallel)"
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (implies --executor parallel)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="jobs per dispatch chunk (implies --executor parallel)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the persistent on-disk circuit cache",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=256, metavar="N",
+        help="in-memory cache entries (default: 256)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of a table",
+    )
+    return parser
+
+
+def _batch_rows(outcomes) -> list[list[object]]:
+    rows = []
+    for outcome in outcomes:
+        dims = "x".join(str(d) for d in outcome.job.dims)
+        if outcome.ok:
+            report = outcome.report
+            rows.append([
+                outcome.job.label, dims, "ok",
+                report.operations, report.median_controls,
+                f"{report.synthesis_time:.4f}",
+                (f"{report.fidelity:.6f}"
+                 if report.fidelity is not None else "-"),
+                "hit" if outcome.cache_hit else "miss",
+            ])
+        else:
+            rows.append([
+                outcome.job.label, dims, "FAILED",
+                "-", "-", "-", "-", "-",
+            ])
+    return rows
+
+
+def _run_batch(arguments: list[str]) -> int:
+    from repro.engine import (
+        CircuitCache,
+        ParallelExecutor,
+        PreparationEngine,
+        load_batch_spec,
+    )
+    from repro.exceptions import EngineError
+
+    options = _batch_parser().parse_args(arguments)
+    tuning_given = (
+        options.workers is not None or options.chunk_size is not None
+    )
+    if options.executor is None:
+        options.executor = "parallel" if tuning_given else "serial"
+    elif options.executor == "serial" and tuning_given:
+        print(
+            "error: --workers/--chunk-size require the parallel "
+            "executor",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        jobs = load_batch_spec(options.spec)
+        if options.executor == "parallel":
+            executor = ParallelExecutor(
+                max_workers=options.workers,
+                chunk_size=options.chunk_size,
+            )
+        else:
+            executor = "serial"
+        engine = PreparationEngine(
+            cache=CircuitCache(
+                capacity=options.cache_capacity,
+                disk_dir=options.cache_dir,
+            ),
+            executor=executor,
+        )
+        batch = engine.run_batch(jobs)
+    except EngineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = engine.stats()
+
+    if options.as_json:
+        print(json.dumps({
+            "outcomes": [
+                {
+                    "label": o.job.label,
+                    "dims": list(o.job.dims),
+                    "ok": o.ok,
+                    **(
+                        {"report": o.report.row(),
+                         "cache_hit": o.cache_hit}
+                        if o.ok
+                        else {"error_type": o.error_type,
+                              "message": o.message}
+                    ),
+                }
+                for o in batch.outcomes
+            ],
+            "wall_time": batch.wall_time,
+            "stats": {
+                "jobs_submitted": stats.jobs_submitted,
+                "jobs_executed": stats.jobs_executed,
+                "jobs_failed": stats.jobs_failed,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "cache_evictions": stats.cache_evictions,
+                "disk_hits": stats.disk_hits,
+            },
+        }, indent=2))
+    else:
+        print(render_table(
+            ["job", "dims", "status", "operations", "controls",
+             "time [s]", "fidelity", "cache"],
+            _batch_rows(batch.outcomes),
+            title=(
+                f"Batch of {len(batch)} jobs "
+                f"({engine.executor.name} executor)"
+            ),
+        ))
+        for failure in batch.failures:
+            print(
+                f"FAILED {failure.job.label}: "
+                f"{failure.error_type}: {failure.message}",
+                file=sys.stderr,
+            )
+        print(
+            f"\n{len(batch.successes)}/{len(batch)} jobs ok, "
+            f"{batch.num_cache_hits} cache hits, "
+            f"wall time {batch.wall_time:.3f}s"
+        )
+        print("engine stats: " + stats.summary())
+    return 0 if not batch.failures else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in {"-h", "--help"}:
@@ -85,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scaling()
     if command == "tradeoff":
         return _run_tradeoff()
+    if command == "batch":
+        return _run_batch(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__, file=sys.stderr)
     return 2

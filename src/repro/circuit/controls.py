@@ -32,6 +32,11 @@ class Control:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Control is immutable")
 
+    def __reduce__(self):
+        # Default slot-state pickling would trip the immutability
+        # guard above; rebuild through the constructor instead.
+        return (Control, (self.qudit, self.level))
+
     def validate(self, dims: Sequence[int]) -> None:
         """Check this control against register dimensions.
 

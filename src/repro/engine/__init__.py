@@ -1,0 +1,65 @@
+"""Batched, cached, parallel state-preparation engine.
+
+The orchestration layer on top of the single-shot
+:func:`repro.prepare_state` pipeline:
+
+* :mod:`repro.engine.jobs` — declarative :class:`PreparationJob`
+  specs with validation and stable content hashing,
+* :mod:`repro.engine.cache` — a content-addressed LRU circuit cache
+  with an optional on-disk layer,
+* :mod:`repro.engine.executor` — serial and process-pool execution
+  backends behind one interface,
+* :mod:`repro.engine.engine` — the :class:`PreparationEngine` facade
+  (``submit`` / ``run_batch`` / ``stats``),
+* :mod:`repro.engine.spec` — the batch-spec JSON format consumed by
+  ``python -m repro batch``.
+
+See ``docs/engine.md`` for the architecture notes.
+"""
+
+from repro.engine.cache import CacheEntry, CacheStats, CircuitCache
+from repro.engine.engine import EngineStats, PreparationEngine
+from repro.engine.executor import (
+    ExecutionBackend,
+    ParallelExecutor,
+    SerialExecutor,
+    as_executor,
+)
+from repro.engine.jobs import (
+    FAMILY_BUILDERS,
+    PreparationJob,
+    SynthesisOptions,
+    content_key,
+)
+from repro.engine.results import (
+    BatchResult,
+    JobFailure,
+    JobOutcome,
+    JobSuccess,
+    comparable_report,
+)
+from repro.engine.spec import job_from_dict, jobs_from_spec, load_batch_spec
+
+__all__ = [
+    "BatchResult",
+    "CacheEntry",
+    "CacheStats",
+    "CircuitCache",
+    "EngineStats",
+    "ExecutionBackend",
+    "FAMILY_BUILDERS",
+    "JobFailure",
+    "JobOutcome",
+    "JobSuccess",
+    "ParallelExecutor",
+    "PreparationEngine",
+    "PreparationJob",
+    "SerialExecutor",
+    "SynthesisOptions",
+    "as_executor",
+    "comparable_report",
+    "content_key",
+    "job_from_dict",
+    "jobs_from_spec",
+    "load_batch_spec",
+]

@@ -1,0 +1,210 @@
+"""Content-addressed circuit cache: in-memory LRU plus optional disk.
+
+The cache maps the :func:`~repro.engine.jobs.content_key` of a
+(target state, synthesis options) pair to the synthesised circuit and
+its report, so repeated requests skip decision-diagram construction
+and synthesis entirely.
+
+Layers:
+
+* an in-memory LRU bounded by ``capacity`` entries (evictions are
+  counted, least recently used goes first),
+* an optional on-disk layer under ``disk_dir`` holding one JSON file
+  per key (QDASM circuit text + report fields), which survives process
+  restarts and is shared between engines pointed at the same directory.
+
+A disk hit is promoted into memory.  All traffic is counted in
+:class:`CacheStats`, which the engine folds into its own statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.circuit import qasm
+from repro.circuit.circuit import Circuit
+from repro.core.report import SynthesisReport
+from repro.exceptions import EngineError
+
+__all__ = ["CacheEntry", "CacheStats", "CircuitCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters of cache traffic.
+
+    Attributes:
+        hits: Lookups served (memory or disk).
+        misses: Lookups that found nothing.
+        stores: Entries written.
+        evictions: In-memory entries dropped by the LRU bound.
+        disk_hits: Subset of ``hits`` served from the disk layer.
+        disk_write_errors: Disk stores that failed (the entry stays
+            available in memory; the batch is never aborted).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_write_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached synthesis result."""
+
+    key: str
+    circuit: Circuit
+    report: SynthesisReport
+
+
+def _entry_to_json(entry: CacheEntry) -> str:
+    report = dataclasses.asdict(entry.report)
+    report["dims"] = list(report["dims"])
+    return json.dumps(
+        {
+            "key": entry.key,
+            "qdasm": qasm.dumps(entry.circuit),
+            "report": report,
+        }
+    )
+
+
+def _entry_from_json(text: str) -> CacheEntry:
+    payload = json.loads(text)
+    report_fields = dict(payload["report"])
+    report_fields["dims"] = tuple(report_fields["dims"])
+    return CacheEntry(
+        key=payload["key"],
+        circuit=qasm.loads(payload["qdasm"]),
+        report=SynthesisReport(**report_fields),
+    )
+
+
+class CircuitCache:
+    """LRU circuit cache with an optional persistent disk layer.
+
+    Args:
+        capacity: Maximum number of in-memory entries; 0 disables the
+            memory layer (every lookup falls through to disk, if any).
+        disk_dir: Directory for the persistent layer; created on
+            demand.  ``None`` keeps the cache purely in memory.
+
+    Raises:
+        EngineError: If ``capacity`` is negative.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        disk_dir: str | os.PathLike | None = None,
+    ):
+        if capacity < 0:
+            raise EngineError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def disk_dir(self) -> Path | None:
+        return self._disk_dir
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        """Return the cached entry for ``key``, counting the lookup."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        entry = self._read_disk(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert_memory(entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, entry: CacheEntry) -> None:
+        """Store an entry in every configured layer."""
+        self.stats.stores += 1
+        self._insert_memory(entry)
+        self._write_disk(entry)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is untouched)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Memory layer
+    # ------------------------------------------------------------------
+    def _insert_memory(self, entry: CacheEntry) -> None:
+        if self._capacity == 0:
+            return
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self._disk_dir is None:
+            return None
+        path = self._disk_dir / f"{key}.json"
+        return path if path.is_file() else None
+
+    def _read_disk(self, key: str) -> CacheEntry | None:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            return _entry_from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn or stale file is treated as a miss; the entry
+            # will be recomputed and rewritten.
+            return None
+
+    def _write_disk(self, entry: CacheEntry) -> None:
+        if self._disk_dir is None:
+            return
+        try:
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+            final = self._disk_dir / f"{entry.key}.json"
+            temporary = final.with_name(
+                f"{entry.key}.{os.getpid()}.tmp"
+            )
+            temporary.write_text(_entry_to_json(entry))
+            os.replace(temporary, final)
+        except OSError:
+            # A full disk or unwritable directory must not abort the
+            # batch; the result is still served from memory.
+            self.stats.disk_write_errors += 1

@@ -1,0 +1,281 @@
+"""The :class:`PreparationEngine` facade.
+
+Turns the one-shot :func:`repro.prepare_state` pipeline into a
+throughput engine: jobs are content-hashed, served from the circuit
+cache when possible, deduplicated within a batch, and executed on a
+serial or multi-process backend.  Every job yields a structured
+outcome in submission order; a failing job never aborts its batch.
+
+Typical use::
+
+    from repro.engine import PreparationEngine, PreparationJob
+
+    engine = PreparationEngine(executor="parallel")
+    jobs = [PreparationJob(dims=(3, 6, 2), family="ghz"),
+            PreparationJob(dims=(2, 2, 2), family="w")]
+    batch = engine.run_batch(jobs)
+    for outcome in batch.successes:
+        print(outcome.job.label, outcome.report.operations)
+    print(engine.stats())
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.preparation import prepare_state
+from repro.states.statevector import StateVector
+from repro.engine.cache import CacheEntry, CircuitCache
+from repro.engine.executor import ExecutionBackend, as_executor
+from repro.engine.jobs import PreparationJob, content_key
+from repro.engine.results import (
+    BatchResult,
+    JobFailure,
+    JobOutcome,
+    JobSuccess,
+)
+
+__all__ = ["EngineStats", "PreparationEngine"]
+
+
+def _execute_job(task: tuple[PreparationJob, str, StateVector]) -> JobOutcome:
+    """Worker entry point: synthesise one job, capturing any error.
+
+    The target state is resolved exactly once, by ``run_batch`` when
+    it computes the content key, and shipped here with the task —
+    re-resolving would let a nondeterministic builder (e.g. an
+    unseeded random family) hand the worker a *different* state than
+    the one the key addresses, poisoning the cache.
+
+    Module-level so it pickles for ``ProcessPoolExecutor`` dispatch.
+    """
+    job, key, state = task
+    options = job.options
+    start = time.perf_counter()
+    try:
+        result = prepare_state(
+            state,
+            min_fidelity=options.min_fidelity,
+            tensor_elision=options.tensor_elision,
+            emit_identity_rotations=options.emit_identity_rotations,
+            verify=options.verify,
+            approximation_granularity=options.approximation_granularity,
+        )
+        return JobSuccess(
+            job=job,
+            key=key,
+            circuit=result.circuit,
+            report=result.report,
+            cache_hit=False,
+            elapsed=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 - per-job isolation
+        return JobFailure(
+            job=job,
+            key=key,
+            error_type=type(error).__name__,
+            message=str(error),
+            elapsed=time.perf_counter() - start,
+        )
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Lifetime counters of one engine instance.
+
+    Attributes:
+        jobs_submitted: Jobs seen across all batches.
+        jobs_executed: Jobs that actually ran synthesis (cache misses
+            after deduplication).
+        jobs_failed: Jobs that ended in a :class:`JobFailure`.
+        cache_hits / cache_misses / cache_stores / cache_evictions /
+            disk_hits: Forwarded from the circuit cache.
+        total_wall_time: Summed wall time of all ``run_batch`` calls.
+    """
+
+    jobs_submitted: int
+    jobs_executed: int
+    jobs_failed: int
+    cache_hits: int
+    cache_misses: int
+    cache_stores: int
+    cache_evictions: int
+    disk_hits: int
+    total_wall_time: float
+
+    def summary(self) -> str:
+        """One-line human-readable form (used by the CLI)."""
+        return (
+            f"jobs={self.jobs_submitted} executed={self.jobs_executed} "
+            f"failed={self.jobs_failed} cache_hits={self.cache_hits} "
+            f"cache_misses={self.cache_misses} "
+            f"evictions={self.cache_evictions} "
+            f"wall={self.total_wall_time:.3f}s"
+        )
+
+
+class PreparationEngine:
+    """Batched, cached, parallel state-preparation front end.
+
+    Args:
+        cache: A :class:`CircuitCache`, or ``None`` for a default
+            in-memory cache.
+        executor: An :class:`ExecutionBackend`, ``"serial"``,
+            ``"parallel"``, or ``None`` (serial).
+    """
+
+    def __init__(
+        self,
+        cache: CircuitCache | None = None,
+        executor: ExecutionBackend | str | None = None,
+    ):
+        self.cache = cache if cache is not None else CircuitCache()
+        self.executor = as_executor(executor)
+        self._jobs_submitted = 0
+        self._jobs_executed = 0
+        self._jobs_failed = 0
+        self._total_wall_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, job: PreparationJob) -> JobOutcome:
+        """Run a single job through the cache and executor."""
+        return self.run_batch([job]).outcomes[0]
+
+    def run_batch(
+        self, jobs: Iterable[PreparationJob]
+    ) -> BatchResult:
+        """Execute a batch, returning outcomes in submission order.
+
+        Identical jobs (same content key) are synthesised once per
+        batch; the duplicates are served as cache hits.  Per-job
+        errors are captured as :class:`JobFailure` outcomes.
+        """
+        jobs = list(jobs)
+        start = time.perf_counter()
+        self._jobs_submitted += len(jobs)
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+
+        # Resolve states and content keys up front; a job whose state
+        # cannot even be built fails here without touching a worker.
+        keys: list[str | None] = [None] * len(jobs)
+        states: list[StateVector | None] = [None] * len(jobs)
+        for position, job in enumerate(jobs):
+            try:
+                states[position] = job.resolve_state()
+                keys[position] = content_key(
+                    states[position], job.options
+                )
+            except Exception as error:  # noqa: BLE001
+                outcomes[position] = JobFailure(
+                    job=job,
+                    key=None,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                )
+
+        # Cache lookups plus intra-batch deduplication: the first
+        # occurrence of each missing key is dispatched, later
+        # duplicates wait and are served from the stored result.
+        dispatch: dict[str, int] = {}
+        duplicates: list[int] = []
+        for position, job in enumerate(jobs):
+            key = keys[position]
+            if key is None:
+                continue
+            entry = self.cache.get(key)
+            if entry is not None:
+                outcomes[position] = JobSuccess(
+                    job=job,
+                    key=key,
+                    circuit=entry.circuit,
+                    report=entry.report,
+                    cache_hit=True,
+                )
+            elif key in dispatch:
+                duplicates.append(position)
+            else:
+                dispatch[key] = position
+
+        # Execute the unique misses on the configured backend.
+        tasks = [
+            (jobs[position], key, states[position])
+            for key, position in dispatch.items()
+        ]
+        self._jobs_executed += len(tasks)
+        for task, outcome in zip(tasks, self.executor.run(_execute_job, tasks)):
+            position = dispatch[task[1]]
+            outcomes[position] = outcome
+            if outcome.ok:
+                self.cache.put(
+                    CacheEntry(
+                        key=outcome.key,
+                        circuit=outcome.circuit,
+                        report=outcome.report,
+                    )
+                )
+
+        # Serve intra-batch duplicates; the cache now holds every key
+        # whose primary job succeeded, so these lookups count as hits.
+        for position in duplicates:
+            key = keys[position]
+            entry = self.cache.get(key)
+            if entry is not None:
+                outcomes[position] = JobSuccess(
+                    job=jobs[position],
+                    key=key,
+                    circuit=entry.circuit,
+                    report=entry.report,
+                    cache_hit=True,
+                )
+            else:
+                # Nothing cached: either the primary failed, or the
+                # cache is configured to keep nothing (capacity 0, no
+                # disk) — serve the duplicate from the primary outcome.
+                primary = outcomes[dispatch[key]]
+                if primary.ok:
+                    outcomes[position] = JobSuccess(
+                        job=jobs[position],
+                        key=key,
+                        circuit=primary.circuit,
+                        report=primary.report,
+                        cache_hit=True,
+                    )
+                else:
+                    outcomes[position] = JobFailure(
+                        job=jobs[position],
+                        key=key,
+                        error_type=primary.error_type,
+                        message=primary.message,
+                    )
+
+        self._jobs_failed += sum(
+            1 for outcome in outcomes if not outcome.ok
+        )
+        wall_time = time.perf_counter() - start
+        self._total_wall_time += wall_time
+        return BatchResult(outcomes=tuple(outcomes), wall_time=wall_time)
+
+    def stats(self) -> EngineStats:
+        """Snapshot of lifetime engine + cache counters."""
+        cache_stats = self.cache.stats
+        return EngineStats(
+            jobs_submitted=self._jobs_submitted,
+            jobs_executed=self._jobs_executed,
+            jobs_failed=self._jobs_failed,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
+            cache_stores=cache_stats.stores,
+            cache_evictions=cache_stats.evictions,
+            disk_hits=cache_stats.disk_hits,
+            total_wall_time=self._total_wall_time,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparationEngine(executor={self.executor!r}, "
+            f"cache_entries={len(self.cache)})"
+        )

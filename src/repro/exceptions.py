@@ -20,6 +20,8 @@ __all__ = [
     "SimulationError",
     "TranspilationError",
     "SerializationError",
+    "EngineError",
+    "JobSpecError",
 ]
 
 
@@ -74,3 +76,21 @@ class TranspilationError(ReproError):
 
 class SerializationError(ReproError, ValueError):
     """Textual circuit serialisation or parsing failed."""
+
+
+class EngineError(ReproError):
+    """The batch preparation engine hit an unrecoverable condition.
+
+    Per-job failures never raise: they are captured as structured
+    :class:`repro.engine.JobFailure` results.  This exception covers
+    engine-level problems such as a broken worker pool or an invalid
+    executor configuration.
+    """
+
+
+class JobSpecError(EngineError, ValueError):
+    """A preparation-job specification is malformed.
+
+    Raised when constructing a :class:`repro.engine.PreparationJob`
+    from invalid arguments or when parsing a batch-spec JSON document.
+    """

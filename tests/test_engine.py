@@ -1,0 +1,430 @@
+"""Tests for the batch preparation engine: jobs, cache, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    CacheEntry,
+    CircuitCache,
+    ParallelExecutor,
+    PreparationEngine,
+    PreparationJob,
+    SerialExecutor,
+    SynthesisOptions,
+    as_executor,
+    comparable_report,
+    content_key,
+)
+from repro.exceptions import EngineError, JobSpecError
+from repro.simulator import simulate
+from repro.states import fidelity, ghz_state
+
+
+def ghz_job(dims=(3, 6, 2), **kwargs) -> PreparationJob:
+    return PreparationJob(dims=dims, family="ghz", **kwargs)
+
+
+MIXED_BATCH = [
+    PreparationJob(dims=(3, 6, 2), family="ghz"),
+    PreparationJob(dims=(2, 2, 2), family="w"),
+    PreparationJob(dims=(4, 3), family="random", params={"rng": 3}),
+    PreparationJob(dims=(2, 2), amplitudes=[1, 0, 0, 1]),
+    PreparationJob(
+        dims=(2, 3, 2),
+        family="dicke",
+        params={"excitations": 2},
+    ),
+]
+
+
+class TestPreparationJob:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(JobSpecError):
+            PreparationJob(dims=(2, 2))
+        with pytest.raises(JobSpecError):
+            PreparationJob(
+                dims=(2, 2), family="ghz", amplitudes=[1, 0, 0, 0]
+            )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown state family"):
+            PreparationJob(dims=(2, 2), family="bogus")
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(JobSpecError):
+            PreparationJob(dims=(1,), family="uniform")
+
+    def test_bad_amplitudes_rejected(self):
+        with pytest.raises(JobSpecError):
+            PreparationJob(dims=(2,), amplitudes=[[1, 2], [3]])
+        with pytest.raises(JobSpecError):
+            PreparationJob(dims=(2,), amplitudes=[])
+
+    def test_options_validated(self):
+        with pytest.raises(JobSpecError):
+            SynthesisOptions(min_fidelity=0.0)
+        with pytest.raises(JobSpecError):
+            SynthesisOptions(min_fidelity=1.5)
+        with pytest.raises(JobSpecError):
+            SynthesisOptions(approximation_granularity="bogus")
+
+    def test_options_reject_wrong_types(self):
+        with pytest.raises(JobSpecError, match="must be a number"):
+            SynthesisOptions(min_fidelity="0.9")
+        with pytest.raises(JobSpecError, match="must be a number"):
+            SynthesisOptions(min_fidelity=True)
+        with pytest.raises(JobSpecError, match="must be a boolean"):
+            SynthesisOptions(verify="yes")
+        with pytest.raises(JobSpecError, match="must be a boolean"):
+            SynthesisOptions(tensor_elision=1)
+
+    def test_default_label(self):
+        assert ghz_job().label == "ghz-3x6x2"
+        assert (
+            PreparationJob(dims=(2, 2), amplitudes=[1, 0, 0, 0]).label
+            == "amplitudes-2x2"
+        )
+
+    def test_resolve_state_matches_library(self):
+        state = ghz_job().resolve_state()
+        assert state.isclose(ghz_state((3, 6, 2)))
+
+    def test_resolution_failure_is_deferred(self):
+        # Structurally valid job whose family parameters are
+        # impossible: construction succeeds, resolution raises.
+        job = ghz_job(dims=(2, 2), params={"levels": 5})
+        with pytest.raises(Exception, match="impossible"):
+            job.resolve_state()
+
+    def test_jobs_are_picklable(self):
+        import pickle
+
+        job = ghz_job()
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.dims == job.dims
+        assert clone.resolve_state().isclose(job.resolve_state())
+
+    def test_describe_round_trips_through_spec(self):
+        from repro.engine import job_from_dict
+
+        for job in MIXED_BATCH:
+            clone = job_from_dict(job.describe())
+            assert content_key(
+                clone.resolve_state(), clone.options
+            ) == content_key(job.resolve_state(), job.options)
+
+
+class TestContentKey:
+    def test_same_state_same_key_across_descriptions(self):
+        by_family = ghz_job(dims=(2, 2))
+        amplitudes = ghz_state((2, 2)).amplitudes
+        by_amplitudes = PreparationJob(
+            dims=(2, 2), amplitudes=amplitudes
+        )
+        assert content_key(
+            by_family.resolve_state(), by_family.options
+        ) == content_key(
+            by_amplitudes.resolve_state(), by_amplitudes.options
+        )
+
+    def test_normalisation_invariance(self):
+        a = PreparationJob(dims=(2, 2), amplitudes=[1, 0, 0, 1])
+        b = PreparationJob(dims=(2, 2), amplitudes=[7, 0, 0, 7])
+        assert content_key(
+            a.resolve_state(), a.options
+        ) == content_key(b.resolve_state(), b.options)
+
+    def test_options_change_key(self):
+        state = ghz_state((2, 2))
+        exact = SynthesisOptions()
+        approx = SynthesisOptions(min_fidelity=0.9)
+        assert content_key(state, exact) != content_key(state, approx)
+
+    def test_different_states_different_keys(self):
+        options = SynthesisOptions()
+        assert content_key(ghz_state((2, 2)), options) != content_key(
+            ghz_state((3, 3)), options
+        )
+
+
+class TestCircuitCache:
+    def _entry(self, key="k") -> CacheEntry:
+        engine = PreparationEngine()
+        outcome = engine.submit(ghz_job(dims=(2, 2)))
+        return CacheEntry(
+            key=key, circuit=outcome.circuit, report=outcome.report
+        )
+
+    def test_hit_miss_counters(self):
+        cache = CircuitCache(capacity=4)
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        entry = self._entry()
+        cache.put(entry)
+        assert cache.get("k") is entry
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_eviction_order(self):
+        cache = CircuitCache(capacity=2)
+        for key in ("a", "b"):
+            cache.put(self._entry(key))
+        cache.get("a")          # "a" is now most recently used
+        cache.put(self._entry("c"))  # evicts "b"
+        assert cache.stats.evictions == 1
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.get("b") is None
+
+    def test_zero_capacity_disables_memory(self):
+        cache = CircuitCache(capacity=0)
+        cache.put(self._entry())
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            CircuitCache(capacity=-1)
+
+    def test_disk_round_trip(self, tmp_path):
+        writer = CircuitCache(capacity=4, disk_dir=tmp_path)
+        entry = self._entry()
+        writer.put(entry)
+        # A fresh cache over the same directory serves it from disk.
+        reader = CircuitCache(capacity=4, disk_dir=tmp_path)
+        loaded = reader.get("k")
+        assert loaded is not None
+        assert reader.stats.disk_hits == 1
+        assert loaded.report == entry.report
+        prepared = simulate(loaded.circuit)
+        assert fidelity(
+            prepared, simulate(entry.circuit)
+        ) == pytest.approx(1.0, abs=1e-9)
+        # ... and promotes it to memory: second get is a memory hit.
+        assert reader.get("k") is not None
+        assert reader.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = CircuitCache(capacity=4, disk_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_unwritable_disk_layer_never_raises(self, tmp_path):
+        # Pointing disk_dir at an existing *file* makes every write
+        # fail; the entry must still be served from memory.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        cache = CircuitCache(capacity=4, disk_dir=blocker)
+        entry = self._entry()
+        cache.put(entry)
+        assert cache.stats.disk_write_errors == 1
+        assert cache.get("k") is entry
+
+
+class TestExecutors:
+    def test_as_executor_coercions(self):
+        assert isinstance(as_executor(None), SerialExecutor)
+        assert isinstance(as_executor("serial"), SerialExecutor)
+        assert isinstance(as_executor("parallel"), ParallelExecutor)
+        backend = SerialExecutor()
+        assert as_executor(backend) is backend
+        with pytest.raises(EngineError):
+            as_executor("threads")
+
+    def test_invalid_parallel_configuration(self):
+        with pytest.raises(EngineError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(EngineError):
+            ParallelExecutor(max_workers=2, chunk_size=0)
+
+    def test_empty_batch(self):
+        assert ParallelExecutor(max_workers=2).run(abs, []) == []
+        assert SerialExecutor().run(abs, []) == []
+
+    def test_chunk_size_default_spreads_work(self):
+        executor = ParallelExecutor(max_workers=4)
+        assert executor._resolve_chunk_size(100) == 7
+        assert executor._resolve_chunk_size(1) == 1
+        assert ParallelExecutor(
+            max_workers=4, chunk_size=3
+        )._resolve_chunk_size(100) == 3
+
+
+class TestPreparationEngine:
+    def test_submission_order_preserved(self):
+        engine = PreparationEngine()
+        batch = engine.run_batch(MIXED_BATCH)
+        assert [o.job.label for o in batch.outcomes] == [
+            j.label for j in MIXED_BATCH
+        ]
+        assert not batch.failures
+
+    def test_results_verify_against_targets(self):
+        engine = PreparationEngine()
+        for outcome in engine.run_batch(MIXED_BATCH).outcomes:
+            prepared = simulate(outcome.circuit)
+            target = outcome.job.resolve_state()
+            assert fidelity(prepared, target) == pytest.approx(
+                1.0, abs=1e-9
+            )
+
+    def test_intra_batch_dedup_reports_cache_hits(self):
+        engine = PreparationEngine()
+        batch = engine.run_batch([ghz_job(), ghz_job(), ghz_job()])
+        hits = [o.cache_hit for o in batch.outcomes]
+        assert hits == [False, True, True]
+        assert engine.stats().jobs_executed == 1
+        assert engine.stats().cache_hits == 2
+
+    def test_warm_rerun_is_all_hits(self):
+        engine = PreparationEngine()
+        engine.run_batch(MIXED_BATCH)
+        warm = engine.run_batch(MIXED_BATCH)
+        assert warm.num_cache_hits == len(MIXED_BATCH)
+        assert engine.stats().jobs_executed == len(MIXED_BATCH)
+
+    def test_cache_hits_preserve_reports(self):
+        engine = PreparationEngine()
+        cold = engine.run_batch(MIXED_BATCH)
+        warm = engine.run_batch(MIXED_BATCH)
+        assert [o.report for o in warm.outcomes] == [
+            o.report for o in cold.outcomes
+        ]
+
+    def test_error_isolation_malformed_job(self):
+        bad = ghz_job(dims=(2, 2), params={"levels": 5})
+        engine = PreparationEngine()
+        batch = engine.run_batch([ghz_job(), bad, ghz_job(dims=(2, 2))])
+        assert [o.ok for o in batch.outcomes] == [True, False, True]
+        failure = batch.outcomes[1]
+        assert failure.error_type == "DimensionError"
+        assert "impossible" in failure.message
+        assert engine.stats().jobs_failed == 1
+
+    def test_failed_duplicates_fail_consistently(self):
+        bad = ghz_job(dims=(2, 2), params={"levels": 5})
+        batch = PreparationEngine().run_batch([bad, bad])
+        assert [o.ok for o in batch.outcomes] == [False, False]
+        assert (
+            batch.outcomes[0].error_type
+            == batch.outcomes[1].error_type
+        )
+
+    def test_raise_on_failure(self):
+        bad = ghz_job(dims=(2, 2), params={"levels": 5})
+        batch = PreparationEngine().run_batch([bad])
+        with pytest.raises(EngineError, match="1 of 1 jobs failed"):
+            batch.raise_on_failure()
+
+    def test_submit_single_job(self):
+        outcome = PreparationEngine().submit(ghz_job())
+        assert outcome.ok
+        assert outcome.report.operations == 19  # Table 1 GHZ row
+
+    def test_serial_and_parallel_agree(self):
+        serial = PreparationEngine(executor="serial")
+        parallel = PreparationEngine(
+            executor=ParallelExecutor(max_workers=2, chunk_size=2)
+        )
+        batch_serial = serial.run_batch(MIXED_BATCH)
+        batch_parallel = parallel.run_batch(MIXED_BATCH)
+        assert [
+            comparable_report(o.report)
+            for o in batch_parallel.outcomes
+        ] == [
+            comparable_report(o.report) for o in batch_serial.outcomes
+        ]
+
+    def test_parallel_error_isolation(self):
+        bad = ghz_job(dims=(2, 2), params={"levels": 5})
+        engine = PreparationEngine(
+            executor=ParallelExecutor(max_workers=2)
+        )
+        batch = engine.run_batch([ghz_job(), bad])
+        assert [o.ok for o in batch.outcomes] == [True, False]
+
+    def test_approximate_options_flow_through(self):
+        rng_state = PreparationJob(
+            dims=(3, 3, 2),
+            family="random",
+            params={"rng": 5},
+            options=SynthesisOptions(min_fidelity=0.9),
+        )
+        outcome = PreparationEngine().submit(rng_state)
+        assert outcome.ok
+        assert 0.9 <= outcome.report.approximation_fidelity <= 1.0
+
+    def test_engine_with_disk_cache_survives_restart(self, tmp_path):
+        first = PreparationEngine(
+            cache=CircuitCache(disk_dir=tmp_path)
+        )
+        first.run_batch([ghz_job()])
+        second = PreparationEngine(
+            cache=CircuitCache(disk_dir=tmp_path)
+        )
+        outcome = second.submit(ghz_job())
+        assert outcome.cache_hit
+        assert second.stats().disk_hits == 1
+        assert second.stats().jobs_executed == 0
+
+    def test_stats_wall_time_accumulates(self):
+        engine = PreparationEngine()
+        engine.run_batch([ghz_job(dims=(2, 2))])
+        engine.run_batch([ghz_job(dims=(2, 2))])
+        assert engine.stats().total_wall_time > 0.0
+        assert engine.stats().jobs_submitted == 2
+
+    def test_states_resolved_exactly_once_per_job(self, monkeypatch):
+        # The content key and the executed synthesis must use the
+        # same resolved state: re-resolving would poison the cache
+        # for nondeterministic sources (e.g. an unseeded random
+        # family).  Counting resolutions pins the contract down.
+        calls = {"count": 0}
+        original = PreparationJob.resolve_state
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(PreparationJob, "resolve_state", counting)
+        engine = PreparationEngine()
+        batch = engine.run_batch(
+            [ghz_job(dims=(2, 2)), ghz_job(dims=(3, 3))]
+        )
+        assert not batch.failures
+        assert calls["count"] == 2
+
+    def test_nondeterministic_source_cannot_poison_cache(
+        self, monkeypatch
+    ):
+        # A builder that returns a *different* state on every
+        # resolution (like an unseeded random family): the cached
+        # circuit must prepare the state the content key was hashed
+        # from — i.e. the first and only resolution.
+        from repro.states import ghz_state, w_state
+
+        draws = iter([ghz_state((2, 2)), w_state((2, 2))])
+        monkeypatch.setattr(
+            PreparationJob,
+            "resolve_state",
+            lambda self: next(draws),
+        )
+        engine = PreparationEngine()
+        outcome = engine.submit(PreparationJob(dims=(2, 2), family="random"))
+        assert outcome.ok
+        assert outcome.key == content_key(
+            ghz_state((2, 2)), outcome.job.options
+        )
+        prepared = simulate(engine.cache.get(outcome.key).circuit)
+        assert fidelity(prepared, ghz_state((2, 2))) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_eviction_forces_resynthesis(self):
+        engine = PreparationEngine(cache=CircuitCache(capacity=1))
+        a, b = ghz_job(dims=(2, 2)), ghz_job(dims=(3, 3))
+        engine.run_batch([a, b])   # b evicts a
+        engine.run_batch([a])      # must re-execute
+        assert engine.stats().cache_evictions >= 1
+        assert engine.stats().jobs_executed == 3

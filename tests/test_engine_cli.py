@@ -1,0 +1,121 @@
+"""Tests for the ``python -m repro batch`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def spec_path(tmp_path) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "jobs": [
+            {"family": "ghz", "dims": [3, 6, 2]},
+            {"family": "ghz", "dims": [3, 6, 2]},
+            {"amplitudes": [1, 0, 0, [0.0, 1.0]], "dims": [2, 2],
+             "label": "bell-y"},
+        ],
+    }))
+    return str(path)
+
+
+def test_batch_runs_spec_end_to_end(spec_path, capsys):
+    assert main(["batch", spec_path]) == 0
+    out = capsys.readouterr().out
+    assert "ghz-3x6x2" in out
+    assert "bell-y" in out
+    assert "hit" in out          # the duplicate GHZ job
+    assert "engine stats:" in out
+
+
+def test_batch_parallel_executor(spec_path, capsys):
+    assert main([
+        "batch", spec_path,
+        "--executor", "parallel", "--workers", "2",
+    ]) == 0
+    assert "parallel executor" in capsys.readouterr().out
+
+
+def test_batch_workers_implies_parallel(spec_path, capsys):
+    assert main(["batch", spec_path, "--workers", "2"]) == 0
+    assert "parallel executor" in capsys.readouterr().out
+
+
+def test_batch_serial_with_workers_rejected(spec_path, capsys):
+    assert main([
+        "batch", spec_path, "--executor", "serial", "--workers", "2",
+    ]) == 2
+    assert "require the parallel" in capsys.readouterr().err
+
+
+def test_batch_bad_option_type_in_spec_is_friendly(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "defaults": {"min_fidelity": "0.9"},
+        "jobs": [{"family": "ghz", "dims": [2, 2]}],
+    }))
+    assert main(["batch", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "min_fidelity" in err
+
+
+def test_batch_json_output(spec_path, capsys):
+    assert main(["batch", spec_path, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["outcomes"]) == 3
+    assert payload["outcomes"][1]["cache_hit"] is True
+    assert payload["stats"]["jobs_executed"] == 2
+    assert all(o["ok"] for o in payload["outcomes"])
+
+    operations = [
+        o["report"]["operations"] for o in payload["outcomes"]
+    ]
+    assert operations[0] == operations[1] == 19
+
+    # ``--json`` must stay machine-readable: nothing but the payload.
+    assert capsys.readouterr().out == ""
+
+
+def test_batch_disk_cache_reused_across_invocations(
+    spec_path, tmp_path, capsys
+):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["batch", spec_path, "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main([
+        "batch", spec_path, "--cache-dir", cache_dir, "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["jobs_executed"] == 0
+    assert payload["stats"]["disk_hits"] > 0
+
+
+def test_batch_failing_job_sets_exit_code(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "jobs": [
+            {"family": "ghz", "dims": [2, 2]},
+            {"family": "ghz", "dims": [2, 2],
+             "params": {"levels": 5}, "label": "impossible"},
+        ],
+    }))
+    assert main(["batch", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED impossible" in captured.err
+    assert "DimensionError" in captured.err
+    assert "1 cache" not in captured.err
+
+
+def test_batch_invalid_spec_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "absent.json")
+    assert main(["batch", missing]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_batch_help_mentioned_in_cli_doc(capsys):
+    assert main([]) == 0
+    assert "batch" in capsys.readouterr().out

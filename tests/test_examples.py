@@ -5,15 +5,29 @@ asserts its own correctness conditions internally, so a zero exit
 status means the demonstrated behaviour actually holds.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+SRC_DIR = REPO_ROOT / "src"
 
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env() -> dict[str, str]:
+    # Examples run from a scratch cwd, so the package must be on
+    # PYTHONPATH explicitly (it is not necessarily installed).
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + (os.pathsep + existing if existing else "")
+    )
+    return env
 
 
 @pytest.mark.parametrize(
@@ -26,6 +40,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "examples must print something"
