@@ -123,7 +123,9 @@ def _batch_rows(outcomes) -> list[list[object]]:
             rows.append([
                 outcome.job.label, dims, "ok",
                 report.operations, report.median_controls,
+                f"{report.build_time:.4f}",
                 f"{report.synthesis_time:.4f}",
+                f"{report.verify_time:.4f}",
                 (f"{report.fidelity:.6f}"
                  if report.fidelity is not None else "-"),
                 "hit" if outcome.cache_hit else "miss",
@@ -131,7 +133,7 @@ def _batch_rows(outcomes) -> list[list[object]]:
         else:
             rows.append([
                 outcome.job.label, dims, "FAILED",
-                "-", "-", "-", "-", "-",
+                "-", "-", "-", "-", "-", "-", "-",
             ])
     return rows
 
@@ -189,6 +191,7 @@ def _run_batch(arguments: list[str]) -> int:
                     "ok": o.ok,
                     **(
                         {"report": o.report.row(),
+                         "timings": o.report.timings(),
                          "cache_hit": o.cache_hit}
                         if o.ok
                         else {"error_type": o.error_type,
@@ -211,7 +214,8 @@ def _run_batch(arguments: list[str]) -> int:
     else:
         print(render_table(
             ["job", "dims", "status", "operations", "controls",
-             "time [s]", "fidelity", "cache"],
+             "build [s]", "synth [s]", "verify [s]", "fidelity",
+             "cache"],
             _batch_rows(batch.outcomes),
             title=(
                 f"Batch of {len(batch)} jobs "

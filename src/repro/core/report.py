@@ -32,6 +32,11 @@ class SynthesisReport:
             ``None`` when verification was skipped.
         approximation_fidelity: Fidelity between the original and the
             approximated diagram (1.0 for exact synthesis).
+        build_time: Wall time of the DD-construction step in seconds
+            (not part of Table 1's "Time" column, which starts after
+            construction).
+        verify_time: Wall time of the verification simulation in
+            seconds (0.0 when verification was skipped).
     """
 
     dims: tuple[int, ...]
@@ -45,6 +50,16 @@ class SynthesisReport:
     synthesis_time: float
     fidelity: float | None = None
     approximation_fidelity: float = 1.0
+    build_time: float = 0.0
+    verify_time: float = 0.0
+
+    def timings(self) -> dict[str, float]:
+        """Per-stage wall times of this run, in seconds."""
+        return {
+            "build_s": self.build_time,
+            "synthesis_s": self.synthesis_time,
+            "verify_s": self.verify_time,
+        }
 
     def row(self) -> dict[str, object]:
         """Flatten to a printable dict in Table 1 column order."""

@@ -2,26 +2,44 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.circuit.circuit import Circuit
 from repro.states.fidelity import fidelity
 from repro.states.statevector import StateVector
-from repro.simulator.statevector_sim import simulate
+from repro.simulator.statevector_sim import (
+    GateMatrixCache,
+    simulate_inplace,
+)
 
 __all__ = ["verify_preparation", "prepared_state"]
 
 
-def prepared_state(circuit: Circuit) -> StateVector:
-    """Simulate the circuit on ``|0...0>`` and return the result."""
-    return simulate(circuit)
+def prepared_state(
+    circuit: Circuit,
+    matrix_cache: GateMatrixCache | None = None,
+) -> StateVector:
+    """Simulate the circuit on ``|0...0>`` and return the result.
+
+    Runs the zero-copy kernel on one locally owned buffer; pass a
+    shared ``matrix_cache`` to reuse gate matrices when verifying many
+    circuits (e.g. across an engine batch).
+    """
+    buffer = np.zeros(circuit.register.size, dtype=np.complex128)
+    buffer[0] = 1.0
+    simulate_inplace(circuit, buffer, matrix_cache)
+    return StateVector(buffer, circuit.register)
 
 
 def verify_preparation(
-    circuit: Circuit, target: StateVector
+    circuit: Circuit,
+    target: StateVector,
+    matrix_cache: GateMatrixCache | None = None,
 ) -> float:
     """Return ``|<target|circuit(0...0)>|^2``.
 
     The target is normalised before comparison, so callers may pass
     unnormalised amplitude vectors.
     """
-    produced = prepared_state(circuit)
+    produced = prepared_state(circuit, matrix_cache)
     return fidelity(target.normalized(), produced)

@@ -16,8 +16,8 @@ Main entry points:
 
 from repro.dd.approximation import ApproximationResult, approximate
 from repro.dd.arithmetic import inner_product
-from repro.dd.builder import build_dd
-from repro.dd.diagram import DecisionDiagram
+from repro.dd.builder import build_dd, build_dd_reference
+from repro.dd.diagram import DecisionDiagram, DiagramStats
 from repro.dd.edge import Edge
 from repro.dd.measurement import collapse, measure_qudit
 from repro.dd.node import TERMINAL, DDNode
@@ -33,11 +33,13 @@ __all__ = [
     "ApproximationResult",
     "DDNode",
     "DecisionDiagram",
+    "DiagramStats",
     "Edge",
     "TERMINAL",
     "UniqueTable",
     "approximate",
     "build_dd",
+    "build_dd_reference",
     "collapse",
     "expectation_local_sum",
     "inner_product",

@@ -1,12 +1,38 @@
 """Construction of decision diagrams from state vectors.
 
 This implements the first step of the paper's pipeline (Section 4.1):
-the state vector is recursively split into ``d_k`` equal parts at each
-level ``k``, each part becomes a successor, and the edge weights are
-the normalisation factors computed bottom-up.  The fixed normalisation
+the state vector is split into ``d_k`` equal parts at each level ``k``,
+each part becomes a successor, and the edge weights are the
+normalisation factors computed bottom-up.  The fixed normalisation
 scheme — L2 norm extraction plus making the first non-zero weight real
 positive — yields canonical nodes, so the unique table merges all
 identical sub-states and the diagram is maximally reduced.
+
+Two construction kernels are provided:
+
+* :func:`build_dd` — the production kernel.  It runs one iterative,
+  level-by-level bottom-up pass: the amplitude array is reshaped to
+  ``(num_blocks, d_level)``, block norms and pivot phases are computed
+  with vectorised NumPy reductions, and blocks are deduplicated through
+  quantised-weight keys *before* being interned, so the per-node Python
+  cost is paid once per distinct node instead of once per tree leaf.
+* :func:`build_dd_reference` — the original per-amplitude recursive
+  kernel, kept as the executable specification.  The equivalence tests
+  in ``tests/test_hotpaths.py`` assert that both kernels produce the
+  same diagram (DAG size, root weight, amplitudes) on random
+  mixed-radix states.
+
+Both kernels canonicalise every interned edge weight through the
+table's shared complex table, so the quantised-key deduplication is
+purely an optimisation (:func:`normalize_edges` stays as the scalar
+reference for the normalisation semantics).  One caveat: the kernels
+insert weights into the complex table in different orders (level-major
+vs. depth-first), so for adversarial states whose distinct weights sit
+*within the uniquing tolerance of each other* (~1e-12), near-boundary
+values may chain to different canonical representatives and the two
+diagrams can differ by a node.  Any state whose distinct weights are
+separated by more than the tolerance — i.e. everything outside
+deliberately constructed collisions — produces identical diagrams.
 """
 
 from __future__ import annotations
@@ -17,13 +43,13 @@ import numpy as np
 
 from repro.dd.diagram import DecisionDiagram
 from repro.dd.edge import WEIGHT_ZERO_CUTOFF, Edge
-from repro.dd.node import TERMINAL
+from repro.dd.node import TERMINAL, DDNode
 from repro.dd.unique_table import UniqueTable
 from repro.exceptions import StateError
 from repro.registers.register import as_register
 from repro.states.statevector import StateVector
 
-__all__ = ["build_dd", "normalize_edges"]
+__all__ = ["build_dd", "build_dd_reference", "normalize_edges"]
 
 
 def normalize_edges(
@@ -63,6 +89,10 @@ def build_dd(
 ) -> DecisionDiagram:
     """Build the canonical decision diagram of a state vector.
 
+    This is the vectorised level-wise kernel; see the module docstring
+    for the construction strategy and :func:`build_dd_reference` for
+    the scalar specification it is tested against.
+
     Args:
         state: The state to represent (any norm; the root edge weight
             absorbs the global norm and phase).
@@ -76,6 +106,150 @@ def build_dd(
 
     Raises:
         StateError: If the state vector is entirely zero.
+    """
+    if table is None:
+        table = UniqueTable()
+    register = as_register(state.register)
+    dims = register.dims
+    cutoff_sq = WEIGHT_ZERO_CUTOFF * WEIGHT_ZERO_CUTOFF
+
+    # Upward-flowing per-block edge state: ``weights[b]`` is the edge
+    # weight of block ``b`` and ``node_ids[b]`` indexes ``child_nodes``
+    # (0 is the terminal; zero-weight blocks always carry id 0).
+    weights = np.array(state.amplitudes, dtype=np.complex128, copy=True)
+    weights[weights.real**2 + weights.imag**2 <= cutoff_sq] = 0.0
+    node_ids = np.zeros(weights.shape[0], dtype=np.intp)
+    child_nodes: list[DDNode] = [TERMINAL]
+
+    complex_table = table.complex_table
+    inv_quantum = 1.0 / complex_table.tolerance
+    zero_edge = Edge.zero()
+
+    for level in range(len(dims) - 1, -1, -1):
+        dimension = dims[level]
+        block = weights.reshape(-1, dimension)
+        block_ids = node_ids.reshape(-1, dimension)
+        num_blocks = block.shape[0]
+
+        magnitude_sq = block.real**2 + block.imag**2
+        norms = np.sqrt(magnitude_sq.sum(axis=1))
+        live = norms > WEIGHT_ZERO_CUTOFF
+        live_rows = np.flatnonzero(live)
+        all_live = live_rows.size == num_blocks
+        if not all_live:
+            block = block[live_rows]
+            block_ids = block_ids[live_rows]
+            magnitude_sq = magnitude_sq[live_rows]
+            norms = norms[live_rows]
+        num_live = block.shape[0]
+
+        # Phase of the first non-zero child, exactly as in
+        # normalize_edges (rows whose children are all below the
+        # cutoff keep phase 1).
+        nonzero_child = magnitude_sq > cutoff_sq
+        first = np.argmax(nonzero_child, axis=1)[:, None]
+        has_pivot = np.take_along_axis(nonzero_child, first, axis=1)
+        pivot = np.take_along_axis(block, first, axis=1)[:, 0]
+        pivot_mag = np.abs(pivot)
+        safe_pivot_mag = np.where(pivot_mag > 0.0, pivot_mag, 1.0)
+        phase = np.where(
+            has_pivot[:, 0], pivot / safe_pivot_mag, 1.0
+        )
+        factor = norms * phase
+
+        # Children are zeroed when the raw weight is below the cutoff
+        # (normalize_edges) or the normalised one is (get_node's
+        # Edge.zero() canonicalisation).
+        normalized = block / factor[:, None]
+        keep = nonzero_child & (
+            normalized.real**2 + normalized.imag**2 > cutoff_sq
+        )
+        normalized = np.where(keep, normalized, 0.0)
+        kept_ids = np.where(keep, block_ids, 0)
+
+        # Canonicalise every kept weight of the level in one batch so
+        # the interning loop below can skip the per-edge complex-table
+        # probe (zero entries stay exact zeros, as in get_node).
+        canon_flat = normalized.ravel()
+        kept_positions = np.flatnonzero(keep.ravel())
+        canon_flat[kept_positions] = complex_table.lookup_many(
+            canon_flat[kept_positions]
+        )
+
+        # Quantised-weight block keys: blocks whose weights land on
+        # the same complex-table grid cells and share children are
+        # interned once; boundary stragglers with differing keys still
+        # merge inside the unique table via their canonical weights.
+        key_matrix = np.empty((num_live, 3 * dimension), dtype=np.int64)
+        key_matrix[:, :dimension] = np.rint(normalized.real * inv_quantum)
+        key_matrix[:, dimension:2 * dimension] = np.rint(
+            normalized.imag * inv_quantum
+        )
+        key_matrix[:, 2 * dimension:] = kept_ids
+        key_bytes = key_matrix.tobytes()
+        row_nbytes = key_matrix.shape[1] * key_matrix.itemsize
+
+        # A dropped child has an exact-zero canonical weight, so the
+        # weight row alone distinguishes kept from zero edges.
+        weight_rows = normalized.tolist()
+        id_rows = kept_ids.tolist()
+        new_nodes: list[DDNode] = [TERMINAL]
+        row_node_ids: list[int] = []
+        append_node_id = row_node_ids.append
+        interned: dict[bytes, int] = {}
+        interned_get = interned.get
+        get_node_canonical = table.get_node_canonical
+        make_edge = Edge
+        children = child_nodes
+        zero = 0j
+        digits = range(dimension)
+        position = 0
+        for index in range(num_live):
+            key = key_bytes[position:position + row_nbytes]
+            position += row_nbytes
+            node_id = interned_get(key)
+            if node_id is None:
+                weight_row = weight_rows[index]
+                id_row = id_rows[index]
+                edges = [
+                    make_edge(weight_row[digit], children[id_row[digit]])
+                    if weight_row[digit] != zero
+                    else zero_edge
+                    for digit in digits
+                ]
+                new_nodes.append(get_node_canonical(level, edges))
+                node_id = len(new_nodes) - 1
+                interned[key] = node_id
+            append_node_id(node_id)
+
+        if all_live:
+            weights = factor
+            node_ids = np.asarray(row_node_ids, dtype=np.intp)
+        else:
+            weights = np.zeros(num_blocks, dtype=np.complex128)
+            weights[live_rows] = factor
+            node_ids = np.zeros(num_blocks, dtype=np.intp)
+            node_ids[live_rows] = row_node_ids
+        child_nodes = new_nodes
+
+    root_weight = complex(weights[0])
+    if abs(root_weight) <= WEIGHT_ZERO_CUTOFF:
+        raise StateError("cannot build a decision diagram of the zero state")
+    root = Edge(root_weight, child_nodes[node_ids[0]])
+    return DecisionDiagram(root, register, table)
+
+
+def build_dd_reference(
+    state: StateVector,
+    table: UniqueTable | None = None,
+) -> DecisionDiagram:
+    """Scalar recursive reference kernel for :func:`build_dd`.
+
+    Splits the amplitude array top-down, one Python call per tree node,
+    normalising each node through :func:`normalize_edges`.  Retained as
+    the executable specification the vectorised kernel is benchmarked
+    and property-tested against; prefer :func:`build_dd` everywhere
+    else.
     """
     if table is None:
         table = UniqueTable()

@@ -10,6 +10,7 @@ and approximation routines.
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,7 +23,31 @@ from repro.registers import QuditRegister
 from repro.registers.register import RegisterLike, as_register
 from repro.states.statevector import StateVector
 
-__all__ = ["DecisionDiagram"]
+__all__ = ["DecisionDiagram", "DiagramStats"]
+
+
+@dataclass(frozen=True)
+class DiagramStats:
+    """Structural statistics gathered in one DAG traversal.
+
+    Produced by :meth:`DecisionDiagram.collect_stats`; the fields
+    match the separate :meth:`~DecisionDiagram.num_nodes`,
+    :meth:`~DecisionDiagram.num_edges`,
+    :meth:`~DecisionDiagram.distinct_complex_values` and
+    :meth:`~DecisionDiagram.nodes_per_level` queries exactly.
+
+    Attributes:
+        num_nodes: Distinct reachable non-terminal nodes (DAG size).
+        num_edges: Total out-edges of reachable nodes.
+        distinct_complex: Distinct complex values (root weight plus
+            all edge weights) at the collection tolerance.
+        nodes_per_level: Histogram of distinct nodes by level.
+    """
+
+    num_nodes: int
+    num_edges: int
+    distinct_complex: int
+    nodes_per_level: dict[int, int] = field(default_factory=dict)
 
 
 class DecisionDiagram:
@@ -194,6 +219,39 @@ class DecisionDiagram:
         for node in self.nodes():
             histogram[node.level] = histogram.get(node.level, 0) + 1
         return histogram
+
+    def collect_stats(self, tolerance: float = 1e-12) -> DiagramStats:
+        """Gather all structural statistics in a single traversal.
+
+        ``prepare_state`` used to walk the DAG once per metric (node
+        count, edge count, distinct complex values, per-level
+        histogram); this visits every reachable node exactly once and
+        accumulates all four, which matters when reports are produced
+        for large batches.
+
+        Args:
+            tolerance: Uniquing tolerance for the DistinctC count
+                (matches :meth:`distinct_complex_values`).
+        """
+        num_nodes = 0
+        num_edges = 0
+        histogram: dict[int, int] = {}
+        table = ComplexTable(tolerance)
+        lookup = table.lookup
+        lookup(self._root.weight)
+        for node in self.nodes():
+            num_nodes += 1
+            num_edges += node.dimension
+            level = node.level
+            histogram[level] = histogram.get(level, 0) + 1
+            for edge in node.edges:
+                lookup(edge.weight)
+        return DiagramStats(
+            num_nodes=num_nodes,
+            num_edges=num_edges,
+            distinct_complex=len(table),
+            nodes_per_level=histogram,
+        )
 
     def is_product_at(self, node: DDNode) -> bool:
         """Whether ``node`` factorises from its subtree (tensor rule)."""

@@ -87,6 +87,33 @@ class UniqueTable:
         self._nodes[key] = node
         return node
 
+    def get_node_canonical(
+        self, level: int, edges: Sequence[Edge]
+    ) -> DDNode:
+        """Intern a node whose edges are already canonical.
+
+        Fast path for the vectorised builder, which canonicalises all
+        edge weights of a level in one :meth:`ComplexTable.lookup_many`
+        batch before interning.  The caller guarantees that every
+        weight is a canonical representative of this table's complex
+        table and that zero edges are exact :meth:`Edge.zero` edges;
+        under those preconditions this produces exactly the node
+        :meth:`get_node` would, without re-probing the complex table
+        per edge.
+        """
+        key = (
+            level,
+            tuple([(edge.weight, id(edge.node)) for edge in edges]),
+        )
+        node = self._nodes.get(key)
+        if node is not None:
+            self._hits += 1
+            return node
+        self._misses += 1
+        node = DDNode(level, edges)
+        self._nodes[key] = node
+        return node
+
     def __len__(self) -> int:
         return len(self._nodes)
 

@@ -81,14 +81,16 @@ JobOutcome = Union[JobSuccess, JobFailure]
 
 
 def comparable_report(report: SynthesisReport) -> SynthesisReport:
-    """Return the report with its wall-time column zeroed.
+    """Return the report with all wall-time columns zeroed.
 
-    Synthesis metrics are deterministic; wall time is not.  Serial and
-    parallel executions of the same batch therefore agree exactly on
-    ``comparable_report`` form, which is what the equality tests and
-    benchmarks compare.
+    Synthesis metrics are deterministic; wall times (build, synthesis,
+    verify) are not.  Serial and parallel executions of the same batch
+    therefore agree exactly on ``comparable_report`` form, which is
+    what the equality tests and benchmarks compare.
     """
-    return replace(report, synthesis_time=0.0)
+    return replace(
+        report, synthesis_time=0.0, build_time=0.0, verify_time=0.0
+    )
 
 
 @dataclass(frozen=True)

@@ -11,21 +11,46 @@ purposes in this reproduction:
   number of unique complex values occurring in a decision diagram.
 
 The implementation snaps the real and imaginary parts onto a grid of
-spacing ``tolerance`` and keys a dictionary on the grid coordinates of
-the value and of its immediate grid neighbours, which guarantees that
-any two numbers within ``tolerance/2`` (infinity norm) of each other
-map to the same canonical representative.
+spacing ``tolerance``; each canonical value is stored under its own
+grid cell, and a lookup probes the value's cell plus the eight
+neighbouring cells, which guarantees that any two numbers within
+``tolerance`` (infinity norm) of a stored representative map to that
+representative.  Distinct canonical values can never share a cell:
+two values in the same cell differ by less than the tolerance in both
+components, so the second would have been merged into the first.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 __all__ = ["ComplexTable"]
 
 #: Default snapping tolerance; DD weights are normalised so their
 #: magnitudes are O(1), making an absolute tolerance appropriate.
 DEFAULT_TOLERANCE = 1e-12
+
+#: Offsets of the eight neighbouring grid cells; the value's own cell
+#: is probed first (and exactly once) by :meth:`ComplexTable._find`.
+_NEIGHBOUR_OFFSETS = (
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+)
+
+#: Offsets of the full 3x3 neighbourhood (own cell first), used by the
+#: batched prefilter in :meth:`ComplexTable.lookup_many`.
+_NEIGHBOURHOOD = ((0, 0),) + _NEIGHBOUR_OFFSETS
+
+#: Multipliers of the cell-occupancy hash (64-bit wraparound).  The
+#: batched lookup computes these hashes with NumPy uint64 arithmetic;
+#: :meth:`ComplexTable._hash_cell` is the scalar twin and must stay
+#: bit-identical.
+_HASH_RE = 0x9E3779B97F4A7C15
+_HASH_IM = 0xC2B2AE3D27D4EB4F
+_HASH_MASK = (1 << 64) - 1
 
 
 class ComplexTable:
@@ -41,17 +66,19 @@ class ComplexTable:
         1
     """
 
-    __slots__ = ("_tolerance", "_cells", "_values")
+    __slots__ = ("_tolerance", "_cells", "_values", "_occupied")
 
     def __init__(self, tolerance: float = DEFAULT_TOLERANCE):
         if tolerance <= 0:
             raise ValueError(f"tolerance must be positive, got {tolerance}")
         self._tolerance = tolerance
-        # Maps grid cell -> canonical value whose snapped position
-        # occupies that cell (a value claims its own cell and all eight
-        # neighbours so near-boundary lookups still match).
+        # Maps grid cell -> the canonical value snapped into that cell.
         self._cells: dict[tuple[int, int], complex] = {}
         self._values: list[complex] = []
+        # Occupancy hashes of all stored cells: lets the batched lookup
+        # dismiss a value's whole 3x3 neighbourhood with one set
+        # operation (collisions only cause a harmless slow-path probe).
+        self._occupied: set[int] = set()
 
     @property
     def tolerance(self) -> float:
@@ -62,6 +89,39 @@ class ComplexTable:
         scale = 1.0 / self._tolerance
         return (round(value.real * scale), round(value.imag * scale))
 
+    def _close(self, a: complex, b: complex) -> bool:
+        return (
+            abs(a.real - b.real) <= self._tolerance
+            and abs(a.imag - b.imag) <= self._tolerance
+        )
+
+    def _find(
+        self, value: complex, cell: tuple[int, int]
+    ) -> complex | None:
+        """Return the stored representative of ``value``, if any.
+
+        Probes the value's own cell first, then the eight neighbouring
+        cells (a representative within tolerance always lies in one of
+        the nine).  Shared by :meth:`lookup` and :meth:`__contains__`.
+        """
+        cells = self._cells
+        stored = cells.get(cell)
+        if stored is not None and self._close(stored, value):
+            return stored
+        cell_re, cell_im = cell
+        for delta_re, delta_im in _NEIGHBOUR_OFFSETS:
+            stored = cells.get((cell_re + delta_re, cell_im + delta_im))
+            if stored is not None and self._close(stored, value):
+                return stored
+        return None
+
+    @staticmethod
+    def _hash_cell(cell_re: int, cell_im: int) -> int:
+        """Occupancy hash of a grid cell (matches the NumPy batch)."""
+        return (
+            (cell_re * _HASH_RE) & _HASH_MASK
+        ) ^ ((cell_im * _HASH_IM) & _HASH_MASK)
+
     def lookup(self, value: complex) -> complex:
         """Return the canonical representative of ``value``.
 
@@ -70,43 +130,94 @@ class ComplexTable:
         """
         value = complex(value)
         cell = self._cell_of(value)
-        found = self._cells.get(cell)
-        if found is not None and self._close(found, value):
+        found = self._find(value, cell)
+        if found is not None:
             return found
-        # Check neighbouring cells for an existing representative that
-        # is within tolerance (handles values near a cell boundary).
-        for dre in (-1, 0, 1):
-            for dim in (-1, 0, 1):
-                neighbour = self._cells.get((cell[0] + dre, cell[1] + dim))
-                if neighbour is not None and self._close(neighbour, value):
-                    return neighbour
-        self._insert(value, cell)
+        self._cells[cell] = value
+        self._values.append(value)
+        self._occupied.add(self._hash_cell(*cell))
         return value
 
-    def _close(self, a: complex, b: complex) -> bool:
-        return (
-            abs(a.real - b.real) <= self._tolerance
-            and abs(a.imag - b.imag) <= self._tolerance
-        )
+    def lookup_many(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`lookup` over an array of values.
 
-    def _insert(self, value: complex, cell: tuple[int, int]) -> None:
-        self._values.append(value)
-        for dre in (-1, 0, 1):
-            for dim in (-1, 0, 1):
-                key = (cell[0] + dre, cell[1] + dim)
-                # First value in a cell wins; later near-duplicates are
-                # resolved through the canonical representative anyway.
-                self._cells.setdefault(key, value)
+        Grid cells and 3x3-neighbourhood occupancy hashes are computed
+        for the whole array in one NumPy pass; per value, one
+        ``set.isdisjoint`` call then decides whether the neighbourhood
+        can possibly hold a representative.  Fresh values (the common
+        case during decision-diagram construction) insert without any
+        dictionary probing; the rest fall back to the exact
+        :meth:`lookup` probe, so the merge semantics — including
+        insertion order — are identical.  Repeated identical inputs
+        are resolved through a batch-local memo.  Intended for O(1)
+        magnitudes, where the grid coordinates fit int64.
+
+        Returns:
+            An array of the same shape whose entries are the canonical
+            representatives of the inputs.
+        """
+        flat = np.ascontiguousarray(values, dtype=np.complex128).ravel()
+        out: np.ndarray | None = None  # copy-on-write of ``flat``
+        scale = 1.0 / self._tolerance
+        cells_re = np.rint(flat.real * scale).astype(np.int64)
+        cells_im = np.rint(flat.imag * scale).astype(np.int64)
+        offsets_re = np.array(
+            [o[0] for o in _NEIGHBOURHOOD], dtype=np.int64
+        )
+        offsets_im = np.array(
+            [o[1] for o in _NEIGHBOURHOOD], dtype=np.int64
+        )
+        hashes = (
+            (cells_re[:, None] + offsets_re[None, :]).astype(np.uint64)
+            * np.uint64(_HASH_RE)
+        ) ^ (
+            (cells_im[:, None] + offsets_im[None, :]).astype(np.uint64)
+            * np.uint64(_HASH_IM)
+        )
+        hash_rows = hashes.tolist()
+        cells_re_list = cells_re.tolist()
+        cells_im_list = cells_im.tolist()
+        values_list = flat.tolist()
+        cells = self._cells
+        occupied = self._occupied
+        occupied_isdisjoint = occupied.isdisjoint
+        occupied_add = occupied.add
+        values_append = self._values.append
+        find = self._find
+        memo: dict[complex, complex] = {}
+        memo_get = memo.get
+        position = -1
+        for value, neighbourhood, cell_re, cell_im in zip(
+            values_list, hash_rows, cells_re_list, cells_im_list
+        ):
+            position += 1
+            canonical = memo_get(value)
+            if canonical is None:
+                if occupied_isdisjoint(neighbourhood):
+                    cells[(cell_re, cell_im)] = value
+                    values_append(value)
+                    occupied_add(neighbourhood[0])
+                    memo[value] = value
+                    continue
+                canonical = find(value, (cell_re, cell_im))
+                if canonical is None:
+                    cells[(cell_re, cell_im)] = value
+                    values_append(value)
+                    occupied_add(neighbourhood[0])
+                    canonical = value
+                memo[value] = canonical
+            if canonical is not value:
+                if out is None:
+                    out = flat.copy()
+                out[position] = canonical
+        if out is None:
+            aliases_input = flat is values or flat.base is not None
+            out = flat.copy() if aliases_input else flat
+        return out.reshape(np.shape(values))
 
     def __contains__(self, value: complex) -> bool:
         value = complex(value)
-        cell = self._cell_of(value)
-        for dre in (-1, 0, 1):
-            for dim in (-1, 0, 1):
-                stored = self._cells.get((cell[0] + dre, cell[1] + dim))
-                if stored is not None and self._close(stored, value):
-                    return True
-        return False
+        return self._find(value, self._cell_of(value)) is not None
 
     def __len__(self) -> int:
         """Number of distinct canonical values stored."""

@@ -12,14 +12,25 @@ Having both lets the test suite cross-validate every gate type.
 """
 
 from repro.simulator.dd_sim import apply_gate_dd, simulate_dd
-from repro.simulator.statevector_sim import apply_gate, simulate
+from repro.simulator.statevector_sim import (
+    GateMatrixCache,
+    apply_gate,
+    apply_gate_inplace,
+    simulate,
+    simulate_inplace,
+    simulate_reference,
+)
 from repro.simulator.unitary_builder import circuit_unitary, gate_unitary
 
 __all__ = [
+    "GateMatrixCache",
     "apply_gate",
     "apply_gate_dd",
+    "apply_gate_inplace",
     "circuit_unitary",
     "gate_unitary",
     "simulate",
     "simulate_dd",
+    "simulate_inplace",
+    "simulate_reference",
 ]

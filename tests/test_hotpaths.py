@@ -1,0 +1,285 @@
+"""Equivalence and speedup guarantees for the vectorised hot paths.
+
+The vectorised DD builder and the in-place simulator must be drop-in
+replacements for the retained scalar references:
+
+* property-based equivalence — random mixed-radix registers with
+  dense, sparse and phase-rich states must produce node-for-node
+  identical diagrams (same DAG size, per-level histogram, root weight,
+  amplitudes) from :func:`build_dd` and :func:`build_dd_reference`
+  (the strategies keep distinct weights separated by far more than
+  the 1e-12 uniquing tolerance; see the builder module docstring for
+  the near-tolerance-collision caveat),
+  and bit-for-bit identical statevectors from :func:`simulate`,
+  :func:`simulate_inplace` and :func:`simulate_reference`;
+* a loose speedup floor — the vectorised kernels must stay at least
+  1.5x faster than the references on a 12-qudit dense random state
+  (the benchmark harness tracks the real, larger factors).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.gates import (
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.core.preparation import prepare_state
+from repro.core.verification import verify_preparation
+from repro.dd.builder import build_dd, build_dd_reference
+from repro.dd.unique_table import UniqueTable
+from repro.simulator.statevector_sim import (
+    GateMatrixCache,
+    simulate,
+    simulate_inplace,
+    simulate_reference,
+)
+from repro.states.fidelity import fidelity
+from repro.states.library import ghz_state, w_state
+from repro.states.statevector import StateVector
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=5), min_size=1, max_size=5
+).map(tuple)
+
+
+@st.composite
+def random_mixed_state(draw):
+    """Dense, sparse or phase-rich random state over random dims."""
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    kind = draw(st.sampled_from(["dense", "sparse", "phase-rich"]))
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(dims))
+    if kind == "phase-rich":
+        # Uniform magnitudes, random phases: stresses the phase
+        # extraction and block deduplication.
+        amplitudes = np.exp(
+            2j * np.pi * rng.uniform(size=size)
+        ).astype(np.complex128)
+    else:
+        amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    if kind == "sparse" and size > 2:
+        kill = rng.choice(size, size=3 * size // 4, replace=False)
+        amplitudes[kill] = 0.0
+        if not np.any(amplitudes):
+            amplitudes[0] = 1.0
+    amplitudes = amplitudes / np.linalg.norm(amplitudes)
+    return StateVector(amplitudes, dims)
+
+
+def assert_same_diagram(vectorized, reference) -> None:
+    """Node-for-node equality of two separately built diagrams."""
+    assert vectorized.num_nodes() == reference.num_nodes()
+    assert vectorized.num_edges() == reference.num_edges()
+    assert vectorized.nodes_per_level() == reference.nodes_per_level()
+    assert vectorized.root.weight == pytest.approx(
+        reference.root.weight, abs=1e-10
+    )
+    assert vectorized.to_statevector().isclose(
+        reference.to_statevector(), tolerance=1e-10
+    )
+
+
+class TestBuilderEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(random_mixed_state())
+    def test_vectorized_builder_matches_reference(self, state):
+        assert_same_diagram(build_dd(state), build_dd_reference(state))
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_mixed_state())
+    def test_vectorized_builder_round_trips(self, state):
+        assert build_dd(state).to_statevector().isclose(
+            state, tolerance=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_mixed_state())
+    def test_canonical_invariants_hold(self, state):
+        for node in build_dd(state).nodes():
+            node.check_invariants()
+
+    @pytest.mark.parametrize(
+        "state",
+        [
+            ghz_state((3, 3, 2)),
+            w_state((3, 6, 2)),
+            StateVector([0, 0, 1, 0, 0, 0], (3, 2)),
+            StateVector([2.0, 0, 0, 0], (2, 2)),
+            StateVector([1j, 0, 0, 0], (2, 2)),
+        ],
+        ids=["ghz", "w", "basis", "unnormalised", "global-phase"],
+    )
+    def test_structured_states_match(self, state):
+        assert_same_diagram(build_dd(state), build_dd_reference(state))
+
+    def test_kernels_share_nodes_through_shared_table(self):
+        table = UniqueTable()
+        first = build_dd(ghz_state((3, 3, 2)), table)
+        second = build_dd_reference(ghz_state((3, 3, 2)), table)
+        assert first.root.node is second.root.node
+
+
+def _random_circuit(dims, seed: int) -> Circuit:
+    """A random circuit mixing all gate kinds over ``dims``."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(dims)
+    num_qudits = len(dims)
+    for _ in range(12):
+        target = int(rng.integers(num_qudits))
+        others = [q for q in range(num_qudits) if q != target]
+        controls = [
+            (q, int(rng.integers(dims[q])))
+            for q in rng.choice(
+                others, size=min(len(others), int(rng.integers(3))),
+                replace=False,
+            )
+        ]
+        kind = rng.integers(4)
+        d = dims[target]
+        if kind == 0 and d >= 2:
+            i, j = rng.choice(d, size=2, replace=False)
+            circuit.append(GivensRotation(
+                target, int(i), int(j),
+                float(rng.uniform(-np.pi, np.pi)),
+                float(rng.uniform(-np.pi, np.pi)),
+                controls,
+            ))
+        elif kind == 1 and d >= 2:
+            i, j = rng.choice(d, size=2, replace=False)
+            circuit.append(PhaseRotation(
+                target, int(i), int(j),
+                float(rng.uniform(-np.pi, np.pi)), controls,
+            ))
+        elif kind == 2:
+            circuit.append(ShiftGate(
+                target, int(rng.integers(1, d + 1)), controls
+            ))
+        else:
+            circuit.append(FourierGate(target, controls))
+    return circuit
+
+
+class TestSimulationEquivalence:
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 2, 2), (2, 3, 4), (5, 2)])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_inplace_matches_simulate_bit_for_bit(self, dims, seed):
+        circuit = _random_circuit(dims, seed)
+        expected = simulate(circuit)
+        buffer = np.zeros(circuit.register.size, dtype=np.complex128)
+        buffer[0] = 1.0
+        simulate_inplace(circuit, buffer, GateMatrixCache())
+        assert np.array_equal(buffer, expected.amplitudes)
+
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 2, 2), (2, 3, 4), (5, 2)])
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_simulate_matches_reference_bit_for_bit(self, dims, seed):
+        circuit = _random_circuit(dims, seed)
+        assert np.array_equal(
+            simulate(circuit).amplitudes,
+            simulate_reference(circuit).amplitudes,
+        )
+
+    def test_inplace_on_synthesised_circuit(self):
+        state = ghz_state((3, 6, 2))
+        circuit = prepare_state(state, verify=False).circuit
+        assert np.array_equal(
+            simulate(circuit).amplitudes,
+            simulate_reference(circuit).amplitudes,
+        )
+        assert verify_preparation(circuit, state) == pytest.approx(1.0)
+
+    def test_simulate_is_immutable(self):
+        circuit = _random_circuit((3, 2, 2), 9)
+        initial = StateVector.zero_state(circuit.register)
+        before = initial.amplitudes.copy()
+        simulate(circuit, initial)
+        assert np.array_equal(initial.amplitudes, before)
+
+
+def _best_of(callable_, repeats: int = 5) -> float:
+    """Minimum wall time over ``repeats`` runs with the GC parked."""
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        best = min(best, elapsed)
+    return best
+
+
+def _assert_speedup(fast, slow, floor: float, label: str) -> None:
+    """Assert ``slow/fast >= floor``, re-measuring once before failing.
+
+    Wall-clock ratios in a shared test process are noisy; the real
+    factors (tracked by ``benchmarks/bench_hotpaths.py``) sit well
+    above the floor, so one clean re-measurement eliminates flakes
+    without masking a genuine regression.
+    """
+    for attempt in range(2):
+        fast_s, slow_s = _best_of(fast), _best_of(slow)
+        if slow_s / fast_s >= floor:
+            return
+    raise AssertionError(
+        f"{label}: only {slow_s / fast_s:.2f}x "
+        f"({fast_s:.3f}s vs {slow_s:.3f}s), expected >= {floor}x"
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_12q_state() -> StateVector:
+    dims = (2, 3, 2, 2, 3, 2, 2, 2, 3, 2, 2, 2)
+    rng = np.random.default_rng(2024)
+    size = int(np.prod(dims))
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    return StateVector(
+        amplitudes / np.linalg.norm(amplitudes), dims
+    )
+
+
+class TestLooseSpeedupFloor:
+    """Loose (>=1.5x) floors; bench_hotpaths.py tracks the real factors."""
+
+    def test_build_dd_at_least_1_5x_faster_than_reference(
+        self, dense_12q_state
+    ):
+        build_dd(dense_12q_state)  # warm caches
+        _assert_speedup(
+            lambda: build_dd(dense_12q_state),
+            lambda: build_dd_reference(dense_12q_state),
+            1.5,
+            "vectorized builder vs scalar reference",
+        )
+
+    def test_verify_at_least_1_5x_faster_than_reference(self):
+        dims = (2, 3, 2, 2, 3, 2, 2, 2, 3, 2)
+        rng = np.random.default_rng(11)
+        size = int(np.prod(dims))
+        amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+        state = StateVector(
+            amplitudes / np.linalg.norm(amplitudes), dims
+        )
+        circuit = prepare_state(state, verify=False).circuit
+        verify_preparation(circuit, state)  # warm caches
+        _assert_speedup(
+            lambda: verify_preparation(circuit, state),
+            lambda: fidelity(
+                state.normalized(), simulate_reference(circuit)
+            ),
+            1.5,
+            "in-place verification vs reference simulation",
+        )
