@@ -60,7 +60,6 @@ from repro.linalg.rotations import (  # noqa: E402
     phase_two_level_matrix,
 )
 from repro.simulator.statevector_sim import (  # noqa: E402
-    simulate,
     simulate_reference,
 )
 from repro.states.fidelity import fidelity  # noqa: E402

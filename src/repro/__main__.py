@@ -7,12 +7,16 @@ Commands:
 * ``scaling`` — run the linear-complexity measurement (E7),
 * ``tradeoff`` — run the approximation trade-off sweep (E8),
 * ``batch`` — run a JSON batch spec through the preparation engine
-  (``python -m repro batch spec.json``; see ``batch --help``).
+  (``python -m repro batch spec.json``; see ``batch --help``),
+* ``serve`` — replay a batch spec as N concurrent clients through the
+  async sharded serving layer (``python -m repro serve spec.json
+  --clients 32``; see ``serve --help``).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
@@ -114,6 +118,21 @@ def _batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_stats_json(stats) -> dict[str, object]:
+    """Engine counters as emitted by the ``--json`` modes."""
+    return {
+        "jobs_submitted": stats.jobs_submitted,
+        "jobs_executed": stats.jobs_executed,
+        "jobs_failed": stats.jobs_failed,
+        "cache_lookups": stats.cache_lookups,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_evictions": stats.cache_evictions,
+        "disk_hits": stats.disk_hits,
+        "disk_write_errors": stats.disk_write_errors,
+    }
+
+
 def _batch_rows(outcomes) -> list[list[object]]:
     rows = []
     for outcome in outcomes:
@@ -201,15 +220,7 @@ def _run_batch(arguments: list[str]) -> int:
                 for o in batch.outcomes
             ],
             "wall_time": batch.wall_time,
-            "stats": {
-                "jobs_submitted": stats.jobs_submitted,
-                "jobs_executed": stats.jobs_executed,
-                "jobs_failed": stats.jobs_failed,
-                "cache_hits": stats.cache_hits,
-                "cache_misses": stats.cache_misses,
-                "cache_evictions": stats.cache_evictions,
-                "disk_hits": stats.disk_hits,
-            },
+            "stats": _engine_stats_json(stats),
         }, indent=2))
     else:
         print(render_table(
@@ -237,6 +248,175 @@ def _run_batch(arguments: list[str]) -> int:
     return 0 if not batch.failures else 1
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Replay a batch spec as N concurrent clients through the "
+            "async serving layer (micro-batching + sharded cache; "
+            "see docs/engine.md, 'Serving')."
+        ),
+    )
+    parser.add_argument("spec", help="path to the batch-spec JSON file")
+    parser.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="concurrent clients, each submitting the whole spec "
+             "(default: 8)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="cache shards (default: 4; 1 disables sharding)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=32, metavar="N",
+        help="micro-batch size cap (default: 32)",
+    )
+    parser.add_argument(
+        "--batch-delay-ms", type=float, default=5.0, metavar="MS",
+        help="micro-batch coalescing window (default: 5 ms)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="use a process pool with N workers inside the engine",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="root of the persistent sharded disk cache",
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=256, metavar="N",
+        help="total in-memory cache entries across shards "
+             "(default: 256)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify every client's outcomes against a serial "
+             "reference engine",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text",
+    )
+    return parser
+
+
+async def _serve_clients(service, jobs, num_clients):
+    async with service:
+        return await asyncio.gather(*(
+            service.run_batch(jobs) for _ in range(num_clients)
+        ))
+
+
+def _run_serve(arguments: list[str]) -> int:
+    from repro.engine import (
+        ParallelExecutor,
+        PreparationEngine,
+        comparable_outcome,
+        load_batch_spec,
+    )
+    from repro.exceptions import EngineError
+    from repro.service import AsyncPreparationService
+
+    options = _serve_parser().parse_args(arguments)
+    if options.clients < 1:
+        print("error: --clients must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        jobs = load_batch_spec(options.spec)
+        executor = (
+            ParallelExecutor(max_workers=options.workers)
+            if options.workers is not None
+            else None
+        )
+        service = AsyncPreparationService(
+            num_shards=options.shards,
+            cache_capacity=options.cache_capacity,
+            disk_dir=options.cache_dir,
+            executor=executor,
+            max_batch_size=options.batch_size,
+            max_batch_delay=options.batch_delay_ms / 1000.0,
+        )
+        results = asyncio.run(
+            _serve_clients(service, jobs, options.clients)
+        )
+    except EngineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = service.stats()
+    wall_time = max(result.wall_time for result in results)
+    total_requests = options.clients * len(jobs)
+    failures = sum(len(result.failures) for result in results)
+
+    check_ok = None
+    if options.check:
+        reference = PreparationEngine().run_batch(jobs)
+        expected = [
+            comparable_outcome(outcome)
+            for outcome in reference.outcomes
+        ]
+        check_ok = all(
+            [comparable_outcome(o) for o in result.outcomes]
+            == expected
+            for result in results
+        )
+
+    if options.as_json:
+        payload = {
+            "clients": options.clients,
+            "jobs_per_client": len(jobs),
+            "requests": total_requests,
+            "failures": failures,
+            "wall_time": wall_time,
+            "requests_per_second": (
+                total_requests / wall_time if wall_time > 0 else None
+            ),
+            "service": {
+                "batches_dispatched": stats.batches_dispatched,
+                "largest_batch": stats.largest_batch,
+                "full_batches": stats.full_batches,
+            },
+            "engine": _engine_stats_json(stats.engine),
+            "shards": [
+                shard_stats.as_dict()
+                for shard_stats in (
+                    service.engine.cache.shard_stats()
+                    if hasattr(service.engine.cache, "shard_stats")
+                    else []
+                )
+            ],
+        }
+        if check_ok is not None:
+            payload["check"] = check_ok
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"served {total_requests} requests "
+            f"({options.clients} clients x {len(jobs)} jobs) "
+            f"in {wall_time:.3f}s "
+            f"= {total_requests / max(wall_time, 1e-9):.1f} req/s"
+        )
+        print("service stats: " + stats.summary())
+        if hasattr(service.engine.cache, "shard_stats"):
+            per_shard = service.engine.cache.shard_stats()
+            print(
+                "shard hits: "
+                + " ".join(
+                    f"[{index}]={shard.hits}"
+                    for index, shard in enumerate(per_shard)
+                )
+            )
+        if failures:
+            print(f"{failures} request(s) FAILED", file=sys.stderr)
+        if check_ok is not None:
+            print(
+                "determinism check vs serial engine: "
+                + ("OK" if check_ok else "MISMATCH")
+            )
+    if check_ok is False:
+        return 1
+    return 0 if failures == 0 else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in {"-h", "--help"}:
@@ -253,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_tradeoff()
     if command == "batch":
         return _run_batch(rest)
+    if command == "serve":
+        return _run_serve(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__, file=sys.stderr)
     return 2

@@ -14,7 +14,6 @@ mass`` exactly.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.dd.builder import normalize_edges

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.dd.edge import Edge
-from repro.dd.node import TERMINAL, DDNode
+from repro.dd.node import DDNode
 from repro.linalg.complex_table import ComplexTable
 
 __all__ = ["UniqueTable"]

@@ -36,6 +36,7 @@ from repro.engine.results import (
     JobFailure,
     JobOutcome,
     JobSuccess,
+    comparable_outcome,
     comparable_report,
 )
 from repro.engine.spec import job_from_dict, jobs_from_spec, load_batch_spec
@@ -57,6 +58,7 @@ __all__ = [
     "SerialExecutor",
     "SynthesisOptions",
     "as_executor",
+    "comparable_outcome",
     "comparable_report",
     "content_key",
     "job_from_dict",

@@ -38,6 +38,13 @@ __all__ = ["CacheEntry", "CacheStats", "CircuitCache"]
 class CacheStats:
     """Counters of cache traffic.
 
+    The invariant ``hits + misses == lookups`` holds by construction:
+    ``lookups`` is the derived sum, not an independent counter, so no
+    interleaving of concurrent updates and snapshot reads can tear it.
+    Only counted lookups (:meth:`CircuitCache.get` /
+    :meth:`CircuitCache.get_if_present`) touch the counters;
+    :meth:`CircuitCache.peek` and ``in`` touch none.
+
     Attributes:
         hits: Lookups served (memory or disk).
         misses: Lookups that found nothing.
@@ -55,8 +62,22 @@ class CacheStats:
     disk_hits: int = 0
     disk_write_errors: int = 0
 
+    @property
+    def lookups(self) -> int:
+        """Counted lookups: always exactly ``hits + misses``."""
+        return self.hits + self.misses
+
     def as_dict(self) -> dict[str, int]:
-        return dataclasses.asdict(self)
+        payload = {"lookups": self.lookups}
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Field-wise sum of two counter snapshots."""
+        return CacheStats(**{
+            spec.name: getattr(self, spec.name) + getattr(other, spec.name)
+            for spec in dataclasses.fields(self)
+        })
 
 
 @dataclass(frozen=True)
@@ -130,13 +151,48 @@ class CircuitCache:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries or self._disk_path(key) is not None
+        """Whether ``get(key)`` would succeed, without counting.
+
+        Delegates to :meth:`peek`, so a torn or corrupt disk file —
+        which ``get`` treats as a miss — is *not* reported as present.
+        Consistency costs a full parse for disk-resident entries:
+        don't probe membership before a lookup on serving paths — call
+        :meth:`get` / :meth:`get_if_present` directly.
+        """
+        return self.peek(key) is not None
 
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
+    def peek(self, key: str) -> CacheEntry | None:
+        """Uncounted lookup: no stats, no LRU reorder, no promotion.
+
+        Returns exactly what :meth:`get` would return (a disk entry is
+        parse-checked, so corruption degrades to ``None`` here too),
+        making it safe for membership tests that must not skew the
+        hit-rate counters.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        return self._read_disk(key)
+
     def get(self, key: str) -> CacheEntry | None:
         """Return the cached entry for ``key``, counting the lookup."""
+        entry = self.get_if_present(key)
+        if entry is None:
+            self.stats.misses += 1
+        return entry
+
+    def get_if_present(self, key: str) -> CacheEntry | None:
+        """Like :meth:`get`, but an absent key is *not* counted.
+
+        A present entry is a fully counted hit (LRU refresh, disk
+        promotion included); an absent one records nothing.  For
+        serving paths that fall back to another source — e.g. the
+        engine serving an intra-batch duplicate from its primary
+        outcome — where a counted miss would misstate the hit rate.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -148,7 +204,6 @@ class CircuitCache:
             self.stats.disk_hits += 1
             self._insert_memory(entry)
             return entry
-        self.stats.misses += 1
         return None
 
     def put(self, entry: CacheEntry) -> None:

@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -90,38 +91,48 @@ class EngineStats:
         jobs_executed: Jobs that actually ran synthesis (cache misses
             after deduplication).
         jobs_failed: Jobs that ended in a :class:`JobFailure`.
-        cache_hits / cache_misses / cache_stores / cache_evictions /
-            disk_hits: Forwarded from the circuit cache.
+        cache_lookups / cache_hits / cache_misses / cache_stores /
+            cache_evictions / disk_hits / disk_write_errors:
+            Forwarded from the circuit cache
+            (``cache_hits + cache_misses == cache_lookups``).
         total_wall_time: Summed wall time of all ``run_batch`` calls.
     """
 
     jobs_submitted: int
     jobs_executed: int
     jobs_failed: int
+    cache_lookups: int
     cache_hits: int
     cache_misses: int
     cache_stores: int
     cache_evictions: int
     disk_hits: int
+    disk_write_errors: int
     total_wall_time: float
 
     def summary(self) -> str:
         """One-line human-readable form (used by the CLI)."""
-        return (
+        text = (
             f"jobs={self.jobs_submitted} executed={self.jobs_executed} "
             f"failed={self.jobs_failed} cache_hits={self.cache_hits} "
             f"cache_misses={self.cache_misses} "
             f"evictions={self.cache_evictions} "
             f"wall={self.total_wall_time:.3f}s"
         )
+        if self.disk_write_errors:
+            text += f" disk_write_errors={self.disk_write_errors}"
+        return text
 
 
 class PreparationEngine:
     """Batched, cached, parallel state-preparation front end.
 
     Args:
-        cache: A :class:`CircuitCache`, or ``None`` for a default
-            in-memory cache.
+        cache: A :class:`CircuitCache` — or any object with the same
+            ``get`` / ``get_if_present`` / ``peek`` / ``put`` /
+            ``clear`` / ``stats`` surface, such as
+            :class:`repro.service.ShardedCache` — or ``None`` for a
+            default in-memory cache.
         executor: An :class:`ExecutionBackend`, ``"serial"``,
             ``"parallel"``, or ``None`` (serial).
     """
@@ -137,6 +148,10 @@ class PreparationEngine:
         self._jobs_executed = 0
         self._jobs_failed = 0
         self._total_wall_time = 0.0
+        # Serialises run_batch across threads: the cache and the stats
+        # counters are not thread-safe, and the async serving layer
+        # dispatches batches onto executor threads.
+        self._batch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,9 +168,18 @@ class PreparationEngine:
         Identical jobs (same content key) are synthesised once per
         batch; the duplicates are served as cache hits.  Per-job
         errors are captured as :class:`JobFailure` outcomes.
+
+        Thread-safe: concurrent callers are serialised on an internal
+        lock (the cache and stats counters are not thread-safe).
         """
         jobs = list(jobs)
         start = time.perf_counter()
+        with self._batch_lock:
+            return self._run_batch_locked(jobs, start)
+
+    def _run_batch_locked(
+        self, jobs: list[PreparationJob], start: float
+    ) -> BatchResult:
         self._jobs_submitted += len(jobs)
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
 
@@ -186,6 +210,12 @@ class PreparationEngine:
             key = keys[position]
             if key is None:
                 continue
+            if key in dispatch:
+                # A known intra-batch duplicate cannot be in the cache
+                # (its primary just missed); probing again would count
+                # a second spurious miss for the same logical lookup.
+                duplicates.append(position)
+                continue
             entry = self.cache.get(key)
             if entry is not None:
                 outcomes[position] = JobSuccess(
@@ -195,8 +225,6 @@ class PreparationEngine:
                     report=entry.report,
                     cache_hit=True,
                 )
-            elif key in dispatch:
-                duplicates.append(position)
             else:
                 dispatch[key] = position
 
@@ -220,9 +248,14 @@ class PreparationEngine:
 
         # Serve intra-batch duplicates; the cache now holds every key
         # whose primary job succeeded, so these lookups count as hits.
+        # ``get_if_present`` counts a hit (with LRU refresh and disk
+        # promotion) but records nothing for an absent key: a cache
+        # that retains nothing (capacity 0, no disk) must not log a
+        # spurious *miss* for a slot that is served from the primary
+        # outcome either way.
         for position in duplicates:
             key = keys[position]
-            entry = self.cache.get(key)
+            entry = self.cache.get_if_present(key)
             if entry is not None:
                 outcomes[position] = JobSuccess(
                     job=jobs[position],
@@ -266,11 +299,13 @@ class PreparationEngine:
             jobs_submitted=self._jobs_submitted,
             jobs_executed=self._jobs_executed,
             jobs_failed=self._jobs_failed,
+            cache_lookups=cache_stats.lookups,
             cache_hits=cache_stats.hits,
             cache_misses=cache_stats.misses,
             cache_stores=cache_stats.stores,
             cache_evictions=cache_stats.evictions,
             disk_hits=cache_stats.disk_hits,
+            disk_write_errors=cache_stats.disk_write_errors,
             total_wall_time=self._total_wall_time,
         )
 

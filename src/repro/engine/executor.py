@@ -93,17 +93,30 @@ class ParallelExecutor(ExecutionBackend):
         self.max_workers = max_workers
         self.chunk_size = chunk_size
 
-    def _resolve_chunk_size(self, num_items: int) -> int:
+    def _resolve_chunk_size(
+        self, num_items: int, num_workers: int | None = None
+    ) -> int:
+        """Chunk size for ``num_items`` spread over ``num_workers``.
+
+        ``run`` clamps the pool to ``min(max_workers, len(items))``
+        and passes that *actual* worker count here; the default target
+        of roughly four chunks per worker is computed against it, not
+        against the configured ``max_workers``, so a pool that is
+        effectively smaller than configured gets proportionally larger
+        chunks.  ``None`` falls back to the same clamp.
+        """
         if self.chunk_size is not None:
             return self.chunk_size
-        return max(1, math.ceil(num_items / (self.max_workers * 4)))
+        if num_workers is None:
+            num_workers = min(self.max_workers, max(num_items, 1))
+        return max(1, math.ceil(num_items / (num_workers * 4)))
 
     def run(self, worker, items):
         items = list(items)
         if not items:
             return []
         workers = min(self.max_workers, len(items))
-        chunk_size = self._resolve_chunk_size(len(items))
+        chunk_size = self._resolve_chunk_size(len(items), workers)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 # ``map`` preserves item order, giving deterministic

@@ -21,6 +21,7 @@ __all__ = [
     "JobFailure",
     "JobOutcome",
     "JobSuccess",
+    "comparable_outcome",
     "comparable_report",
 ]
 
@@ -91,6 +92,26 @@ def comparable_report(report: SynthesisReport) -> SynthesisReport:
     return replace(
         report, synthesis_time=0.0, build_time=0.0, verify_time=0.0
     )
+
+
+def comparable_outcome(outcome: JobOutcome) -> JobOutcome:
+    """Return the outcome stripped of scheduling-dependent fields.
+
+    Wall times and the ``cache_hit`` flag depend on *when* a job ran
+    (backend, batch boundaries, arrival order), not on *what* it
+    computed.  Two executions of the same job — serial batch, process
+    pool, or the async serving layer — are equivalent exactly when
+    their ``comparable_outcome`` forms are equal: same job, key,
+    circuit, and ``comparable_report``, or the same failure.
+    """
+    if outcome.ok:
+        return replace(
+            outcome,
+            report=comparable_report(outcome.report),
+            cache_hit=False,
+            elapsed=0.0,
+        )
+    return replace(outcome, elapsed=0.0)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,37 @@
+"""Async, sharded serving layer over the preparation engine.
+
+Built on the :mod:`repro.engine` seam (see ``docs/engine.md``,
+"Serving"):
+
+* :mod:`repro.service.sharding` — :class:`ShardedCache`, content keys
+  partitioned across N independent circuit-cache shards with
+  aggregated statistics,
+* :mod:`repro.service.batching` — :class:`MicroBatchQueue`, coalescing
+  concurrent single-job requests into bounded micro-batches,
+* :mod:`repro.service.service` — :class:`AsyncPreparationService`,
+  the asyncio front end dispatching micro-batches to
+  ``PreparationEngine.run_batch`` on executor threads.
+
+Outcomes served through this layer are equivalent to a direct serial
+``run_batch`` of the same jobs (compare with
+:func:`repro.engine.comparable_outcome`); the layer changes *when and
+together with what* a job runs, never *what* it computes.
+"""
+
+from repro.service.batching import (
+    BatchQueueStats,
+    MicroBatchQueue,
+    QueuedJob,
+)
+from repro.service.service import AsyncPreparationService, ServiceStats
+from repro.service.sharding import ShardedCache, shard_index
+
+__all__ = [
+    "AsyncPreparationService",
+    "BatchQueueStats",
+    "MicroBatchQueue",
+    "QueuedJob",
+    "ServiceStats",
+    "ShardedCache",
+    "shard_index",
+]

@@ -1,0 +1,193 @@
+"""Micro-batching queue for the async serving layer.
+
+Single-job requests arriving concurrently are worth far more to the
+engine as one batch: intra-batch deduplication collapses identical
+targets, the process pool amortises its dispatch overhead, and the
+cache is probed once per distinct key.  :class:`MicroBatchQueue`
+implements the standard micro-batching trade-off — wait *a little*
+(``max_delay``) to let a batch fill up to ``max_batch_size``, but
+never longer — between many concurrent producers (client coroutines)
+and one consumer (the service's dispatch loop).
+
+All coordination is plain ``asyncio``; nothing here touches threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.engine.jobs import PreparationJob
+from repro.exceptions import EngineError
+
+__all__ = ["BatchQueueStats", "MicroBatchQueue", "QueuedJob"]
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """One enqueued request: the job plus the future its client awaits."""
+
+    job: PreparationJob
+    future: asyncio.Future
+
+
+@dataclass
+class BatchQueueStats:
+    """Counters describing how requests coalesced into batches.
+
+    Attributes:
+        jobs_enqueued: Requests accepted by :meth:`MicroBatchQueue.put`.
+        batches_formed: Micro-batches handed to the consumer.
+        largest_batch: Size of the biggest batch formed so far.
+        full_batches: Batches that reached ``max_batch_size`` (cut by
+            size, not by the delay timer).
+    """
+
+    jobs_enqueued: int = 0
+    batches_formed: int = 0
+    largest_batch: int = 0
+    full_batches: int = 0
+
+    def merged(self, other: "BatchQueueStats") -> "BatchQueueStats":
+        """Combine two snapshots: counters sum, ``largest_batch`` maxes."""
+        return BatchQueueStats(
+            jobs_enqueued=self.jobs_enqueued + other.jobs_enqueued,
+            batches_formed=self.batches_formed + other.batches_formed,
+            largest_batch=max(self.largest_batch, other.largest_batch),
+            full_batches=self.full_batches + other.full_batches,
+        )
+
+
+class _Closed:
+    """Sentinel enqueued by ``close()`` to wake the consumer."""
+
+
+_CLOSED = _Closed()
+
+
+class MicroBatchQueue:
+    """Coalesce concurrently enqueued jobs into bounded micro-batches.
+
+    Args:
+        max_batch_size: Hard cap on jobs per batch (>= 1).
+        max_delay: Seconds the consumer keeps a partially filled batch
+            open after its first job arrived (>= 0; 0 drains only
+            what is already queued, never waits).
+
+    Raises:
+        EngineError: For a non-positive size or negative delay.
+    """
+
+    def __init__(
+        self, max_batch_size: int = 32, max_delay: float = 0.005
+    ):
+        if max_batch_size < 1:
+            raise EngineError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if max_delay < 0:
+            raise EngineError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self.max_batch_size = max_batch_size
+        self.max_delay = max_delay
+        self.stats = BatchQueueStats()
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Jobs enqueued but not yet handed out in a batch."""
+        # After close() the queue also holds the sentinel, which is
+        # not a job.
+        return max(
+            0, self._queue.qsize() - (1 if self._closed else 0)
+        )
+
+    def put(self, job: PreparationJob) -> asyncio.Future:
+        """Enqueue a job; returns the future its outcome will land on."""
+        if self._closed:
+            raise EngineError(
+                "micro-batch queue is closed; no new jobs accepted"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(QueuedJob(job=job, future=future))
+        self.stats.jobs_enqueued += 1
+        return future
+
+    def close(self) -> None:
+        """Stop accepting jobs; the consumer drains what is queued.
+
+        After the already-enqueued jobs have been batched out,
+        :meth:`next_batch` returns ``None``.
+        """
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(_CLOSED)
+
+    def drain_pending(self) -> list[QueuedJob]:
+        """Remove and return jobs still queued, without batching them.
+
+        For teardown paths where no consumer will run again (e.g. the
+        dispatcher died): the caller must resolve the returned jobs'
+        futures itself or their awaiters hang forever.
+        """
+        pending: list[QueuedJob] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not isinstance(item, _Closed):
+                pending.append(item)
+        if self._closed:
+            # Keep the sentinel armed for any further next_batch call.
+            self._queue.put_nowait(_CLOSED)
+        return pending
+
+    async def next_batch(self) -> list[QueuedJob] | None:
+        """Wait for the next micro-batch, or ``None`` once drained.
+
+        Blocks until at least one job is available, then keeps the
+        batch open for up to ``max_delay`` seconds or until it holds
+        ``max_batch_size`` jobs, whichever comes first.  Jobs already
+        queued are always drained without waiting.
+        """
+        first = await self._queue.get()
+        if isinstance(first, _Closed):
+            # Re-arm the sentinel so every later call also returns
+            # None instead of blocking on an empty, closed queue.
+            self._queue.put_nowait(_CLOSED)
+            return None
+        batch = [first]
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.max_delay
+        while len(batch) < self.max_batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if isinstance(item, _Closed):
+                # Put the sentinel back so the *next* call returns
+                # None; this batch still carries the drained jobs.
+                self._queue.put_nowait(_CLOSED)
+                break
+            batch.append(item)
+        self.stats.batches_formed += 1
+        self.stats.largest_batch = max(
+            self.stats.largest_batch, len(batch)
+        )
+        if len(batch) == self.max_batch_size:
+            self.stats.full_batches += 1
+        return batch

@@ -1,0 +1,304 @@
+"""Asyncio front end over the :class:`~repro.engine.PreparationEngine`.
+
+:class:`AsyncPreparationService` turns the blocking, batch-oriented
+engine into a concurrent server: any number of client coroutines
+``await submit(job)`` (or ``run_batch(jobs)``), their requests are
+coalesced by a :class:`~repro.service.batching.MicroBatchQueue`, and a
+single dispatch loop ships each micro-batch to ``engine.run_batch``
+on an executor thread (``asyncio.to_thread``), keeping the event loop
+free while synthesis runs.
+
+Determinism: the engine itself guarantees that a job's outcome does
+not depend on batch composition (content-addressed caching plus
+intra-batch dedup), so outcomes served through this layer are
+identical to a direct serial ``run_batch`` of the same jobs up to
+scheduling-dependent fields — compare with
+:func:`repro.engine.comparable_outcome`.
+
+Typical use::
+
+    import asyncio
+    from repro.engine import PreparationJob
+    from repro.service import AsyncPreparationService
+
+    async def client(service, dims):
+        return await service.submit(
+            PreparationJob(dims=dims, family="ghz")
+        )
+
+    async def main():
+        async with AsyncPreparationService() as service:
+            outcomes = await asyncio.gather(
+                *(client(service, (2, 2)) for _ in range(64))
+            )
+        print(service.stats().summary())
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.engine.cache import CircuitCache
+from repro.engine.engine import EngineStats, PreparationEngine
+from repro.engine.executor import ExecutionBackend
+from repro.engine.jobs import PreparationJob
+from repro.engine.results import BatchResult, JobOutcome
+from repro.exceptions import EngineError
+from repro.service.batching import (
+    BatchQueueStats,
+    MicroBatchQueue,
+    QueuedJob,
+)
+from repro.service.sharding import ShardedCache
+
+__all__ = ["AsyncPreparationService", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of the serving layer plus the engine underneath.
+
+    Attributes:
+        requests: Jobs accepted by ``submit`` / ``run_batch``.
+        batches_dispatched: Micro-batches shipped to the engine.
+        largest_batch: Biggest micro-batch formed so far.
+        full_batches: Micro-batches cut by size, not by the delay.
+        engine: Lifetime engine counters (cache traffic included).
+    """
+
+    requests: int
+    batches_dispatched: int
+    largest_batch: int
+    full_batches: int
+    engine: EngineStats
+
+    def summary(self) -> str:
+        """One-line human-readable form (used by the CLI)."""
+        return (
+            f"requests={self.requests} "
+            f"batches={self.batches_dispatched} "
+            f"largest_batch={self.largest_batch} | "
+            + self.engine.summary()
+        )
+
+
+class AsyncPreparationService:
+    """Concurrent, micro-batching server over a preparation engine.
+
+    Args:
+        engine: The engine to serve from; ``None`` builds a default
+            one backed by a :class:`~repro.service.ShardedCache` with
+            ``num_shards`` shards.
+        num_shards: Shard count of the default cache (ignored when an
+            ``engine`` is given).
+        cache_capacity: Total capacity of the default sharded cache.
+        disk_dir: Disk root of the default sharded cache.
+        executor: Execution backend of the default engine.
+        max_batch_size: Micro-batch size cap.
+        max_batch_delay: Seconds a partial micro-batch stays open.
+
+    The service must be running before ``submit`` is called: either
+    ``await service.start()`` / ``await service.stop()`` explicitly,
+    or use it as an async context manager.  ``stop()`` drains queued
+    jobs before returning — no accepted request is dropped.
+    """
+
+    def __init__(
+        self,
+        engine: PreparationEngine | None = None,
+        *,
+        num_shards: int = 4,
+        cache_capacity: int = 256,
+        disk_dir=None,
+        executor: ExecutionBackend | str | None = None,
+        max_batch_size: int = 32,
+        max_batch_delay: float = 0.005,
+    ):
+        if engine is None:
+            if num_shards < 1:
+                raise EngineError(
+                    f"num_shards must be >= 1, got {num_shards}"
+                )
+            cache: ShardedCache | CircuitCache
+            if num_shards > 1:
+                cache = ShardedCache(
+                    num_shards=num_shards,
+                    capacity=cache_capacity,
+                    disk_dir=disk_dir,
+                )
+            else:
+                cache = CircuitCache(
+                    capacity=cache_capacity, disk_dir=disk_dir
+                )
+            engine = PreparationEngine(cache=cache, executor=executor)
+        self.engine = engine
+        self._max_batch_size = max_batch_size
+        self._max_batch_delay = max_batch_delay
+        self._queue: MicroBatchQueue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        # Serving counters of queues retired by stop(): stats() stays
+        # lifetime-cumulative across stop()/start() cycles, matching
+        # the engine counters it is reported next to.
+        self._retired_stats = BatchQueueStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return (
+            self._dispatcher is not None
+            and not self._dispatcher.done()
+            and self._queue is not None
+            and not self._queue.closed
+        )
+
+    async def start(self) -> "AsyncPreparationService":
+        """Start the dispatch loop; idempotent while running."""
+        if self.running:
+            return self
+        if self._queue is not None:
+            self._retired_stats = self._retired_stats.merged(
+                self._queue.stats
+            )
+        self._queue = MicroBatchQueue(
+            max_batch_size=self._max_batch_size,
+            max_delay=self._max_batch_delay,
+        )
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop(self._queue)
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Drain queued jobs, then stop the dispatch loop."""
+        if self._queue is None or self._dispatcher is None:
+            return
+        self._queue.close()
+        dispatcher, self._dispatcher = self._dispatcher, None
+        try:
+            await dispatcher
+        except asyncio.CancelledError:
+            # The dispatcher died cancelled (teardown mid-batch).
+            # That is *its* cancellation, not ours: swallowing it here
+            # must not abort the caller's cleanup.  Only re-raise when
+            # the caller itself is being cancelled.
+            if not dispatcher.cancelled():
+                raise
+        finally:
+            # A dispatcher that drained normally leaves nothing here.
+            # One that died (cancelled / crashed) leaves queued
+            # requests whose awaiters would otherwise hang forever —
+            # fail them explicitly.
+            for queued in self._queue.drain_pending():
+                if not queued.future.done():
+                    queued.future.set_exception(EngineError(
+                        "service stopped before the request was "
+                        "dispatched"
+                    ))
+
+    async def __aenter__(self) -> "AsyncPreparationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    async def submit(self, job: PreparationJob) -> JobOutcome:
+        """Serve one job; concurrent submissions share micro-batches.
+
+        Per-job errors come back as
+        :class:`~repro.engine.JobFailure` outcomes exactly as from
+        ``engine.run_batch``; only infrastructure-level errors (e.g. a
+        dead worker pool) raise.
+        """
+        if not self.running:
+            raise EngineError(
+                "service is not running; use 'async with' or call "
+                "start() before submit()"
+            )
+        return await self._queue.put(job)
+
+    async def run_batch(
+        self, jobs: Iterable[PreparationJob]
+    ) -> BatchResult:
+        """Serve a batch concurrently, preserving submission order.
+
+        The jobs enter the shared micro-batch queue individually, so
+        batches from several concurrent clients coalesce; outcomes
+        come back in this call's submission order regardless.
+        """
+        jobs = list(jobs)
+        start = time.perf_counter()
+        if not self.running:
+            raise EngineError(
+                "service is not running; use 'async with' or call "
+                "start() before run_batch()"
+            )
+        futures = [self._queue.put(job) for job in jobs]
+        outcomes = await asyncio.gather(*futures)
+        return BatchResult(
+            outcomes=tuple(outcomes),
+            wall_time=time.perf_counter() - start,
+        )
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of serving-layer and engine counters."""
+        queue_stats = self._retired_stats.merged(
+            self._queue.stats
+            if self._queue is not None
+            else BatchQueueStats()
+        )
+        return ServiceStats(
+            requests=queue_stats.jobs_enqueued,
+            batches_dispatched=queue_stats.batches_formed,
+            largest_batch=queue_stats.largest_batch,
+            full_batches=queue_stats.full_batches,
+            engine=self.engine.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self, queue: MicroBatchQueue) -> None:
+        while True:
+            batch = await queue.next_batch()
+            if batch is None:
+                return
+            await self._dispatch(batch)
+
+    async def _dispatch(self, batch: list[QueuedJob]) -> None:
+        jobs = [queued.job for queued in batch]
+        try:
+            result = await asyncio.to_thread(
+                self.engine.run_batch, jobs
+            )
+        except BaseException as error:  # noqa: BLE001 - fan out to waiters
+            for queued in batch:
+                if not queued.future.done():
+                    queued.future.set_exception(error)
+            if not isinstance(error, Exception):
+                # CancelledError (loop shutdown) and other
+                # non-Exception signals must keep propagating, or the
+                # dispatcher task becomes uncancellable and hangs
+                # event-loop teardown.
+                raise
+            return
+        for queued, outcome in zip(batch, result.outcomes):
+            if not queued.future.done():
+                queued.future.set_result(outcome)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"AsyncPreparationService({state}, "
+            f"max_batch_size={self._max_batch_size}, "
+            f"engine={self.engine!r})"
+        )

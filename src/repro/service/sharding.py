@@ -1,0 +1,165 @@
+"""Sharded circuit cache: content keys partitioned across N shards.
+
+A :class:`ShardedCache` fronts ``num_shards`` independent
+:class:`~repro.engine.cache.CircuitCache` instances.  Each content key
+is routed to exactly one shard by a *stable* hash (SHA-256 of the key
+string — Python's built-in ``hash`` is salted per process and would
+scatter a persisted workload differently on every restart).  Because
+the key space partitions cleanly, the sharded cache is observationally
+equivalent to one big cache as long as no shard evicts: the same
+workload produces the same hits, misses, stores, and entries, and the
+aggregated :class:`~repro.engine.cache.CacheStats` sum to the
+unsharded counts.
+
+Why shard at all?  Independent shards are the unit of scale-out: each
+shard has its own LRU bound and its own disk directory
+(``disk_dir/shard-00`` …), so shards can later live behind separate
+locks, processes, or machines without re-keying anything.
+
+The class mirrors the ``CircuitCache`` surface the
+:class:`~repro.engine.PreparationEngine` uses (``get`` / ``peek`` /
+``put`` / ``clear`` / ``stats`` / ``__len__`` / ``__contains__``), so
+it drops into ``PreparationEngine(cache=ShardedCache(...))``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.engine.cache import CacheEntry, CacheStats, CircuitCache
+from repro.exceptions import EngineError
+
+__all__ = ["ShardedCache", "shard_index"]
+
+
+def shard_index(key: str, num_shards: int) -> int:
+    """Stable shard assignment of ``key`` among ``num_shards``.
+
+    Deterministic across processes and Python versions (unlike the
+    built-in ``hash``), and uniform for arbitrary string keys — the
+    engine's hex SHA-256 content keys in particular.
+    """
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class ShardedCache:
+    """N independent ``CircuitCache`` shards behind one cache surface.
+
+    Args:
+        num_shards: Shard count (>= 1).
+        capacity: *Total* in-memory entry bound, split as evenly as
+            possible across shards (earlier shards get the remainder).
+            A nonzero total guarantees every shard at least one entry
+            — a zero-capacity shard would silently never cache the
+            keys routed to it — so for ``capacity < num_shards`` the
+            effective total is ``num_shards``.  0 disables the memory
+            layer everywhere.
+        disk_dir: Root of the persistent layer; each shard owns the
+            subdirectory ``shard-<index>``.  ``None`` keeps all shards
+            purely in memory.
+
+    Raises:
+        EngineError: If ``num_shards`` < 1 or ``capacity`` < 0.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        capacity: int = 256,
+        disk_dir: str | os.PathLike | None = None,
+    ):
+        if num_shards < 1:
+            raise EngineError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        if capacity < 0:
+            raise EngineError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = capacity
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        base, remainder = divmod(capacity, num_shards)
+        self.shards: tuple[CircuitCache, ...] = tuple(
+            CircuitCache(
+                capacity=(
+                    max(1, base + (1 if index < remainder else 0))
+                    if capacity > 0
+                    else 0
+                ),
+                disk_dir=(
+                    self._disk_dir / f"shard-{index:02d}"
+                    if self._disk_dir is not None
+                    else None
+                ),
+            )
+            for index in range(num_shards)
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def disk_dir(self) -> Path | None:
+        return self._disk_dir
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters: the field-wise sum over all shards."""
+        total = CacheStats()
+        for shard in self.shards:
+            total = total.merged(shard.stats)
+        return total
+
+    def shard_stats(self) -> tuple[CacheStats, ...]:
+        """Per-shard counter snapshots, in shard order."""
+        return tuple(replace(shard.stats) for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_index(self, key: str) -> int:
+        return shard_index(key, len(self.shards))
+
+    def shard_for(self, key: str) -> CircuitCache:
+        """The shard that owns ``key``."""
+        return self.shards[self.shard_index(key)]
+
+    # ------------------------------------------------------------------
+    # CircuitCache surface (delegated to the owning shard)
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CacheEntry | None:
+        return self.shard_for(key).get(key)
+
+    def peek(self, key: str) -> CacheEntry | None:
+        return self.shard_for(key).peek(key)
+
+    def get_if_present(self, key: str) -> CacheEntry | None:
+        return self.shard_for(key).get_if_present(key)
+
+    def put(self, entry: CacheEntry) -> None:
+        self.shard_for(entry.key).put(entry)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCache(num_shards={len(self.shards)}, "
+            f"capacity={self._capacity}, entries={len(self)})"
+        )

@@ -23,7 +23,7 @@ from repro.dd.arithmetic import linear_combination, project
 from repro.dd.builder import build_dd, normalize_edges
 from repro.dd.diagram import DecisionDiagram
 from repro.dd.edge import Edge
-from repro.dd.node import TERMINAL, DDNode
+from repro.dd.node import DDNode
 from repro.exceptions import SimulationError
 from repro.states.statevector import StateVector
 

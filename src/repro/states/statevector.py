@@ -8,7 +8,6 @@ builder, and the simulator.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterator, Sequence
 
 import numpy as np

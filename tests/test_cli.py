@@ -3,8 +3,6 @@
 import subprocess
 import sys
 
-import pytest
-
 from repro.__main__ import main
 
 

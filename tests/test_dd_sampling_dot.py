@@ -1,6 +1,5 @@
 """Tests for DD sampling and DOT export."""
 
-import numpy as np
 import pytest
 
 from repro.dd.builder import build_dd

@@ -6,6 +6,7 @@ import pytest
 
 from repro.engine import (
     CacheEntry,
+    CacheStats,
     CircuitCache,
     ParallelExecutor,
     PreparationEngine,
@@ -210,6 +211,77 @@ class TestCircuitCache:
         (tmp_path / "bad.json").write_text("{not json")
         assert cache.get("bad") is None
 
+    def test_contains_agrees_with_get_on_corrupt_disk_file(
+        self, tmp_path
+    ):
+        # Regression: ``__contains__`` used to test mere file
+        # existence, so a torn/corrupt disk file made ``key in cache``
+        # True while ``get(key)`` returned None.
+        cache = CircuitCache(capacity=4, disk_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert "bad" not in cache
+        assert cache.get("bad") is None
+        # A parseable entry is reported present through both paths.
+        entry = self._entry("good")
+        cache.put(entry)
+        fresh = CircuitCache(capacity=4, disk_dir=tmp_path)
+        assert "good" in fresh
+        assert fresh.get("good") is not None
+
+    def test_peek_counts_nothing_and_promotes_nothing(self, tmp_path):
+        writer = CircuitCache(capacity=4, disk_dir=tmp_path)
+        writer.put(self._entry())
+        reader = CircuitCache(capacity=4, disk_dir=tmp_path)
+        peeked = reader.peek("k")
+        assert peeked is not None
+        assert reader.stats == CacheStats()
+        assert len(reader) == 0, "peek must not promote disk entries"
+        # ``in`` is peek-backed: also uncounted.
+        assert "k" in reader
+        assert reader.stats.lookups == 0
+
+    def test_peek_preserves_lru_order(self):
+        cache = CircuitCache(capacity=2)
+        for key in ("a", "b"):
+            cache.put(self._entry(key))
+        cache.peek("a")              # must NOT refresh "a"
+        cache.put(self._entry("c"))  # evicts "a" (still oldest)
+        assert cache.peek("a") is None
+        assert cache.peek("b") is not None
+
+    def test_get_if_present_counts_hits_but_never_misses(self, tmp_path):
+        cache = CircuitCache(capacity=4, disk_dir=tmp_path)
+        assert cache.get_if_present("absent") is None
+        assert cache.stats == CacheStats()      # nothing recorded
+        cache.put(self._entry())
+        assert cache.get_if_present("k") is not None
+        assert cache.stats.hits == 1
+        # Disk-resident entries are promoted, exactly like get().
+        fresh = CircuitCache(capacity=4, disk_dir=tmp_path)
+        assert fresh.get_if_present("k") is not None
+        assert fresh.stats.disk_hits == 1
+        assert len(fresh) == 1
+
+    def test_lookups_is_derived_so_invariant_cannot_tear(self):
+        stats = CacheStats(hits=3, misses=2)
+        assert stats.lookups == 5
+        assert "lookups" in stats.as_dict()
+        merged = stats.merged(CacheStats(hits=1))
+        assert merged.lookups == merged.hits + merged.misses == 6
+
+    def test_lookup_invariant_holds_across_traffic(self, tmp_path):
+        cache = CircuitCache(capacity=2, disk_dir=tmp_path)
+        cache.get("absent")
+        cache.put(self._entry("a"))
+        cache.get("a")
+        cache.put(self._entry("b"))
+        cache.put(self._entry("c"))     # evicts "a" from memory
+        cache.get("a")                  # disk hit
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.lookups == 4
+        assert stats.disk_hits == 1
+
     def test_unwritable_disk_layer_never_raises(self, tmp_path):
         # Pointing disk_dir at an existing *file* makes every write
         # fail; the entry must still be served from memory.
@@ -249,6 +321,22 @@ class TestExecutors:
         assert ParallelExecutor(
             max_workers=4, chunk_size=3
         )._resolve_chunk_size(100) == 3
+
+    def test_chunk_size_uses_actual_worker_count(self):
+        # Regression: the default chunk size divided by the
+        # *configured* max_workers even though ``run`` clamps the pool
+        # to the actual worker count; the actual count must drive the
+        # four-chunks-per-worker target.
+        executor = ParallelExecutor(max_workers=8)
+        assert executor._resolve_chunk_size(100, num_workers=2) == 13
+        assert executor._resolve_chunk_size(100, num_workers=8) == 4
+        # Explicit chunk_size still wins over any worker count.
+        assert ParallelExecutor(
+            max_workers=8, chunk_size=5
+        )._resolve_chunk_size(100, num_workers=2) == 5
+        # Without an explicit count the clamp is applied internally:
+        # 6 items on an 8-wide pool means 6 workers, not 8.
+        assert executor._resolve_chunk_size(6) == 1
 
 
 class TestPreparationEngine:
@@ -428,3 +516,135 @@ class TestPreparationEngine:
         engine.run_batch([a])      # must re-execute
         assert engine.stats().cache_evictions >= 1
         assert engine.stats().jobs_executed == 3
+
+    def test_capacity_zero_dedup_keeps_stats_consistent(self):
+        # Regression: with a cache that retains nothing (capacity 0,
+        # no disk), the duplicate-serving path called ``cache.get``,
+        # recorded a *miss*, and then reported ``cache_hit=True`` —
+        # breaking hits + misses == lookups.
+        engine = PreparationEngine(cache=CircuitCache(capacity=0))
+        job = ghz_job(dims=(2, 2))
+        batch = engine.run_batch([job, job, job])
+        assert [o.ok for o in batch.outcomes] == [True, True, True]
+        assert [o.cache_hit for o in batch.outcomes] == [
+            False, True, True,
+        ]
+        stats = engine.cache.stats
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.misses == 1, "only the primary lookup may miss"
+        assert stats.hits == 0
+
+    def test_dedup_counts_one_lookup_per_served_slot(self):
+        # With a retaining cache, each duplicate is one counted hit —
+        # not a first-pass miss plus a later hit.
+        engine = PreparationEngine()
+        job = ghz_job(dims=(2, 2))
+        engine.run_batch([job, job, job])
+        stats = engine.cache.stats
+        assert (stats.lookups, stats.hits, stats.misses) == (3, 2, 1)
+
+    def test_stats_invariant_across_mixed_traffic(self, tmp_path):
+        engine = PreparationEngine(
+            cache=CircuitCache(capacity=2, disk_dir=tmp_path)
+        )
+        engine.run_batch(MIXED_BATCH + [MIXED_BATCH[0]])
+        engine.run_batch(MIXED_BATCH)
+        stats = engine.stats()
+        assert (
+            stats.cache_hits + stats.cache_misses
+            == stats.cache_lookups
+        )
+
+    def test_disk_write_errors_reach_engine_stats(self, tmp_path):
+        # Regression: EngineStats dropped CacheStats.disk_write_errors,
+        # making disk-layer failures invisible at the engine surface.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        engine = PreparationEngine(
+            cache=CircuitCache(capacity=4, disk_dir=blocker)
+        )
+        outcome = engine.submit(ghz_job(dims=(2, 2)))
+        assert outcome.ok
+        stats = engine.stats()
+        assert stats.disk_write_errors == 1
+        assert "disk_write_errors=1" in stats.summary()
+
+    def test_summary_omits_disk_write_errors_when_clean(self):
+        engine = PreparationEngine()
+        engine.submit(ghz_job(dims=(2, 2)))
+        assert "disk_write_errors" not in engine.stats().summary()
+
+
+class TestDiskCacheSharing:
+    """Cross-process and corruption-recovery behaviour of the disk layer."""
+
+    CHILD_SCRIPT = (
+        "from repro.engine import (CircuitCache, PreparationEngine, "
+        "PreparationJob)\n"
+        "import sys\n"
+        "engine = PreparationEngine("
+        "cache=CircuitCache(disk_dir=sys.argv[1]))\n"
+        "batch = engine.run_batch("
+        "[PreparationJob(dims=(2, 2), family='ghz')])\n"
+        "assert not batch.failures\n"
+        "assert engine.stats().jobs_executed == 1\n"
+    )
+
+    def test_disk_cache_shared_across_processes(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(
+            __import__("pathlib").Path(__file__).resolve().parent.parent
+            / "src"
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src + (os.pathsep + existing if existing else "")
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", self.CHILD_SCRIPT, str(tmp_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+
+        # A fresh engine in *this* process serves the child's work
+        # from the shared directory without executing anything.
+        engine = PreparationEngine(
+            cache=CircuitCache(disk_dir=tmp_path)
+        )
+        outcome = engine.submit(ghz_job(dims=(2, 2)))
+        assert outcome.ok and outcome.cache_hit
+        assert engine.stats().jobs_executed == 0
+        assert engine.stats().disk_hits == 1
+
+    def test_corrupt_disk_file_is_recomputed_and_repaired(
+        self, tmp_path
+    ):
+        engine = PreparationEngine(
+            cache=CircuitCache(capacity=4, disk_dir=tmp_path)
+        )
+        job = ghz_job(dims=(2, 2))
+        first = engine.submit(job)
+        (disk_file,) = tmp_path.glob("*.json")
+        disk_file.write_text("{torn write")
+        engine.cache.clear()   # drop memory so disk must be consulted
+
+        second = engine.submit(job)           # corrupt -> recompute
+        assert second.ok and not second.cache_hit
+        assert engine.stats().jobs_executed == 2
+        assert comparable_report(second.report) == comparable_report(
+            first.report
+        )
+
+        # The recompute rewrote the file: a fresh cache reads it.
+        fresh = PreparationEngine(
+            cache=CircuitCache(disk_dir=tmp_path)
+        )
+        assert fresh.submit(job).cache_hit
+        assert fresh.stats().disk_hits == 1

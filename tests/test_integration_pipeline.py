@@ -7,14 +7,10 @@ the consistency contracts between the report fields.  These tests are
 the regression net for the whole library.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.preparation import prepare_state
-from repro.dd.metrics import (
-    decomposition_tree_size,
-    visited_tree_size,
-)
+from repro.dd.metrics import decomposition_tree_size
 from repro.dd.validation import validate_diagram
 from repro.simulator.dd_sim import simulate_dd
 from repro.simulator.statevector_sim import simulate

@@ -1,6 +1,5 @@
 """Tests for DD measurement/collapse and circuit equivalence."""
 
-import math
 
 import numpy as np
 import pytest

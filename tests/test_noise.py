@@ -1,6 +1,5 @@
 """Tests for the noise-aware threshold study."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.noise import (

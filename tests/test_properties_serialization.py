@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.circuit import qasm
 from repro.circuit.circuit import Circuit
 from repro.circuit.gates import (
-    ClockGate,
     FourierGate,
     GivensRotation,
     PhaseRotation,

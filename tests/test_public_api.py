@@ -57,8 +57,6 @@ class TestVerification:
         ) == pytest.approx(1.0, abs=1e-9)
 
     def test_verify_accepts_unnormalized_target(self):
-        import numpy as np
-
         state = repro.StateVector([2, 0, 0, 0], (2, 2))
         result = repro.prepare_state(
             state.normalized(), verify=False

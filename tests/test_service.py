@@ -1,0 +1,486 @@
+"""Tests for the async sharded serving layer (`repro.service`)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import (
+    CacheEntry,
+    CacheStats,
+    CircuitCache,
+    PreparationEngine,
+    PreparationJob,
+    comparable_outcome,
+)
+from repro.exceptions import EngineError
+from repro.service import (
+    AsyncPreparationService,
+    MicroBatchQueue,
+    ShardedCache,
+    shard_index,
+)
+
+
+def ghz_job(dims=(2, 2), **kwargs) -> PreparationJob:
+    return PreparationJob(dims=dims, family="ghz", **kwargs)
+
+
+WORKLOAD = [
+    PreparationJob(dims=(3, 6, 2), family="ghz"),
+    PreparationJob(dims=(2, 2, 2), family="w"),
+    PreparationJob(dims=(3, 3), family="random", params={"rng": 7}),
+    PreparationJob(dims=(3, 6, 2), family="ghz"),  # duplicate
+]
+
+
+@pytest.fixture(scope="module")
+def entry_factory():
+    """Build real cache entries (one synthesis, many keys)."""
+    outcome = PreparationEngine().submit(ghz_job())
+
+    def build(key: str = "k") -> CacheEntry:
+        return CacheEntry(
+            key=key, circuit=outcome.circuit, report=outcome.report
+        )
+
+    return build
+
+
+class TestShardIndex:
+    def test_deterministic_and_in_range(self):
+        for num_shards in (1, 2, 7):
+            for key in ("a", "b", "deadbeef" * 8):
+                index = shard_index(key, num_shards)
+                assert 0 <= index < num_shards
+                assert index == shard_index(key, num_shards)
+
+    def test_distributes_across_all_shards(self):
+        hit = {shard_index(f"key-{i}", 4) for i in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_not_salted_like_builtin_hash(self):
+        # Pin a value: must be stable across processes and versions.
+        assert shard_index("k", 4) == shard_index("k", 4)
+        assert shard_index("", 1) == 0
+
+
+class TestShardedCache:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(EngineError):
+            ShardedCache(num_shards=0)
+        with pytest.raises(EngineError):
+            ShardedCache(num_shards=2, capacity=-1)
+
+    def test_capacity_split_totals(self):
+        cache = ShardedCache(num_shards=4, capacity=10)
+        assert [s.capacity for s in cache.shards] == [3, 3, 2, 2]
+        assert cache.capacity == 10
+        empty = ShardedCache(num_shards=3, capacity=0)
+        assert [s.capacity for s in empty.shards] == [0, 0, 0]
+
+    def test_nonzero_capacity_never_starves_a_shard(self):
+        # capacity < num_shards must not hand some shards capacity 0:
+        # CircuitCache treats 0 as "memory layer disabled", so keys
+        # routed there would re-synthesise forever.
+        cache = ShardedCache(num_shards=4, capacity=2)
+        assert [s.capacity for s in cache.shards] == [1, 1, 1, 1]
+
+    def test_entry_routed_to_owning_shard(self, entry_factory):
+        cache = ShardedCache(num_shards=4, capacity=8)
+        entry = entry_factory("some-key")
+        cache.put(entry)
+        owner = cache.shard_index("some-key")
+        assert len(cache) == 1
+        for index, shard in enumerate(cache.shards):
+            assert len(shard) == (1 if index == owner else 0)
+        assert cache.get("some-key") is entry
+        assert "some-key" in cache
+        assert cache.peek("some-key") is entry
+
+    def test_stats_aggregate_is_fieldwise_sum(self, entry_factory):
+        cache = ShardedCache(num_shards=3, capacity=9)
+        for index in range(6):
+            cache.put(entry_factory(f"key-{index}"))
+            cache.get(f"key-{index}")
+        cache.get("absent-1")
+        cache.get("absent-2")
+        total = CacheStats()
+        for shard in cache.shards:
+            total = total.merged(shard.stats)
+        assert cache.stats == total
+        assert cache.stats.hits == 6
+        assert cache.stats.misses == 2
+        assert (
+            cache.stats.hits + cache.stats.misses
+            == cache.stats.lookups
+        )
+        assert len(cache.shard_stats()) == 3
+
+    def test_matches_unsharded_cache_on_replayed_workload(self):
+        def replay(cache):
+            engine = PreparationEngine(cache=cache)
+            engine.run_batch(WORKLOAD)
+            engine.run_batch(WORKLOAD)
+            return engine
+
+        unsharded = replay(CircuitCache(capacity=64))
+        sharded_cache = ShardedCache(num_shards=4, capacity=64)
+        sharded = replay(sharded_cache)
+        assert sharded_cache.stats == unsharded.cache.stats
+        assert (
+            sharded.stats().cache_hits == unsharded.stats().cache_hits
+        )
+        assert len(sharded_cache) == len(unsharded.cache)
+
+    def test_single_shard_equals_plain_cache(self, entry_factory):
+        plain = CircuitCache(capacity=4)
+        single = ShardedCache(num_shards=1, capacity=4)
+        for cache in (plain, single):
+            cache.put(entry_factory("a"))
+            cache.get("a")
+            cache.get("absent")
+        assert single.stats == plain.stats
+
+    def test_per_shard_disk_directories(self, entry_factory, tmp_path):
+        cache = ShardedCache(num_shards=2, capacity=4, disk_dir=tmp_path)
+        for index in range(4):
+            cache.put(entry_factory(f"key-{index}"))
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert all(name.startswith("shard-") for name in written)
+        files = list(tmp_path.glob("shard-*/*.json"))
+        assert len(files) == 4
+        # Every file sits in the directory of the shard owning its key.
+        for path in files:
+            key = path.stem
+            assert (
+                path.parent.name
+                == f"shard-{cache.shard_index(key):02d}"
+            )
+
+    def test_disk_layer_shared_across_instances(
+        self, entry_factory, tmp_path
+    ):
+        writer = ShardedCache(num_shards=2, capacity=4, disk_dir=tmp_path)
+        writer.put(entry_factory("persisted"))
+        reader = ShardedCache(num_shards=2, capacity=4, disk_dir=tmp_path)
+        loaded = reader.get("persisted")
+        assert loaded is not None
+        assert reader.stats.disk_hits == 1
+
+    def test_contains_consistent_with_corrupt_shard_file(self, tmp_path):
+        cache = ShardedCache(num_shards=2, capacity=4, disk_dir=tmp_path)
+        owner = cache.shard_index("bad")
+        shard_dir = tmp_path / f"shard-{owner:02d}"
+        shard_dir.mkdir(parents=True)
+        (shard_dir / "bad.json").write_text("{not json")
+        assert "bad" not in cache
+        assert cache.get("bad") is None
+
+    def test_engine_integration_warm_rerun(self):
+        engine = PreparationEngine(
+            cache=ShardedCache(num_shards=4, capacity=64)
+        )
+        cold = engine.run_batch(WORKLOAD)
+        warm = engine.run_batch(WORKLOAD)
+        assert not cold.failures
+        assert warm.num_cache_hits == len(WORKLOAD)
+        assert engine.stats().jobs_executed == 3
+
+
+class TestMicroBatchQueue:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(EngineError):
+            MicroBatchQueue(max_batch_size=0)
+        with pytest.raises(EngineError):
+            MicroBatchQueue(max_delay=-1.0)
+
+    def test_drains_already_queued_jobs_into_one_batch(self):
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=8, max_delay=0.0)
+            futures = [queue.put(ghz_job()) for _ in range(5)]
+            batch = await queue.next_batch()
+            assert [q.future for q in batch] == futures
+            assert queue.stats.batches_formed == 1
+            assert queue.stats.largest_batch == 5
+            assert queue.stats.jobs_enqueued == 5
+
+        asyncio.run(scenario())
+
+    def test_max_batch_size_is_a_hard_cap(self):
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=2, max_delay=0.0)
+            for _ in range(5):
+                queue.put(ghz_job())
+            sizes = [
+                len(await queue.next_batch()) for _ in range(3)
+            ]
+            assert sizes == [2, 2, 1]
+            assert queue.stats.full_batches == 2
+
+        asyncio.run(scenario())
+
+    def test_close_drains_then_signals_none(self):
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=8, max_delay=0.0)
+            for _ in range(3):
+                queue.put(ghz_job())
+            assert queue.pending() == 3
+            queue.close()
+            assert queue.pending() == 3  # sentinel is not a job
+            batch = await queue.next_batch()
+            assert len(batch) == 3
+            assert queue.pending() == 0
+            assert await queue.next_batch() is None
+            assert await queue.next_batch() is None  # stays closed
+            assert queue.pending() == 0
+            with pytest.raises(EngineError, match="closed"):
+                queue.put(ghz_job())
+
+        asyncio.run(scenario())
+
+    def test_delay_window_collects_late_arrivals(self):
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=8, max_delay=0.2)
+
+            async def late_producer():
+                await asyncio.sleep(0.01)
+                queue.put(ghz_job())
+
+            queue.put(ghz_job())
+            producer = asyncio.ensure_future(late_producer())
+            batch = await queue.next_batch()
+            await producer
+            assert len(batch) == 2
+
+        asyncio.run(scenario())
+
+
+class TestAsyncPreparationService:
+    def test_outcomes_match_serial_engine(self):
+        async def scenario():
+            async with AsyncPreparationService(num_shards=4) as service:
+                return await service.run_batch(WORKLOAD)
+
+        served = asyncio.run(scenario())
+        reference = PreparationEngine().run_batch(WORKLOAD)
+        assert [
+            comparable_outcome(o) for o in served.outcomes
+        ] == [comparable_outcome(o) for o in reference.outcomes]
+
+    def test_concurrent_clients_smoke(self):
+        # The short concurrency smoke run by CI: 32 clients at once.
+        num_clients = 32
+        jobs = [ghz_job(), PreparationJob(dims=(2, 2, 2), family="w")]
+
+        async def scenario():
+            async with AsyncPreparationService(num_shards=2) as service:
+                results = await asyncio.gather(*(
+                    service.run_batch(jobs) for _ in range(num_clients)
+                ))
+            return results, service.stats()
+
+        results, stats = asyncio.run(scenario())
+        assert len(results) == num_clients
+        assert all(not result.failures for result in results)
+        assert stats.requests == num_clients * len(jobs)
+        assert stats.batches_dispatched < stats.requests
+        assert stats.engine.jobs_executed == len(jobs)
+        reference = PreparationEngine().run_batch(jobs)
+        expected = [
+            comparable_outcome(o) for o in reference.outcomes
+        ]
+        for result in results:
+            assert [
+                comparable_outcome(o) for o in result.outcomes
+            ] == expected
+
+    def test_single_submissions_coalesce_into_micro_batches(self):
+        async def scenario():
+            async with AsyncPreparationService(
+                max_batch_size=16, max_batch_delay=0.05
+            ) as service:
+                outcomes = await asyncio.gather(*(
+                    service.submit(ghz_job()) for _ in range(6)
+                ))
+            return outcomes, service.stats()
+
+        outcomes, stats = asyncio.run(scenario())
+        assert all(outcome.ok for outcome in outcomes)
+        assert stats.requests == 6
+        # All six submissions were queued before the dispatcher woke,
+        # so they travel as one engine batch.
+        assert stats.batches_dispatched == 1
+        assert stats.largest_batch == 6
+        assert stats.engine.jobs_executed == 1  # dedup inside batch
+
+    def test_failures_are_outcomes_not_exceptions(self):
+        bad = ghz_job(params={"levels": 5})
+
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                return await service.run_batch([ghz_job(), bad])
+
+        result = asyncio.run(scenario())
+        assert [o.ok for o in result.outcomes] == [True, False]
+        assert result.outcomes[1].error_type == "DimensionError"
+
+    def test_submit_requires_running_service(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            with pytest.raises(EngineError, match="not running"):
+                await service.submit(ghz_job())
+            async with service:
+                outcome = await service.submit(ghz_job())
+                assert outcome.ok
+            with pytest.raises(EngineError, match="not running"):
+                await service.submit(ghz_job())
+
+        asyncio.run(scenario())
+
+    def test_stop_drains_pending_requests(self):
+        async def scenario():
+            service = AsyncPreparationService(
+                max_batch_size=4, max_batch_delay=0.2
+            )
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(ghz_job()))
+                for _ in range(6)
+            ]
+            await asyncio.sleep(0)   # let every submit enqueue
+            await service.stop()     # must not drop queued jobs
+            outcomes = await asyncio.gather(*tasks)
+            assert all(outcome.ok for outcome in outcomes)
+
+        asyncio.run(scenario())
+
+    def test_restart_after_stop(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            async with service:
+                first = await service.submit(ghz_job())
+            async with service:
+                second = await service.submit(ghz_job())
+            assert first.ok and second.ok
+            # Second run is served from the engine's warm cache.
+            assert second.cache_hit
+            return service.stats()
+
+        stats = asyncio.run(scenario())
+        # Serving counters are lifetime-cumulative across restarts,
+        # like the engine counters they sit next to.
+        assert stats.requests == 2
+        assert stats.batches_dispatched == 2
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(EngineError, match="num_shards"):
+            AsyncPreparationService(num_shards=0)
+        with pytest.raises(EngineError, match="num_shards"):
+            AsyncPreparationService(num_shards=-3)
+
+    def test_cancellation_propagates_out_of_dispatch(self, monkeypatch):
+        # A CancelledError raised while a micro-batch is in flight
+        # (event-loop teardown) must cancel the waiters AND keep
+        # propagating so the dispatcher task itself dies; swallowing
+        # it would leave an uncancellable loop that hangs shutdown.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+
+            def cancelled_run_batch(jobs):
+                raise asyncio.CancelledError
+
+            monkeypatch.setattr(
+                service.engine, "run_batch", cancelled_run_batch
+            )
+            with pytest.raises(asyncio.CancelledError):
+                await service.submit(ghz_job())
+            await asyncio.sleep(0)
+            assert service._dispatcher.done()
+            assert not service.running
+            # Stopping a service whose dispatcher died cancelled must
+            # not re-raise that stale CancelledError into the caller.
+            await service.stop()
+            await service.stop()   # idempotent
+
+        asyncio.run(scenario())
+
+    def test_stop_fails_requests_stranded_by_dead_dispatcher(self):
+        # If the dispatcher is cancelled while requests are still
+        # queued, stop() must resolve those futures (with an error)
+        # instead of leaving their awaiters hanging forever.
+        async def scenario():
+            service = AsyncPreparationService(
+                max_batch_size=1, max_batch_delay=0.0
+            )
+            await service.start()
+            waiters = [
+                asyncio.ensure_future(service.submit(ghz_job()))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)      # let every submit enqueue
+            service._dispatcher.cancel()
+            await service.stop()
+            # Every awaiter resolves promptly — outcome or error,
+            # never a hang.
+            results = await asyncio.wait_for(
+                asyncio.gather(*waiters, return_exceptions=True),
+                timeout=5.0,
+            )
+            assert len(results) == 3
+            for result in results:
+                assert isinstance(result, BaseException) or result.ok
+            assert any(
+                isinstance(result, EngineError)
+                and "before the request" in str(result)
+                for result in results
+            )
+
+        asyncio.run(scenario())
+
+    def test_custom_engine_is_respected(self):
+        engine = PreparationEngine(cache=CircuitCache(capacity=8))
+
+        async def scenario():
+            async with AsyncPreparationService(engine=engine) as service:
+                await service.submit(ghz_job())
+                return service
+
+        service = asyncio.run(scenario())
+        assert service.engine is engine
+        assert engine.stats().jobs_submitted == 1
+
+    def test_sharded_disk_cache_survives_service_restart(self, tmp_path):
+        async def scenario():
+            async with AsyncPreparationService(
+                num_shards=2, disk_dir=tmp_path
+            ) as service:
+                return await service.submit(ghz_job())
+
+        first = asyncio.run(scenario())
+        assert first.ok and not first.cache_hit
+
+        async def scenario_two():
+            async with AsyncPreparationService(
+                num_shards=2, disk_dir=tmp_path
+            ) as service:
+                outcome = await service.submit(ghz_job())
+                return outcome, service.stats()
+
+        second, stats = asyncio.run(scenario_two())
+        assert second.cache_hit
+        assert stats.engine.disk_hits == 1
+        assert stats.engine.jobs_executed == 0
+
+    def test_stats_summary_readable(self):
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                await service.submit(ghz_job())
+                return service.stats()
+
+        stats = asyncio.run(scenario())
+        text = stats.summary()
+        assert "requests=1" in text
+        assert "jobs=1" in text

@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro serve`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def spec_path(tmp_path) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "jobs": [
+            {"family": "ghz", "dims": [3, 6, 2]},
+            {"family": "ghz", "dims": [3, 6, 2]},
+            {"family": "w", "dims": [2, 2, 2]},
+        ],
+    }))
+    return str(path)
+
+
+def test_serve_runs_concurrent_clients(spec_path, capsys):
+    assert main([
+        "serve", spec_path, "--clients", "8", "--check",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "8 clients x 3 jobs" in out
+    assert "req/s" in out
+    assert "service stats:" in out
+    assert "shard hits:" in out
+    assert "determinism check vs serial engine: OK" in out
+
+
+def test_serve_json_output(spec_path, capsys):
+    assert main([
+        "serve", spec_path, "--clients", "4", "--shards", "4",
+        "--check", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clients"] == 4
+    assert payload["jobs_per_client"] == 3
+    assert payload["requests"] == 12
+    assert payload["failures"] == 0
+    assert payload["check"] is True
+    engine = payload["engine"]
+    assert (
+        engine["cache_hits"] + engine["cache_misses"]
+        == engine["cache_lookups"]
+    )
+    assert engine["jobs_executed"] == 2     # ghz deduplicated
+    assert "disk_write_errors" in engine
+    assert len(payload["shards"]) == 4
+    shard_hits = sum(s["hits"] for s in payload["shards"])
+    assert shard_hits == engine["cache_hits"]
+
+
+def test_serve_single_shard(spec_path, capsys):
+    assert main([
+        "serve", spec_path, "--clients", "2", "--shards", "1",
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["shards"] == []          # plain unsharded cache
+    assert payload["failures"] == 0
+
+
+def test_serve_failing_job_sets_exit_code(tmp_path, capsys):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "jobs": [
+            {"family": "ghz", "dims": [2, 2]},
+            {"family": "ghz", "dims": [2, 2],
+             "params": {"levels": 5}, "label": "impossible"},
+        ],
+    }))
+    assert main(["serve", str(path), "--clients", "2"]) == 1
+    captured = capsys.readouterr()
+    assert "2 request(s) FAILED" in captured.err
+
+
+def test_serve_invalid_spec_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "absent.json")
+    assert main(["serve", missing]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_rejects_zero_clients(spec_path, capsys):
+    assert main(["serve", spec_path, "--clients", "0"]) == 2
+    assert "--clients" in capsys.readouterr().err
+
+
+def test_serve_rejects_zero_shards(spec_path, capsys):
+    assert main(["serve", spec_path, "--shards", "0"]) == 2
+    assert "num_shards" in capsys.readouterr().err
+
+
+def test_serve_disk_cache_round_trip(spec_path, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main([
+        "serve", spec_path, "--clients", "2", "--cache-dir", cache_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "serve", spec_path, "--clients", "2", "--cache-dir", cache_dir,
+        "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["engine"]["jobs_executed"] == 0
+    assert payload["engine"]["disk_hits"] > 0
+
+
+def test_serve_mentioned_in_cli_doc(capsys):
+    assert main([]) == 0
+    assert "serve" in capsys.readouterr().out

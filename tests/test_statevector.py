@@ -166,7 +166,6 @@ class TestComparison:
 
     def test_isclose_rejects_register_mismatch(self):
         a = StateVector([1, 0], (2,))
-        b = StateVector([1, 0], (2, 1)) if False else None
         # Different register shapes are simply not close.
         c = StateVector([1, 0, 0], (3,))
         assert not a.isclose(c)
