@@ -45,6 +45,15 @@ from repro.engine import (
     SynthesisOptions,
     load_batch_spec,
 )
+from repro.pipeline import (
+    Pass,
+    Pipeline,
+    PipelineConfig,
+    PipelineContext,
+    StageTiming,
+    default_pipeline,
+    run_pipeline,
+)
 from repro.registers import QuditRegister
 from repro.simulator import simulate, simulate_dd
 from repro.states import (
@@ -67,11 +76,16 @@ __all__ = [
     "Control",
     "DecisionDiagram",
     "GivensRotation",
+    "Pass",
     "PhaseRotation",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineContext",
     "PreparationEngine",
     "PreparationJob",
     "PreparationResult",
     "QuditRegister",
+    "StageTiming",
     "StateVector",
     "SynthesisOptions",
     "SynthesisReport",
@@ -79,12 +93,14 @@ __all__ = [
     "approximate",
     "basis_state",
     "build_dd",
+    "default_pipeline",
     "dicke_state",
     "embedded_w_state",
     "fidelity",
     "ghz_state",
     "load_batch_spec",
     "prepare_state",
+    "run_pipeline",
     "random_state",
     "simulate",
     "simulate_dd",

@@ -112,10 +112,32 @@ def _batch_parser() -> argparse.ArgumentParser:
         help="in-memory cache entries (default: 256)",
     )
     parser.add_argument(
+        "--pipeline", default=None, metavar="CONFIG.json",
+        help=(
+            "pipeline-config JSON applied as option defaults for "
+            "every job (per-job spec fields still win; see "
+            "docs/pipeline.md)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of a table",
     )
     return parser
+
+
+def _pipeline_defaults(path) -> dict[str, object] | None:
+    """Load a ``--pipeline`` config file into spec defaults.
+
+    Only the fields the file actually names are returned, so a config
+    of just ``{"transpile": "two_qudit"}`` layers over a spec's
+    ``defaults`` without resetting its other option values.
+    """
+    if path is None:
+        return None
+    from repro.pipeline import PipelineConfig
+
+    return PipelineConfig.load_overrides(path)
 
 
 def _engine_stats_json(stats) -> dict[str, object]:
@@ -164,7 +186,7 @@ def _run_batch(arguments: list[str]) -> int:
         PreparationEngine,
         load_batch_spec,
     )
-    from repro.exceptions import EngineError
+    from repro.exceptions import EngineError, PipelineConfigError
 
     options = _batch_parser().parse_args(arguments)
     tuning_given = (
@@ -180,7 +202,10 @@ def _run_batch(arguments: list[str]) -> int:
         )
         return 2
     try:
-        jobs = load_batch_spec(options.spec)
+        jobs = load_batch_spec(
+            options.spec,
+            defaults_override=_pipeline_defaults(options.pipeline),
+        )
         if options.executor == "parallel":
             executor = ParallelExecutor(
                 max_workers=options.workers,
@@ -196,7 +221,7 @@ def _run_batch(arguments: list[str]) -> int:
             executor=executor,
         )
         batch = engine.run_batch(jobs)
-    except EngineError as error:
+    except (EngineError, PipelineConfigError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     stats = engine.stats()
@@ -211,6 +236,7 @@ def _run_batch(arguments: list[str]) -> int:
                     **(
                         {"report": o.report.row(),
                          "timings": o.report.timings(),
+                         "stage_timings": o.stage_timings_dict(),
                          "cache_hit": o.cache_hit}
                         if o.ok
                         else {"error_type": o.error_type,
@@ -289,6 +315,13 @@ def _serve_parser() -> argparse.ArgumentParser:
              "(default: 256)",
     )
     parser.add_argument(
+        "--pipeline", default=None, metavar="CONFIG.json",
+        help=(
+            "pipeline-config JSON applied as option defaults for "
+            "every job (per-job spec fields still win)"
+        ),
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="verify every client's outcomes against a serial "
              "reference engine",
@@ -314,7 +347,7 @@ def _run_serve(arguments: list[str]) -> int:
         comparable_outcome,
         load_batch_spec,
     )
-    from repro.exceptions import EngineError
+    from repro.exceptions import EngineError, PipelineConfigError
     from repro.service import AsyncPreparationService
 
     options = _serve_parser().parse_args(arguments)
@@ -322,7 +355,10 @@ def _run_serve(arguments: list[str]) -> int:
         print("error: --clients must be >= 1", file=sys.stderr)
         return 2
     try:
-        jobs = load_batch_spec(options.spec)
+        jobs = load_batch_spec(
+            options.spec,
+            defaults_override=_pipeline_defaults(options.pipeline),
+        )
         executor = (
             ParallelExecutor(max_workers=options.workers)
             if options.workers is not None
@@ -339,7 +375,7 @@ def _run_serve(arguments: list[str]) -> int:
         results = asyncio.run(
             _serve_clients(service, jobs, options.clients)
         )
-    except EngineError as error:
+    except (EngineError, PipelineConfigError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     stats = service.stats()

@@ -19,12 +19,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dd.builder import build_dd
 from repro.dd.metrics import (
     synthesis_operation_count,
     visited_tree_size,
 )
 from repro.exceptions import DimensionError
+from repro.pipeline import BuildPass, CoercePass, Pipeline
 from repro.states.statevector import StateVector
 
 __all__ = [
@@ -71,9 +71,14 @@ class OrderingPoint:
     operations: int
 
 
+#: The build front of the pipeline; each ordering re-runs only these
+#: two stages on the permuted state.
+_FRONT = Pipeline([CoercePass(), BuildPass()])
+
+
 def _measure(state: StateVector, permutation: tuple[int, ...]) -> OrderingPoint:
     reordered = reorder_state(state, permutation)
-    dd = build_dd(reordered)
+    dd = _FRONT.run(reordered).exact_diagram
     return OrderingPoint(
         permutation=permutation,
         dims=reordered.dims,

@@ -10,21 +10,31 @@ Two experiment drivers used by the benchmark suite and the examples:
   records diagram size, operation count, and achieved fidelity,
   quantifying the "finely controlled trade-off between accuracy,
   memory complexity and number of operations" of the abstract.
+
+Both drivers are built from the pipeline passes of
+:mod:`repro.pipeline` rather than re-chaining the stages by hand: the
+front half (coerce + build) runs once per state, and the stage under
+measurement (synthesis, approximation) is re-run on cloned contexts,
+with its wall time read off the context's own stage-timing ledger.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.synthesis import synthesize_preparation
-from repro.dd.approximation import approximate
-from repro.dd.builder import build_dd
 from repro.dd.metrics import (
     synthesis_operation_count,
     visited_tree_size,
+)
+from repro.pipeline import (
+    ApproximatePass,
+    BuildPass,
+    CoercePass,
+    Pipeline,
+    PipelineConfig,
+    SynthesisPass,
 )
 from repro.states.random_states import random_state
 
@@ -48,6 +58,10 @@ SCALING_DIMS: list[tuple[int, ...]] = [
     (4, 5, 4, 3, 3, 2),
 ]
 
+#: The front half of the pipeline shared by both experiments: state
+#: in, exact decision diagram out.
+_FRONT = Pipeline([CoercePass(), BuildPass()])
+
 
 @dataclass(frozen=True)
 class ScalingPoint:
@@ -67,23 +81,24 @@ def synthesis_scaling(
     """Measure synthesis time across growing random states.
 
     Each point reports the minimum wall time over ``repeats`` runs
-    (minimum is the robust estimator for timing microbenchmarks).
+    (minimum is the robust estimator for timing microbenchmarks),
+    taken from the synthesis stage's own ledger entry.
     """
     points = []
     rng = np.random.default_rng(seed)
+    synthesis = Pipeline([SynthesisPass()])
     for dims in dims_ladder if dims_ladder is not None else SCALING_DIMS:
         state = random_state(dims, rng=rng)
-        dd = build_dd(state)
+        front = _FRONT.run(state)
         best = float("inf")
         for _ in range(max(1, repeats)):
-            start = time.perf_counter()
-            synthesize_preparation(dd)
-            best = min(best, time.perf_counter() - start)
+            timed = synthesis.run_context(front.clone())
+            best = min(best, timed.stage_seconds("synthesize"))
         points.append(
             ScalingPoint(
                 dims=dims,
-                visited_nodes=visited_tree_size(dd),
-                operations=synthesis_operation_count(dd),
+                visited_nodes=visited_tree_size(front.exact_diagram),
+                operations=synthesis_operation_count(front.exact_diagram),
                 synthesis_seconds=best,
             )
         )
@@ -106,25 +121,37 @@ def approximation_tradeoff(
     thresholds: list[float] | None = None,
     seed: int = 11,
 ) -> list[TradeoffPoint]:
-    """Sweep approximation thresholds on one random state."""
+    """Sweep approximation thresholds on one random state.
+
+    The diagram is built once; each threshold re-runs only the
+    approximation stage on a cloned context.
+    """
     if thresholds is None:
         thresholds = [1.0, 0.99, 0.98, 0.95, 0.90, 0.80, 0.70, 0.50]
     state = random_state(dims, rng=seed)
-    dd = build_dd(state)
+    front = _FRONT.run(state)
+    approximation = Pipeline([ApproximatePass()])
     points = []
     for threshold in thresholds:
-        if threshold >= 1.0:
-            pruned, achieved = dd, 1.0
-        else:
-            result = approximate(dd, threshold)
-            pruned, achieved = result.diagram, result.fidelity
+        # Thresholds at or above 1.0 mean "exact" (the pass no-ops);
+        # clamp so historical callers passing e.g. 1.05 keep working.
+        context = approximation.run_context(
+            front.clone(
+                config=PipelineConfig(min_fidelity=min(threshold, 1.0))
+            )
+        )
+        achieved = (
+            context.approximation.fidelity
+            if context.approximation is not None
+            else 1.0
+        )
         points.append(
             TradeoffPoint(
                 min_fidelity=threshold,
                 achieved_fidelity=achieved,
-                visited_nodes=visited_tree_size(pruned),
-                operations=synthesis_operation_count(pruned),
-                dag_nodes=pruned.num_nodes(),
+                visited_nodes=visited_tree_size(context.diagram),
+                operations=synthesis_operation_count(context.diagram),
+                dag_nodes=context.diagram.num_nodes(),
             )
         )
     return points

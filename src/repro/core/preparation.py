@@ -1,31 +1,34 @@
-"""High-level state-preparation pipeline (Figure 2 of the paper).
+"""High-level state-preparation entry point (Figure 2 of the paper).
 
-:func:`prepare_state` chains the three steps — state to decision
-diagram, optional fidelity-bounded approximation, synthesis to a
-circuit of multi-controlled rotations — and gathers every metric of
-Table 1 into a :class:`~repro.core.report.SynthesisReport`.
+:func:`prepare_state` is a thin wrapper over the pass-based pipeline
+in :mod:`repro.pipeline`: it folds the historical keyword arguments
+into a :class:`~repro.pipeline.PipelineConfig`, runs the default
+pipeline (state → edge-weighted DD → fidelity-bounded reduction →
+multi-controlled-rotation synthesis → optional transpilation →
+verification), and gathers every metric of Table 1 into a
+:class:`~repro.core.report.SynthesisReport`.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.circuit.circuit import Circuit
-from repro.circuit.stats import statistics
 from repro.core.report import SynthesisReport
-from repro.core.synthesis import synthesize_preparation
-from repro.core.verification import verify_preparation
-from repro.dd import metrics
-from repro.dd.approximation import ApproximationResult, approximate
-from repro.dd.builder import build_dd
+from repro.dd.approximation import ApproximationResult
 from repro.dd.diagram import DecisionDiagram
-from repro.exceptions import ApproximationError
+from repro.exceptions import StateError
 from repro.registers.register import RegisterLike
 from repro.states.statevector import StateVector
+
+if TYPE_CHECKING:
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.context import StageTiming
+    from repro.pipeline.pipeline import Pipeline
 
 __all__ = ["PreparationResult", "prepare_state"]
 
@@ -37,11 +40,15 @@ class PreparationResult:
     Attributes:
         circuit: Preparation circuit; ``circuit`` applied to
             ``|0...0>`` yields the (possibly approximated) target.
+            When the pipeline transpiled, this is the lowered circuit
+            (its register may have gained an ancilla qudit).
         diagram: The decision diagram that was synthesised (after
             approximation, when requested).
         exact_diagram: The diagram before approximation.
         approximation: Pruning details, or ``None`` for exact runs.
         report: The Table 1 metrics of this run.
+        timings: Per-stage wall times in execution order (one
+            :class:`~repro.pipeline.StageTiming` per pass that ran).
     """
 
     circuit: Circuit
@@ -49,6 +56,17 @@ class PreparationResult:
     exact_diagram: DecisionDiagram
     approximation: ApproximationResult | None
     report: SynthesisReport
+    timings: tuple["StageTiming", ...] = ()
+
+    def timings_dict(self) -> dict[str, float]:
+        """Stage ledger as ``{stage: seconds}`` (summing repeats)."""
+        # Local import: repro.pipeline imports from repro.core, so a
+        # module-level import here would be circular.
+        from repro.pipeline.context import aggregate_timings
+
+        return aggregate_timings(
+            (t.stage, t.seconds) for t in self.timings
+        )
 
 
 def _coerce_state(
@@ -58,7 +76,7 @@ def _coerce_state(
     if isinstance(state, StateVector):
         return state
     if dims is None:
-        raise ApproximationError(
+        raise StateError(
             "dims must be provided when passing raw amplitudes"
         )
     return StateVector(np.asarray(state, dtype=np.complex128), dims)
@@ -72,6 +90,9 @@ def prepare_state(
     emit_identity_rotations: bool = True,
     verify: bool = True,
     approximation_granularity: str = "nodes",
+    *,
+    config: "PipelineConfig | None" = None,
+    pipeline: "Pipeline | None" = None,
 ) -> PreparationResult:
     """Synthesise a preparation circuit for an arbitrary state.
 
@@ -88,63 +109,39 @@ def prepare_state(
             in the report (costs one dense simulation).
         approximation_granularity: ``"nodes"`` (paper convention) or
             ``"amplitudes"``; see :func:`repro.dd.approximate`.
+        config: A full :class:`~repro.pipeline.PipelineConfig`; when
+            given it supersedes the individual keyword options above
+            (and is the only way to enable transpilation here).
+        pipeline: A custom :class:`~repro.pipeline.Pipeline`; the
+            default pipeline for ``config`` when ``None``.
 
     Returns:
         A :class:`PreparationResult`; its report's ``synthesis_time``
-        covers DD approximation plus synthesis, mirroring the paper's
-        "Time" column, while ``build_time`` and ``verify_time`` record
-        the construction and verification stages separately.
+        covers DD approximation plus synthesis (plus transpilation,
+        when enabled), mirroring the paper's "Time" column, while
+        ``build_time`` and ``verify_time`` record the construction and
+        verification stages separately.  ``result.timings`` holds the
+        full per-stage ledger.
     """
-    target = _coerce_state(state, dims).normalized()
-    build_start = time.perf_counter()
-    exact_dd = build_dd(target)
-    build_elapsed = time.perf_counter() - build_start
+    # Imported here, not at module level: repro.pipeline imports the
+    # synthesis/verification stages from repro.core, so a top-level
+    # import would be circular.
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.pipeline import run_pipeline
 
-    start = time.perf_counter()
-    approximation: ApproximationResult | None = None
-    diagram = exact_dd
-    if min_fidelity < 1.0:
-        approximation = approximate(
-            exact_dd, min_fidelity,
-            granularity=approximation_granularity,
+    if config is None:
+        # The legacy keyword surface was laxer than PipelineConfig:
+        # fidelity floors above 1.0 meant "exact" and the flags were
+        # taken by truthiness.  Preserve that for existing callers.
+        if isinstance(min_fidelity, (int, float)) and not isinstance(
+            min_fidelity, bool
+        ):
+            min_fidelity = min(float(min_fidelity), 1.0)
+        config = PipelineConfig(
+            min_fidelity=min_fidelity,
+            tensor_elision=bool(tensor_elision),
+            emit_identity_rotations=bool(emit_identity_rotations),
+            verify=bool(verify),
+            approximation_granularity=approximation_granularity,
         )
-        diagram = approximation.diagram
-    circuit = synthesize_preparation(
-        diagram,
-        tensor_elision=tensor_elision,
-        emit_identity_rotations=emit_identity_rotations,
-    )
-    elapsed = time.perf_counter() - start
-
-    circuit_stats = statistics(circuit)
-    achieved: float | None = None
-    verify_elapsed = 0.0
-    if verify:
-        verify_start = time.perf_counter()
-        achieved = verify_preparation(circuit, target)
-        verify_elapsed = time.perf_counter() - verify_start
-    diagram_stats = diagram.collect_stats()
-    report = SynthesisReport(
-        dims=target.dims,
-        tree_nodes=metrics.decomposition_tree_size(target.dims),
-        visited_nodes=metrics.visited_tree_size(diagram),
-        dag_nodes=diagram_stats.num_nodes,
-        distinct_complex=diagram_stats.distinct_complex,
-        operations=circuit_stats.num_operations,
-        median_controls=circuit_stats.median_controls,
-        mean_controls=circuit_stats.mean_controls,
-        synthesis_time=elapsed,
-        fidelity=achieved,
-        approximation_fidelity=(
-            approximation.fidelity if approximation is not None else 1.0
-        ),
-        build_time=build_elapsed,
-        verify_time=verify_elapsed,
-    )
-    return PreparationResult(
-        circuit=circuit,
-        diagram=diagram,
-        exact_diagram=exact_dd,
-        approximation=approximation,
-        report=report,
-    )
+    return run_pipeline(state, dims=dims, config=config, pipeline=pipeline)

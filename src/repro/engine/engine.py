@@ -27,6 +27,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.core.preparation import prepare_state
+from repro.pipeline.pipeline import Pipeline
 from repro.states.statevector import StateVector
 from repro.engine.cache import CacheEntry, CircuitCache
 from repro.engine.executor import ExecutionBackend, as_executor
@@ -41,28 +42,26 @@ from repro.engine.results import (
 __all__ = ["EngineStats", "PreparationEngine"]
 
 
-def _execute_job(task: tuple[PreparationJob, str, StateVector]) -> JobOutcome:
-    """Worker entry point: synthesise one job, capturing any error.
+def _execute_job(
+    task: tuple[PreparationJob, str, StateVector, Pipeline | None],
+) -> JobOutcome:
+    """Worker entry point: run one job's pipeline, capturing any error.
 
     The target state is resolved exactly once, by ``run_batch`` when
     it computes the content key, and shipped here with the task —
     re-resolving would let a nondeterministic builder (e.g. an
     unseeded random family) hand the worker a *different* state than
-    the one the key addresses, poisoning the cache.
+    the one the key addresses, poisoning the cache.  ``pipeline`` is
+    the engine's custom pipeline (``None`` runs the default pipeline
+    for the job's config).
 
     Module-level so it pickles for ``ProcessPoolExecutor`` dispatch.
     """
-    job, key, state = task
-    options = job.options
+    job, key, state, pipeline = task
     start = time.perf_counter()
     try:
         result = prepare_state(
-            state,
-            min_fidelity=options.min_fidelity,
-            tensor_elision=options.tensor_elision,
-            emit_identity_rotations=options.emit_identity_rotations,
-            verify=options.verify,
-            approximation_granularity=options.approximation_granularity,
+            state, config=job.options, pipeline=pipeline
         )
         return JobSuccess(
             job=job,
@@ -71,6 +70,10 @@ def _execute_job(task: tuple[PreparationJob, str, StateVector]) -> JobOutcome:
             report=result.report,
             cache_hit=False,
             elapsed=time.perf_counter() - start,
+            stage_timings=tuple(
+                (timing.stage, timing.seconds)
+                for timing in result.timings
+            ),
         )
     except Exception as error:  # noqa: BLE001 - per-job isolation
         return JobFailure(
@@ -135,15 +138,26 @@ class PreparationEngine:
             default in-memory cache.
         executor: An :class:`ExecutionBackend`, ``"serial"``,
             ``"parallel"``, or ``None`` (serial).
+        pipeline: A custom :class:`~repro.pipeline.Pipeline` every job
+            runs through, or ``None`` for the default pipeline of each
+            job's config.  The pipeline's ``signature()`` is folded
+            into every cache key, so entries computed by different
+            pipelines never alias; it must be picklable to use the
+            parallel executor.
     """
 
     def __init__(
         self,
         cache: CircuitCache | None = None,
         executor: ExecutionBackend | str | None = None,
+        pipeline: Pipeline | None = None,
     ):
         self.cache = cache if cache is not None else CircuitCache()
         self.executor = as_executor(executor)
+        self._pipeline = pipeline
+        self._pipeline_signature = (
+            pipeline.signature() if pipeline is not None else None
+        )
         self._jobs_submitted = 0
         self._jobs_executed = 0
         self._jobs_failed = 0
@@ -156,6 +170,19 @@ class PreparationEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> Pipeline | None:
+        """The engine's custom pipeline (read-only).
+
+        Read-only because the cache keys of everything this engine
+        has stored embed the pipeline's signature: swapping the
+        pipeline on a live engine would serve the old pipeline's
+        circuits under the new one's identity.  Build a new engine
+        (sharing the same cache object is fine — the signatures keep
+        the entries apart) to run a different pipeline.
+        """
+        return self._pipeline
+
     def submit(self, job: PreparationJob) -> JobOutcome:
         """Run a single job through the cache and executor."""
         return self.run_batch([job]).outcomes[0]
@@ -191,7 +218,9 @@ class PreparationEngine:
             try:
                 states[position] = job.resolve_state()
                 keys[position] = content_key(
-                    states[position], job.options
+                    states[position],
+                    job.options,
+                    self._pipeline_signature,
                 )
             except Exception as error:  # noqa: BLE001
                 outcomes[position] = JobFailure(
@@ -230,7 +259,7 @@ class PreparationEngine:
 
         # Execute the unique misses on the configured backend.
         tasks = [
-            (jobs[position], key, states[position])
+            (jobs[position], key, states[position], self._pipeline)
             for key, position in dispatch.items()
         ]
         self._jobs_executed += len(tasks)

@@ -2,15 +2,19 @@
 
 A :class:`PreparationJob` describes *what* to prepare — a target state
 given either as a named family from :mod:`repro.states` or as raw
-amplitudes — together with the :class:`SynthesisOptions` that control
-*how* it is synthesised.  Jobs are plain picklable values: they can be
-shipped to worker processes, serialised to the batch-spec JSON format
-(see :mod:`repro.engine.spec`), and hashed to a stable content key so
-identical requests share one cache entry.
+amplitudes — together with the :class:`~repro.pipeline.PipelineConfig`
+that controls *how* it is synthesised.  Jobs are plain picklable
+values: they can be shipped to worker processes, serialised to the
+batch-spec JSON format (see :mod:`repro.engine.spec`), and hashed to a
+stable content key so identical requests share one cache entry.
 
 The content key is computed from the *resolved* target state, not from
 the job description, so ``{"family": "ghz", "dims": [2, 2]}`` and the
-equivalent raw-amplitude job address the same cached circuit.
+equivalent raw-amplitude job address the same cached circuit.  The key
+also folds in the full pipeline configuration (every field of
+:class:`~repro.pipeline.PipelineConfig`) and, when the engine runs a
+custom pipeline, that pipeline's signature — so a transpiled and a
+plain run of the same state can never alias.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from dataclasses import dataclass, field, fields
 
 import numpy as np
 
-from repro.exceptions import JobSpecError
+from repro.exceptions import JobSpecError, PipelineConfigError
+from repro.pipeline.config import PipelineConfig
 from repro.registers.register import QuditRegister
 from repro.states import library, random_states
 from repro.states.statevector import StateVector
@@ -48,64 +53,33 @@ FAMILY_BUILDERS = {
     "random_sparse": random_states.random_sparse_state,
 }
 
-_GRANULARITIES = ("nodes", "amplitudes")
-
-
 @dataclass(frozen=True)
-class SynthesisOptions:
-    """Per-job knobs forwarded to :func:`repro.prepare_state`.
+class SynthesisOptions(PipelineConfig):
+    """A :class:`~repro.pipeline.PipelineConfig` with job-spec errors.
 
-    Attributes:
-        min_fidelity: Fidelity floor for DD approximation; 1.0 keeps
-            the synthesis exact.
-        tensor_elision: Apply the tensor-product control-elision rule.
-        emit_identity_rotations: Emit zero-angle rotations (paper
-            convention).
-        verify: Simulate the circuit and record the achieved fidelity.
-        approximation_granularity: ``"nodes"`` or ``"amplitudes"``.
+    Field-for-field identical to the pipeline config (``min_fidelity``,
+    ``tensor_elision``, ``emit_identity_rotations``, ``verify``,
+    ``approximation_granularity``, ``transpile``); invalid values
+    raise :class:`~repro.exceptions.JobSpecError` so batch-spec
+    parsing reports one uniform error type.  ``canonical()`` is the
+    inherited content-hash form covering every field.
     """
 
-    min_fidelity: float = 1.0
-    tensor_elision: bool = True
-    emit_identity_rotations: bool = True
-    verify: bool = True
-    approximation_granularity: str = "nodes"
-
     def __post_init__(self) -> None:
-        if isinstance(self.min_fidelity, bool) or not isinstance(
-            self.min_fidelity, (int, float)
-        ):
-            raise JobSpecError(
-                f"min_fidelity must be a number, "
-                f"got {self.min_fidelity!r}"
-            )
-        object.__setattr__(self, "min_fidelity", float(self.min_fidelity))
-        for flag in (
-            "tensor_elision", "emit_identity_rotations", "verify"
-        ):
-            if not isinstance(getattr(self, flag), bool):
-                raise JobSpecError(
-                    f"{flag} must be a boolean, "
-                    f"got {getattr(self, flag)!r}"
-                )
-        if not 0.0 < self.min_fidelity <= 1.0:
-            raise JobSpecError(
-                f"min_fidelity must be in (0, 1], got {self.min_fidelity}"
-            )
-        if self.approximation_granularity not in _GRANULARITIES:
-            raise JobSpecError(
-                "approximation_granularity must be one of "
-                f"{_GRANULARITIES}, got "
-                f"{self.approximation_granularity!r}"
-            )
+        try:
+            super().__post_init__()
+        except PipelineConfigError as error:
+            raise JobSpecError(str(error)) from error
 
-    def canonical(self) -> str:
-        """Stable textual form used for content hashing."""
-        parts = [
-            f"{spec.name}={getattr(self, spec.name)!r}"
-            for spec in fields(self)
-        ]
-        return ";".join(parts)
+    @classmethod
+    def from_config(cls, config: PipelineConfig) -> "SynthesisOptions":
+        """Re-wrap any pipeline config as job options."""
+        if isinstance(config, cls):
+            return config
+        return cls(**{
+            spec.name: getattr(config, spec.name)
+            for spec in fields(PipelineConfig)
+        })
 
 
 def _coerce_amplitudes(
@@ -140,7 +114,9 @@ class PreparationJob:
         family: Named state family, or ``None`` for raw amplitudes.
         params: Keyword arguments for the family builder.
         amplitudes: Raw target amplitudes (normalised on resolution).
-        options: Synthesis options for this job.
+        options: Pipeline configuration for this job; a plain
+            :class:`~repro.pipeline.PipelineConfig` is accepted and
+            re-validated as :class:`SynthesisOptions`.
         label: Free-form display name (defaults to a generated one).
     """
 
@@ -157,6 +133,15 @@ class PreparationJob:
         except Exception as error:
             raise JobSpecError(f"invalid dims {self.dims!r}: {error}") from error
         object.__setattr__(self, "dims", register.dims)
+        if not isinstance(self.options, SynthesisOptions):
+            if not isinstance(self.options, PipelineConfig):
+                raise JobSpecError(
+                    f"options must be a PipelineConfig, "
+                    f"got {self.options!r}"
+                )
+            object.__setattr__(
+                self, "options", SynthesisOptions.from_config(self.options)
+            )
         if (self.family is None) == (self.amplitudes is None):
             raise JobSpecError(
                 "exactly one of 'family' and 'amplitudes' must be given"
@@ -218,13 +203,21 @@ class PreparationJob:
         return description
 
 
-def content_key(state: StateVector, options: SynthesisOptions) -> str:
-    """Stable content hash of a resolved target state plus options.
+def content_key(
+    state: StateVector,
+    options: PipelineConfig,
+    pipeline_signature: str | None = None,
+) -> str:
+    """Stable content hash of a resolved target state plus config.
 
     Two jobs share a key exactly when they request the same normalised
-    amplitudes over the same register with the same synthesis options —
-    regardless of how the state was described (family vs. raw
-    amplitudes).  The key is a hex SHA-256 digest, safe as a filename
+    amplitudes over the same register with the same full pipeline
+    configuration — regardless of how the state was described (family
+    vs. raw amplitudes).  Every config field participates (via
+    ``canonical()``), so e.g. a transpiled and a plain run never
+    alias.  An engine running a custom pipeline passes that pipeline's
+    ``signature()`` so its entries stay distinct from the default
+    pipeline's.  The key is a hex SHA-256 digest, safe as a filename
     for the on-disk cache.
     """
     digest = hashlib.sha256()
@@ -233,4 +226,7 @@ def content_key(state: StateVector, options: SynthesisOptions) -> str:
     digest.update(np.ascontiguousarray(state.amplitudes).tobytes())
     digest.update(b"|")
     digest.update(options.canonical().encode())
+    if pipeline_signature is not None:
+        digest.update(b"|pipeline=")
+        digest.update(pipeline_signature.encode())
     return digest.hexdigest()

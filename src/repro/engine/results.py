@@ -15,6 +15,7 @@ from typing import Union
 from repro.circuit.circuit import Circuit
 from repro.core.report import SynthesisReport
 from repro.engine.jobs import PreparationJob
+from repro.pipeline.context import aggregate_timings
 
 __all__ = [
     "BatchResult",
@@ -40,6 +41,9 @@ class JobSuccess:
         cache_hit: Whether the circuit came from the cache.
         elapsed: Wall time spent on this job in the worker (seconds);
             effectively zero for cache hits.
+        stage_timings: Per-stage ``(stage, seconds)`` pairs of the
+            pipeline run, in execution order; empty for cache hits
+            (no stages ran).
     """
 
     job: PreparationJob
@@ -48,6 +52,11 @@ class JobSuccess:
     report: SynthesisReport
     cache_hit: bool = False
     elapsed: float = 0.0
+    stage_timings: tuple[tuple[str, float], ...] = ()
+
+    def stage_timings_dict(self) -> dict[str, float]:
+        """Stage ledger as ``{stage: seconds}`` (summing repeats)."""
+        return aggregate_timings(self.stage_timings)
 
     @property
     def ok(self) -> bool:
@@ -110,6 +119,7 @@ def comparable_outcome(outcome: JobOutcome) -> JobOutcome:
             report=comparable_report(outcome.report),
             cache_hit=False,
             elapsed=0.0,
+            stage_timings=(),
         )
     return replace(outcome, elapsed=0.0)
 

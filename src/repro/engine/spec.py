@@ -25,8 +25,14 @@ Job fields:
 * ``label`` — optional display name,
 * any :class:`~repro.engine.jobs.SynthesisOptions` field
   (``min_fidelity``, ``tensor_elision``, ``emit_identity_rotations``,
-  ``verify``, ``approximation_granularity``), overriding the
-  document-level ``defaults``.
+  ``verify``, ``approximation_granularity``, ``transpile``),
+  overriding the document-level ``defaults``.
+
+A :class:`~repro.pipeline.PipelineConfig` can be layered on top of a
+spec via ``defaults_override`` (the CLI's ``--pipeline config.json``):
+its entries are merged over the document-level ``defaults`` field-wise
+(unnamed fields keep the spec's values), while per-job fields still
+win.
 """
 
 from __future__ import annotations
@@ -142,8 +148,16 @@ def job_from_dict(
 
 def jobs_from_spec(
     document: Mapping[str, object],
+    defaults_override: Mapping[str, object] | None = None,
 ) -> list[PreparationJob]:
     """Parse a whole batch-spec document into jobs.
+
+    Args:
+        document: The batch-spec JSON document.
+        defaults_override: Option values layered over the document's
+            ``defaults`` (typically a ``PipelineConfig.to_dict()``
+            from the CLI's ``--pipeline`` flag); per-job fields still
+            take precedence.
 
     Raises:
         JobSpecError: On structural problems or any invalid job.
@@ -171,14 +185,29 @@ def jobs_from_spec(
             f"batch spec: 'defaults' only takes synthesis options, "
             f"got {sorted(bad_defaults)}"
         )
+    if defaults_override:
+        bad_override = set(defaults_override) - _OPTION_FIELDS
+        if bad_override:
+            raise JobSpecError(
+                f"defaults override only takes synthesis options, "
+                f"got {sorted(bad_override)}"
+            )
+        defaults = {**defaults, **defaults_override}
     return [
         job_from_dict(raw, defaults=defaults, where=f"jobs[{position}]")
         for position, raw in enumerate(raw_jobs)
     ]
 
 
-def load_batch_spec(path: str | os.PathLike) -> list[PreparationJob]:
+def load_batch_spec(
+    path: str | os.PathLike,
+    defaults_override: Mapping[str, object] | None = None,
+) -> list[PreparationJob]:
     """Read and parse a batch-spec JSON file.
+
+    Args:
+        path: The spec file.
+        defaults_override: See :func:`jobs_from_spec`.
 
     Raises:
         JobSpecError: If the file is unreadable, not valid JSON, or
@@ -197,4 +226,4 @@ def load_batch_spec(path: str | os.PathLike) -> list[PreparationJob]:
         raise JobSpecError(
             f"batch spec {path} is not valid JSON: {error}"
         ) from error
-    return jobs_from_spec(document)
+    return jobs_from_spec(document, defaults_override=defaults_override)

@@ -20,6 +20,8 @@ __all__ = [
     "SimulationError",
     "TranspilationError",
     "SerializationError",
+    "PipelineError",
+    "PipelineConfigError",
     "EngineError",
     "JobSpecError",
 ]
@@ -76,6 +78,23 @@ class TranspilationError(ReproError):
 
 class SerializationError(ReproError, ValueError):
     """Textual circuit serialisation or parsing failed."""
+
+
+class PipelineError(ReproError):
+    """A preparation pipeline was assembled or driven inconsistently.
+
+    Raised when passes run out of order (e.g. synthesis before a
+    diagram exists), when an object without the ``Pass`` surface is
+    inserted, or when an incomplete context is finalized.
+    """
+
+
+class PipelineConfigError(PipelineError, ValueError):
+    """A :class:`repro.pipeline.PipelineConfig` value is invalid.
+
+    Raised for out-of-range or mistyped configuration fields and for
+    malformed pipeline-config JSON documents.
+    """
 
 
 class EngineError(ReproError):

@@ -1,0 +1,69 @@
+"""Composable, pass-based state-preparation pipeline.
+
+The paper's Figure 2 flow — state → edge-weighted decision diagram →
+fidelity-bounded reduction → multi-controlled-rotation synthesis — as
+a sequence of single-responsibility passes over one shared context:
+
+* :mod:`repro.pipeline.config` — the frozen :class:`PipelineConfig`
+  (JSON round-trip; replaces the historical keyword sprawl),
+* :mod:`repro.pipeline.context` — :class:`PipelineContext` and the
+  per-stage :class:`StageTiming` ledger,
+* :mod:`repro.pipeline.passes` — the :class:`Pass` protocol and the
+  built-in stages (coerce/build/approximate/synthesize/transpile/
+  verify),
+* :mod:`repro.pipeline.pipeline` — the :class:`Pipeline` runner,
+  :func:`default_pipeline`, and :func:`finalize`.
+
+:func:`repro.prepare_state` is a thin wrapper over
+:func:`default_pipeline`; the engine, the async service, and the
+``batch``/``serve`` CLIs all accept a :class:`PipelineConfig` (and the
+engine a whole custom :class:`Pipeline`).  See ``docs/pipeline.md``.
+"""
+
+from repro.pipeline.config import (
+    APPROXIMATION_GRANULARITIES,
+    TRANSPILE_MODES,
+    PipelineConfig,
+)
+from repro.pipeline.context import (
+    PipelineContext,
+    StageTiming,
+    aggregate_timings,
+)
+from repro.pipeline.passes import (
+    ApproximatePass,
+    BuildPass,
+    CoercePass,
+    Pass,
+    SynthesisPass,
+    TranspilePass,
+    VerifyPass,
+)
+from repro.pipeline.pipeline import (
+    Pipeline,
+    default_passes,
+    default_pipeline,
+    finalize,
+    run_pipeline,
+)
+
+__all__ = [
+    "APPROXIMATION_GRANULARITIES",
+    "ApproximatePass",
+    "BuildPass",
+    "CoercePass",
+    "Pass",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineContext",
+    "StageTiming",
+    "SynthesisPass",
+    "TRANSPILE_MODES",
+    "TranspilePass",
+    "VerifyPass",
+    "aggregate_timings",
+    "default_passes",
+    "default_pipeline",
+    "finalize",
+    "run_pipeline",
+]

@@ -1,0 +1,123 @@
+"""The mutable state threaded through a pipeline run.
+
+A :class:`PipelineContext` carries everything the passes produce — the
+coerced target state, the exact and approximated decision diagrams,
+the synthesised circuit, the achieved fidelity — together with a
+per-stage :class:`StageTiming` ledger filled in by the
+:class:`~repro.pipeline.Pipeline` runner, so every layer above
+(engine, service, CLI, analysis) gets per-stage wall times for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.dd.approximation import ApproximationResult
+from repro.dd.diagram import DecisionDiagram
+from repro.registers.register import RegisterLike
+from repro.states.statevector import StateVector
+
+if TYPE_CHECKING:
+    from repro.pipeline.config import PipelineConfig
+
+__all__ = ["PipelineContext", "StageTiming", "aggregate_timings"]
+
+
+def aggregate_timings(
+    pairs: Iterable[tuple[str, float]],
+) -> dict[str, float]:
+    """Sum ``(stage, seconds)`` pairs into a ``{stage: seconds}`` table.
+
+    The one aggregation every ledger surface shares —
+    :meth:`PipelineContext.timings_dict`,
+    ``PreparationResult.timings_dict``, and
+    ``JobSuccess.stage_timings_dict`` — so repeated stages are always
+    summed the same way.
+    """
+    table: dict[str, float] = {}
+    for stage, seconds in pairs:
+        table[stage] = table.get(stage, 0.0) + seconds
+    return table
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall time of one pipeline stage.
+
+    Attributes:
+        stage: The pass name (e.g. ``"build"``, ``"synthesize"``).
+        seconds: Measured wall time of the pass's ``run`` call.
+    """
+
+    stage: str
+    seconds: float
+
+
+@dataclass
+class PipelineContext:
+    """Everything one pipeline run reads and writes.
+
+    Passes receive the context, mutate (or replace) the fields they
+    own, and return it.  Custom passes may stash additional artefacts
+    in :attr:`extras` without touching the dataclass.
+
+    Attributes:
+        config: The immutable run configuration.
+        state: The raw input state as handed to the pipeline
+            (``StateVector`` or raw amplitudes).
+        dims: Register dimensions when ``state`` is a raw array.
+        target: The coerced, normalised target (set by ``CoercePass``).
+        exact_diagram: The DD before approximation (``BuildPass``).
+        diagram: The DD that gets synthesised (``ApproximatePass``;
+            the exact diagram when no pruning happened).
+        approximation: Pruning details, ``None`` for exact runs.
+        circuit: The synthesised — and possibly transpiled — circuit.
+        fidelity: ``|<target|prepared>|^2`` (``VerifyPass``), or
+            ``None`` when verification is disabled.
+        timings: Per-stage wall times, appended by the runner in
+            execution order.
+        extras: Free-form scratch space for custom passes.
+    """
+
+    config: "PipelineConfig"
+    state: StateVector | Sequence[complex] | np.ndarray
+    dims: RegisterLike | None = None
+    target: StateVector | None = None
+    exact_diagram: DecisionDiagram | None = None
+    diagram: DecisionDiagram | None = None
+    approximation: ApproximationResult | None = None
+    circuit: Circuit | None = None
+    fidelity: float | None = None
+    timings: list[StageTiming] = field(default_factory=list)
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Append one stage timing to the ledger."""
+        self.timings.append(StageTiming(stage=stage, seconds=seconds))
+
+    def stage_seconds(self, stage: str) -> float:
+        """Total wall time recorded under ``stage`` (0.0 if absent)."""
+        return sum(t.seconds for t in self.timings if t.stage == stage)
+
+    def timings_dict(self) -> dict[str, float]:
+        """Ledger as ``{stage: seconds}``, summing repeated stages."""
+        return aggregate_timings(
+            (t.stage, t.seconds) for t in self.timings
+        )
+
+    def clone(self, **changes) -> "PipelineContext":
+        """A shallow copy with fresh ledgers, for re-running stages.
+
+        The diagrams/circuit references are shared (passes never
+        mutate their inputs in place); the ``timings`` list and
+        ``extras`` dict are copied so the clone accumulates its own.
+        """
+        clone = replace(self, **changes)
+        clone.timings = list(clone.timings)
+        clone.extras = dict(clone.extras)
+        return clone

@@ -47,6 +47,7 @@ from repro.engine.cache import CircuitCache
 from repro.engine.engine import EngineStats, PreparationEngine
 from repro.engine.executor import ExecutionBackend
 from repro.engine.jobs import PreparationJob
+from repro.pipeline.pipeline import Pipeline
 from repro.engine.results import BatchResult, JobOutcome
 from repro.exceptions import EngineError
 from repro.service.batching import (
@@ -99,6 +100,10 @@ class AsyncPreparationService:
         cache_capacity: Total capacity of the default sharded cache.
         disk_dir: Disk root of the default sharded cache.
         executor: Execution backend of the default engine.
+        pipeline: Custom :class:`~repro.pipeline.Pipeline` for the
+            default engine (its signature joins every cache key);
+            ``None`` runs each job's default pipeline.  Mutually
+            exclusive with ``engine``.
         max_batch_size: Micro-batch size cap.
         max_batch_delay: Seconds a partial micro-batch stays open.
 
@@ -116,9 +121,15 @@ class AsyncPreparationService:
         cache_capacity: int = 256,
         disk_dir=None,
         executor: ExecutionBackend | str | None = None,
+        pipeline: "Pipeline | None" = None,
         max_batch_size: int = 32,
         max_batch_delay: float = 0.005,
     ):
+        if engine is not None and pipeline is not None:
+            raise EngineError(
+                "give either a ready engine or a pipeline for the "
+                "default engine, not both"
+            )
         if engine is None:
             if num_shards < 1:
                 raise EngineError(
@@ -135,7 +146,9 @@ class AsyncPreparationService:
                 cache = CircuitCache(
                     capacity=cache_capacity, disk_dir=disk_dir
                 )
-            engine = PreparationEngine(cache=cache, executor=executor)
+            engine = PreparationEngine(
+                cache=cache, executor=executor, pipeline=pipeline
+            )
         self.engine = engine
         self._max_batch_size = max_batch_size
         self._max_batch_delay = max_batch_delay

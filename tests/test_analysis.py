@@ -123,6 +123,15 @@ class TestScalingDrivers:
         for point in points:
             assert point.achieved_fidelity >= point.min_fidelity - 1e-9
 
+    def test_tradeoff_tolerates_thresholds_above_one(self):
+        # Historical behaviour: thresholds >= 1.0 mean "exact", they
+        # must not be rejected by the pipeline config validation.
+        points = approximation_tradeoff(
+            dims=(3, 3), thresholds=[1.05, 0.9]
+        )
+        assert points[0].achieved_fidelity == 1.0
+        assert points[0].min_fidelity == 1.05
+
     def test_tradeoff_sizes_decrease(self):
         points = approximation_tradeoff(
             dims=(3, 3, 2), thresholds=[1.0, 0.9, 0.7, 0.5]

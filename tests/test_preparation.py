@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.preparation import prepare_state
 from repro.dd.metrics import decomposition_tree_size
-from repro.exceptions import ApproximationError
+from repro.exceptions import StateError
 from repro.simulator.statevector_sim import simulate
 from repro.states.fidelity import fidelity
 from repro.states.library import ghz_state, w_state
@@ -25,7 +25,9 @@ class TestExactPipeline:
         assert np.isclose(abs(produced.amplitude((0, 0))), 1 / np.sqrt(2))
 
     def test_raw_amplitudes_require_dims(self):
-        with pytest.raises(ApproximationError):
+        # Input validation must raise the state-input error, not the
+        # (unrelated) approximation error it historically leaked.
+        with pytest.raises(StateError):
             prepare_state([1, 0, 0, 1])
 
     def test_normalizes_input(self):
