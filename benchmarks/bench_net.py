@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Network front-end benchmark: requests/sec over HTTP, TCP, and the
+in-process serving path.
+
+Not a paper experiment — this measures what the wire costs.  The same
+duplicate-heavy workload is served three ways through an identically
+configured :class:`~repro.service.AsyncPreparationService`:
+
+* ``inprocess`` — clients call ``service.run_batch`` directly (the
+  PR-3 path; upper bound, no sockets),
+* ``http`` — each client is a :class:`~repro.net.ReproClient` on its
+  own keep-alive HTTP/1.1 connection, batching per request,
+* ``tcp`` — each client pipelines single-job NDJSON requests on one
+  persistent socket.
+
+Each transport asserts the serving guarantees (outcomes equal to a
+serial ``run_batch`` modulo timings, warm traffic fully cache-hit),
+so the benchmark doubles as a regression test.  Results are written
+to ``BENCH_net.json`` (override with ``-o``); run under pytest
+(``pytest benchmarks/bench_net.py -s``) or directly
+(``python benchmarks/bench_net.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.engine import PreparationEngine, PreparationJob, comparable_outcome
+from repro.net import (
+    HttpServer,
+    ReproClient,
+    TcpServer,
+    comparable_wire_outcome,
+    outcome_to_wire,
+)
+from repro.service import AsyncPreparationService
+
+NUM_CLIENTS = 16
+ROUNDS = 3  # workload replays per client (first one is the cold round)
+
+WIRE_WORKLOAD = [
+    {"family": "ghz", "dims": [3, 6, 2]},
+    {"family": "w", "dims": [2, 2, 2]},
+    {"family": "ghz", "dims": [3, 6, 2]},
+    {"family": "random", "dims": [3, 3], "params": {"rng": 7}},
+]
+
+
+def make_jobs() -> list[PreparationJob]:
+    return [
+        PreparationJob(
+            dims=tuple(raw["dims"]), family=raw["family"],
+            params=raw.get("params", {}),
+        )
+        for raw in WIRE_WORKLOAD
+    ]
+
+
+def make_service() -> AsyncPreparationService:
+    return AsyncPreparationService(
+        num_shards=4, max_batch_size=32, max_batch_delay=0.002
+    )
+
+
+def reference_outcomes() -> list[dict]:
+    batch = PreparationEngine().run_batch(make_jobs())
+    return [
+        comparable_wire_outcome(outcome_to_wire(outcome))
+        for outcome in batch.outcomes
+    ]
+
+
+async def _bench_inprocess() -> dict:
+    service = make_service()
+    jobs = make_jobs()
+    start = time.perf_counter()
+    async with service:
+        results = await asyncio.gather(*(
+            service.run_batch(jobs)
+            for _ in range(NUM_CLIENTS * ROUNDS)
+        ))
+    elapsed = time.perf_counter() - start
+    expected = [
+        comparable_outcome(o)
+        for o in PreparationEngine().run_batch(jobs).outcomes
+    ]
+    for result in results:
+        assert [
+            comparable_outcome(o) for o in result.outcomes
+        ] == expected
+    requests = NUM_CLIENTS * ROUNDS * len(jobs)
+    return {"requests": requests, "seconds": elapsed}
+
+
+async def _bench_transport(transport: str) -> dict:
+    service = make_service()
+    await service.start()
+    server_type = TcpServer if transport == "tcp" else HttpServer
+    server = await server_type(service).start()
+    expected = reference_outcomes()
+
+    async def one_client():
+        async with ReproClient(
+            "127.0.0.1", server.port, transport=transport
+        ) as client:
+            for _ in range(ROUNDS):
+                if transport == "tcp":
+                    outcomes = list(await asyncio.gather(*(
+                        client.prepare(raw) for raw in WIRE_WORKLOAD
+                    )))
+                else:
+                    outcomes = (
+                        await client.batch(WIRE_WORKLOAD)
+                    )["outcomes"]
+                assert [
+                    comparable_wire_outcome(o) for o in outcomes
+                ] == expected
+
+    start = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(one_client() for _ in range(NUM_CLIENTS))
+        )
+        elapsed = time.perf_counter() - start
+        stats = service.stats()
+    finally:
+        await server.stop()
+    requests = NUM_CLIENTS * ROUNDS * len(WIRE_WORKLOAD)
+    assert stats.engine.jobs_submitted == requests
+    # Warm traffic is all cache hits: only the distinct targets were
+    # ever synthesised.
+    assert stats.engine.jobs_executed == 3
+    return {"requests": requests, "seconds": elapsed}
+
+
+def run_benchmark() -> dict:
+    measurements = {}
+    for name, runner in (
+        ("inprocess", _bench_inprocess()),
+        ("http", _bench_transport("http")),
+        ("tcp", _bench_transport("tcp")),
+    ):
+        result = asyncio.run(runner)
+        result["requests_per_second"] = (
+            result["requests"] / result["seconds"]
+        )
+        measurements[name] = result
+        print(
+            f"[net/{name}] {result['requests']} requests in "
+            f"{result['seconds']:.3f}s = "
+            f"{result['requests_per_second']:.0f} req/s"
+        )
+    baseline = measurements["inprocess"]["requests_per_second"]
+    for name in ("http", "tcp"):
+        ratio = measurements[name]["requests_per_second"] / baseline
+        measurements[name]["vs_inprocess"] = ratio
+        print(f"[net/{name}] {ratio:.2f}x of in-process throughput")
+    return {
+        "clients": NUM_CLIENTS,
+        "rounds": ROUNDS,
+        "jobs_per_round": len(WIRE_WORKLOAD),
+        "transports": measurements,
+    }
+
+
+def test_network_transports_serve_correctly_and_report_throughput():
+    payload = run_benchmark()
+    for transport in ("inprocess", "http", "tcp"):
+        assert payload["transports"][transport]["requests"] > 0
+        assert payload["transports"][transport]["seconds"] > 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_net.json", metavar="PATH",
+        help="where to write the JSON results "
+             "(default: BENCH_net.json)",
+    )
+    options = parser.parse_args(argv)
+    payload = run_benchmark()
+    with open(options.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {options.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,9 @@ Commands:
   (``python -m repro batch spec.json``; see ``batch --help``),
 * ``serve`` — replay a batch spec as N concurrent clients through the
   async sharded serving layer (``python -m repro serve spec.json
-  --clients 32``; see ``serve --help``).
+  --clients 32``), or serve real sockets with ``--listen HOST:PORT``
+  (HTTP/1.1; add ``--tcp`` for the newline-delimited-JSON stream
+  protocol — see ``serve --help`` and ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -142,17 +144,7 @@ def _pipeline_defaults(path) -> dict[str, object] | None:
 
 def _engine_stats_json(stats) -> dict[str, object]:
     """Engine counters as emitted by the ``--json`` modes."""
-    return {
-        "jobs_submitted": stats.jobs_submitted,
-        "jobs_executed": stats.jobs_executed,
-        "jobs_failed": stats.jobs_failed,
-        "cache_lookups": stats.cache_lookups,
-        "cache_hits": stats.cache_hits,
-        "cache_misses": stats.cache_misses,
-        "cache_evictions": stats.cache_evictions,
-        "disk_hits": stats.disk_hits,
-        "disk_write_errors": stats.disk_write_errors,
-    }
+    return stats.to_dict()
 
 
 def _batch_rows(outcomes) -> list[list[object]]:
@@ -279,11 +271,30 @@ def _serve_parser() -> argparse.ArgumentParser:
         prog="python -m repro serve",
         description=(
             "Replay a batch spec as N concurrent clients through the "
-            "async serving layer (micro-batching + sharded cache; "
-            "see docs/engine.md, 'Serving')."
+            "async serving layer (micro-batching + sharded cache), or "
+            "serve real sockets with --listen (see docs/serving.md)."
         ),
     )
-    parser.add_argument("spec", help="path to the batch-spec JSON file")
+    parser.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to the batch-spec JSON file (required for replay "
+             "mode; with --listen it pre-warms the cache)",
+    )
+    parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve real sockets on this address instead of "
+             "replaying the spec (port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--tcp", action="store_true",
+        help="with --listen: speak the newline-delimited-JSON stream "
+             "protocol instead of HTTP",
+    )
+    parser.add_argument(
+        "--max-request-bytes", type=int, default=1_000_000, metavar="N",
+        help="request body / line size limit in network mode "
+             "(default: 1000000)",
+    )
     parser.add_argument(
         "--clients", type=int, default=8, metavar="N",
         help="concurrent clients, each submitting the whole spec "
@@ -340,6 +351,120 @@ async def _serve_clients(service, jobs, num_clients):
         ))
 
 
+def _parse_listen(value: str) -> tuple[str, int]:
+    host, separator, port_text = value.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"--listen takes HOST:PORT, got {value!r}"
+        )
+    return host, int(port_text)
+
+
+async def _serve_network(service, options, jobs, defaults):
+    """Run the network front end until SIGTERM/SIGINT, then drain."""
+    import signal
+
+    from repro.net import HttpServer, TcpServer
+
+    host, port = _parse_listen(options.listen)
+    await service.start()
+    if jobs:
+        # The spec in network mode is a warm-up workload: its circuits
+        # are synthesised into the (possibly persistent) cache before
+        # the first remote request lands.
+        await service.run_batch(jobs)
+        print(f"warmed cache with {len(jobs)} spec jobs", flush=True)
+    server_type = TcpServer if options.tcp else HttpServer
+    limit_field = (
+        "max_line_bytes" if options.tcp else "max_request_bytes"
+    )
+    server = server_type(
+        service, host, port,
+        job_defaults=defaults,
+        **{limit_field: options.max_request_bytes},
+    )
+    try:
+        await server.start()
+    except OSError:
+        # Unbindable address: stop the already-running service
+        # cleanly instead of leaving its dispatcher to die with the
+        # loop.
+        await service.stop()
+        raise
+    protocol_name = "tcp" if options.tcp else "http"
+    print(
+        f"listening on {server.host}:{server.port} ({protocol_name}); "
+        f"SIGTERM drains and exits",
+        flush=True,
+    )
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signal_number in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                signal_number, stop_requested.set
+            )
+        except (NotImplementedError, ValueError):
+            # Platforms/threads without signal support: the server
+            # then only stops with the process.
+            pass
+    await stop_requested.wait()
+    print("shutting down: draining in-flight requests", flush=True)
+    await server.stop()
+    print(
+        f"drained cleanly after {server.requests_served} requests",
+        flush=True,
+    )
+    return server.requests_served
+
+
+def _run_listen(options) -> int:
+    from repro.engine import ParallelExecutor, load_batch_spec
+    from repro.exceptions import EngineError, PipelineConfigError
+    from repro.service import AsyncPreparationService
+
+    try:
+        defaults = _pipeline_defaults(options.pipeline)
+        jobs = (
+            load_batch_spec(options.spec, defaults_override=defaults)
+            if options.spec is not None
+            else []
+        )
+        executor = (
+            ParallelExecutor(max_workers=options.workers)
+            if options.workers is not None
+            else None
+        )
+        service = AsyncPreparationService(
+            num_shards=options.shards,
+            cache_capacity=options.cache_capacity,
+            disk_dir=options.cache_dir,
+            executor=executor,
+            max_batch_size=options.batch_size,
+            max_batch_delay=options.batch_delay_ms / 1000.0,
+        )
+        requests_served = asyncio.run(
+            _serve_network(service, options, jobs, defaults)
+        )
+    except (
+        EngineError, PipelineConfigError, ValueError, OSError,
+    ) as error:
+        # OSError covers unbindable addresses (port in use,
+        # privileged port, bad interface) — a clean exit, not a
+        # traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = service.stats()
+    if options.as_json:
+        print(json.dumps({
+            "requests_served": requests_served,
+            "service": stats.to_dict(),
+        }, indent=2))
+    else:
+        print("service stats: " + stats.summary())
+    return 0
+
+
 def _run_serve(arguments: list[str]) -> int:
     from repro.engine import (
         ParallelExecutor,
@@ -351,6 +476,17 @@ def _run_serve(arguments: list[str]) -> int:
     from repro.service import AsyncPreparationService
 
     options = _serve_parser().parse_args(arguments)
+    if options.tcp and options.listen is None:
+        print("error: --tcp requires --listen", file=sys.stderr)
+        return 2
+    if options.listen is not None:
+        return _run_listen(options)
+    if options.spec is None:
+        print(
+            "error: replay mode needs a spec (or pass --listen)",
+            file=sys.stderr,
+        )
+        return 2
     if options.clients < 1:
         print("error: --clients must be >= 1", file=sys.stderr)
         return 2
@@ -406,11 +542,7 @@ def _run_serve(arguments: list[str]) -> int:
             "requests_per_second": (
                 total_requests / wall_time if wall_time > 0 else None
             ),
-            "service": {
-                "batches_dispatched": stats.batches_dispatched,
-                "largest_batch": stats.largest_batch,
-                "full_batches": stats.full_batches,
-            },
+            "service": stats.to_dict(),
             "engine": _engine_stats_json(stats.engine),
             "shards": [
                 shard_stats.as_dict()

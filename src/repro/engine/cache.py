@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -115,6 +116,11 @@ def _entry_from_json(text: str) -> CacheEntry:
 class CircuitCache:
     """LRU circuit cache with an optional persistent disk layer.
 
+    Thread-safe: all operations (and their stats updates) run under
+    the cache's own :attr:`lock`, so concurrent batches may share a
+    cache — and a :class:`~repro.service.ShardedCache` gets per-shard
+    locking for free, each shard being its own ``CircuitCache``.
+
     Args:
         capacity: Maximum number of in-memory entries; 0 disables the
             memory layer (every lookup falls through to disk, if any).
@@ -138,6 +144,11 @@ class CircuitCache:
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
+        # Every cache owns its lock, so under a ShardedCache each
+        # *shard* is independently locked: concurrent batches touching
+        # disjoint shards never contend, batches sharing a shard
+        # serialise only on that shard's operations.
+        self.lock = threading.RLock()
 
     @property
     def capacity(self) -> int:
@@ -148,7 +159,8 @@ class CircuitCache:
         return self._disk_dir
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         """Whether ``get(key)`` would succeed, without counting.
@@ -172,17 +184,19 @@ class CircuitCache:
         making it safe for membership tests that must not skew the
         hit-rate counters.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            return entry
-        return self._read_disk(key)
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry
+            return self._read_disk(key)
 
     def get(self, key: str) -> CacheEntry | None:
         """Return the cached entry for ``key``, counting the lookup."""
-        entry = self.get_if_present(key)
-        if entry is None:
-            self.stats.misses += 1
-        return entry
+        with self.lock:
+            entry = self.get_if_present(key)
+            if entry is None:
+                self.stats.misses += 1
+            return entry
 
     def get_if_present(self, key: str) -> CacheEntry | None:
         """Like :meth:`get`, but an absent key is *not* counted.
@@ -193,28 +207,31 @@ class CircuitCache:
         engine serving an intra-batch duplicate from its primary
         outcome — where a counted miss would misstate the hit rate.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        entry = self._read_disk(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._insert_memory(entry)
-            return entry
-        return None
+        with self.lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            entry = self._read_disk(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert_memory(entry)
+                return entry
+            return None
 
     def put(self, entry: CacheEntry) -> None:
         """Store an entry in every configured layer."""
-        self.stats.stores += 1
-        self._insert_memory(entry)
-        self._write_disk(entry)
+        with self.lock:
+            self.stats.stores += 1
+            self._insert_memory(entry)
+            self._write_disk(entry)
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer is untouched)."""
-        self._entries.clear()
+        with self.lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     # Memory layer

@@ -23,14 +23,15 @@ from __future__ import annotations
 
 import threading
 import time
-from collections.abc import Iterable
-from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+from dataclasses import asdict, dataclass, fields
 
 from repro.core.preparation import prepare_state
 from repro.pipeline.pipeline import Pipeline
 from repro.states.statevector import StateVector
 from repro.engine.cache import CacheEntry, CircuitCache
 from repro.engine.executor import ExecutionBackend, as_executor
+from repro.exceptions import EngineError
 from repro.engine.jobs import PreparationJob, content_key
 from repro.engine.results import (
     BatchResult,
@@ -113,6 +114,19 @@ class EngineStats:
     disk_write_errors: int
     total_wall_time: float
 
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-ready form (one ``json.dumps`` away from the
+        wire); inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineStats":
+        """Rebuild a snapshot from :meth:`to_dict` output (extra keys
+        are ignored so older clients tolerate newer servers)."""
+        return cls(**{
+            spec.name: payload[spec.name] for spec in fields(cls)
+        })
+
     def summary(self) -> str:
         """One-line human-readable form (used by the CLI)."""
         text = (
@@ -162,10 +176,11 @@ class PreparationEngine:
         self._jobs_executed = 0
         self._jobs_failed = 0
         self._total_wall_time = 0.0
-        # Serialises run_batch across threads: the cache and the stats
-        # counters are not thread-safe, and the async serving layer
-        # dispatches batches onto executor threads.
-        self._batch_lock = threading.Lock()
+        # Guards only the engine's own counters.  The cache locks
+        # itself (per shard under a ShardedCache), so concurrent
+        # run_batch calls proceed in parallel instead of serialising
+        # on one engine-wide lock.
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Public API
@@ -187,8 +202,24 @@ class PreparationEngine:
         """Run a single job through the cache and executor."""
         return self.run_batch([job]).outcomes[0]
 
+    def job_key(self, job: PreparationJob) -> str:
+        """Content key of ``job`` under this engine's pipeline.
+
+        Resolves the target state (so it raises whatever
+        ``resolve_state`` raises for an impossible job) and folds in
+        the engine's custom-pipeline signature, exactly as
+        ``run_batch`` keys the job.  The serving layer uses this to
+        route batches to cache shards before dispatch.
+        """
+        return content_key(
+            job.resolve_state(), job.options, self._pipeline_signature
+        )
+
     def run_batch(
-        self, jobs: Iterable[PreparationJob]
+        self,
+        jobs: Iterable[PreparationJob],
+        *,
+        keys: Iterable[str | None] | None = None,
     ) -> BatchResult:
         """Execute a batch, returning outcomes in submission order.
 
@@ -196,25 +227,58 @@ class PreparationEngine:
         batch; the duplicates are served as cache hits.  Per-job
         errors are captured as :class:`JobFailure` outcomes.
 
-        Thread-safe: concurrent callers are serialised on an internal
-        lock (the cache and stats counters are not thread-safe).
+        Args:
+            jobs: The jobs to run.
+            keys: Optional precomputed content keys (as returned by
+                :meth:`job_key`), parallel to ``jobs``; ``None``
+                entries are computed here.  A caller that already
+                keyed the jobs — the serving layer keys them for
+                shard routing — avoids a second state resolution:
+                slots with a provided key only resolve their state if
+                they miss the cache.
+
+        Thread-safe: the cache locks itself (per shard under a
+        :class:`~repro.service.ShardedCache`) and the engine counters
+        sit behind their own lock, so concurrent batches run in
+        parallel.  Two *concurrent* batches missing the same key both
+        synthesise it (identical results, but each counts its own
+        miss); callers that need batch-composition-independent
+        counters serialise same-shard batches, as
+        :class:`~repro.service.AsyncPreparationService` does with its
+        per-shard dispatch locks.
         """
         jobs = list(jobs)
+        provided_keys = list(keys) if keys is not None else None
+        if provided_keys is not None and len(provided_keys) != len(jobs):
+            raise EngineError(
+                f"keys must parallel jobs: got {len(provided_keys)} "
+                f"keys for {len(jobs)} jobs"
+            )
         start = time.perf_counter()
-        with self._batch_lock:
-            return self._run_batch_locked(jobs, start)
+        return self._run_batch(jobs, start, provided_keys)
 
-    def _run_batch_locked(
-        self, jobs: list[PreparationJob], start: float
+    def _run_batch(
+        self,
+        jobs: list[PreparationJob],
+        start: float,
+        provided_keys: list[str | None] | None = None,
     ) -> BatchResult:
-        self._jobs_submitted += len(jobs)
+        with self._stats_lock:
+            self._jobs_submitted += len(jobs)
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
 
-        # Resolve states and content keys up front; a job whose state
-        # cannot even be built fails here without touching a worker.
+        # Key every job up front — from the caller where provided,
+        # else by resolving the state here; a job whose state cannot
+        # even be built fails here without touching a worker.
         keys: list[str | None] = [None] * len(jobs)
         states: list[StateVector | None] = [None] * len(jobs)
         for position, job in enumerate(jobs):
+            if (
+                provided_keys is not None
+                and provided_keys[position] is not None
+            ):
+                keys[position] = provided_keys[position]
+                continue
             try:
                 states[position] = job.resolve_state()
                 keys[position] = content_key(
@@ -257,14 +321,40 @@ class PreparationEngine:
             else:
                 dispatch[key] = position
 
-        # Execute the unique misses on the configured backend.
-        tasks = [
-            (jobs[position], key, states[position], self._pipeline)
-            for key, position in dispatch.items()
-        ]
-        self._jobs_executed += len(tasks)
-        for task, outcome in zip(tasks, self.executor.run(_execute_job, tasks)):
-            position = dispatch[task[1]]
+        # Execute the unique misses on the configured backend.  A job
+        # that arrived with a precomputed key resolves its state only
+        # now — cache hits never needed it.  The key is then
+        # recomputed from the state actually resolved, so a
+        # nondeterministic builder (an unseeded random family) can
+        # never store a circuit under a key addressing a *different*
+        # state than the one synthesised.
+        tasks = []
+        task_positions: list[int] = []
+        for key, position in dispatch.items():
+            state = states[position]
+            if state is None:
+                try:
+                    state = jobs[position].resolve_state()
+                except Exception as error:  # noqa: BLE001
+                    outcomes[position] = JobFailure(
+                        job=jobs[position],
+                        key=key,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                    )
+                    continue
+                key = content_key(
+                    state,
+                    jobs[position].options,
+                    self._pipeline_signature,
+                )
+            tasks.append((jobs[position], key, state, self._pipeline))
+            task_positions.append(position)
+        with self._stats_lock:
+            self._jobs_executed += len(tasks)
+        for position, outcome in zip(
+            task_positions, self.executor.run(_execute_job, tasks)
+        ):
             outcomes[position] = outcome
             if outcome.ok:
                 self.cache.put(
@@ -314,11 +404,12 @@ class PreparationEngine:
                         message=primary.message,
                     )
 
-        self._jobs_failed += sum(
-            1 for outcome in outcomes if not outcome.ok
-        )
         wall_time = time.perf_counter() - start
-        self._total_wall_time += wall_time
+        with self._stats_lock:
+            self._jobs_failed += sum(
+                1 for outcome in outcomes if not outcome.ok
+            )
+            self._total_wall_time += wall_time
         return BatchResult(outcomes=tuple(outcomes), wall_time=wall_time)
 
     def stats(self) -> EngineStats:

@@ -1,0 +1,394 @@
+"""Clients for the network front end: async ``ReproClient`` and a
+synchronous wrapper.
+
+Both transports are supported behind one surface::
+
+    async with ReproClient("127.0.0.1", 8000) as client:          # HTTP
+        outcome = await client.prepare(
+            {"family": "ghz", "dims": [3, 6, 2]}
+        )
+
+    async with ReproClient("127.0.0.1", 9000, transport="tcp") as c:
+        outcomes = await asyncio.gather(                     # pipelined
+            *(c.prepare(job) for job in jobs)
+        )
+
+Over HTTP the client keeps one persistent keep-alive connection and
+serialises requests on it (HTTP/1.1 has no multiplexing); over TCP it
+pipelines — any number of ``prepare``/``batch`` calls may be in
+flight at once, correlated by request id, so ``asyncio.gather`` over
+many calls uses a single socket.
+
+:class:`SyncReproClient` runs a private event loop on a background
+thread so tests, benchmarks, and plain scripts can call the same API
+without ``async``.
+
+A failed *request* raises :class:`ClientError` (carrying the wire
+error code); a failed *job* does not — it comes back as a failure
+outcome dict (``ok: false``), mirroring the engine's per-job error
+isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections.abc import Mapping
+
+from repro.engine.jobs import PreparationJob
+from repro.exceptions import ReproError
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+)
+
+__all__ = ["ClientError", "ReproClient", "SyncReproClient"]
+
+
+class ClientError(ReproError):
+    """The server refused a request (or the transport failed).
+
+    Attributes:
+        code: The wire error code (``bad_json``, ``job_spec``, …), or
+            ``transport`` for connection-level failures.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def _job_to_wire(job) -> dict:
+    """A job argument as its wire dict (pass-through for dicts)."""
+    if isinstance(job, PreparationJob):
+        return job.describe()
+    if isinstance(job, Mapping):
+        return dict(job)
+    raise ClientError(
+        "bad_request",
+        f"job must be a PreparationJob or a dict, got {job!r}",
+    )
+
+
+class ReproClient:
+    """Async client of the HTTP or TCP front end.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        transport: ``"http"`` (request/response on one keep-alive
+            connection) or ``"tcp"`` (pipelined NDJSON stream).
+        timeout: Per-request timeout in seconds (``None`` disables).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        transport: str = "http",
+        timeout: float | None = 30.0,
+    ):
+        if transport not in ("http", "tcp"):
+            raise ClientError(
+                "bad_request",
+                f"transport must be 'http' or 'tcp', got {transport!r}",
+            )
+        self.host = host
+        self.port = port
+        self.transport = transport
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._http_lock = asyncio.Lock()
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None and not self._writer.is_closing()
+
+    async def connect(self) -> "ReproClient":
+        if self.connected:
+            return self
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as error:
+            raise ClientError(
+                "transport",
+                f"cannot connect to {self.host}:{self.port}: {error}",
+            )
+        if self.transport == "tcp":
+            self._reader_task = asyncio.ensure_future(
+                self._pump_responses()
+            )
+        return self
+
+    async def aclose(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ClientError("transport", "connection closed")
+                )
+        self._pending.clear()
+
+    async def __aenter__(self) -> "ReproClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def prepare(
+        self, job, *, include_circuit: bool = False
+    ) -> dict:
+        """Prepare one state; returns the wire outcome dict."""
+        payload: dict[str, object] = {"job": _job_to_wire(job)}
+        if include_circuit:
+            payload["include_circuit"] = True
+        return await self._call("prepare", payload)
+
+    async def batch(
+        self, jobs, *, defaults=None, include_circuit: bool = False
+    ) -> dict:
+        """Prepare many states; returns ``{"outcomes": [...], ...}``."""
+        payload: dict[str, object] = {
+            "jobs": [_job_to_wire(job) for job in jobs]
+        }
+        if defaults:
+            payload["defaults"] = dict(defaults)
+        if include_circuit:
+            payload["include_circuit"] = True
+        return await self._call("batch", payload)
+
+    async def stats(self) -> dict:
+        """Service + engine counters (``ServiceStats.to_dict()``)."""
+        return await self._call("stats", {})
+
+    async def ping(self) -> dict:
+        """Liveness probe (``GET /healthz`` over HTTP, ``ping`` op
+        over TCP)."""
+        return await self._call("ping", {})
+
+    # ------------------------------------------------------------------
+    # Transport plumbing
+    # ------------------------------------------------------------------
+    async def _call(self, op: str, payload: dict) -> dict:
+        await self.connect()
+        if self.transport == "http":
+            coroutine = self._call_http(op, payload)
+        else:
+            coroutine = self._call_tcp(op, payload)
+        if self.timeout is None:
+            return await coroutine
+        try:
+            return await asyncio.wait_for(coroutine, self.timeout)
+        except asyncio.TimeoutError:
+            # The connection is desynchronised now (an HTTP response
+            # for the abandoned request may still arrive and would be
+            # read as the *next* call's answer); drop it so the next
+            # call reconnects cleanly.  TCP correlates by id, but a
+            # fresh connection is the safe state for both transports.
+            await self.aclose()
+            raise ClientError(
+                "transport",
+                f"{op} timed out after {self.timeout}s",
+            )
+
+    def _unwrap(self, envelope: Mapping[str, object]) -> dict:
+        if envelope.get("ok"):
+            return envelope["result"]
+        error = envelope.get("error") or {}
+        raise ClientError(
+            error.get("code", "internal"),
+            f"{error.get('type', 'Error')}: "
+            f"{error.get('message', 'unknown server error')}",
+        )
+
+    # -- HTTP ----------------------------------------------------------
+    _HTTP_ROUTES = {
+        "prepare": ("POST", "/v1/prepare"),
+        "batch": ("POST", "/v1/batch"),
+        "stats": ("GET", "/v1/stats"),
+        "ping": ("GET", "/healthz"),
+    }
+
+    async def _call_http(self, op: str, payload: dict) -> dict:
+        method, path = self._HTTP_ROUTES[op]
+        body = b"" if method == "GET" else json.dumps(payload).encode()
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("latin-1") + body
+        async with self._http_lock:
+            try:
+                self._writer.write(request)
+                await self._writer.drain()
+                envelope = await self._read_http_response()
+            except (
+                ConnectionError, OSError, asyncio.IncompleteReadError,
+            ) as error:
+                await self.aclose()
+                raise ClientError(
+                    "transport", f"HTTP request failed: {error}"
+                )
+        return self._unwrap(envelope)
+
+    async def _read_http_response(self) -> dict:
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ClientError(
+                "transport", "server closed the connection"
+            )
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        try:
+            return json.loads(body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ClientError(
+                "transport", f"undecodable server response: {error}"
+            )
+
+    # -- TCP -----------------------------------------------------------
+    async def _call_tcp(self, op: str, payload: dict) -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        request = {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "op": op,
+            **payload,
+        }
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(encode_line(request))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(request_id, None)
+            raise ClientError(
+                "transport", f"TCP send failed: {error}"
+            )
+        envelope = await future
+        return self._unwrap(envelope)
+
+    async def _pump_responses(self) -> None:
+        """Read NDJSON responses and resolve them onto their futures."""
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    envelope = decode_line(line)
+                except Exception:  # noqa: BLE001 - skip garbage frames
+                    continue
+                future = self._pending.pop(envelope.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(envelope)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ClientError(
+                        "transport", "connection closed by server"
+                    ))
+            self._pending.clear()
+
+
+class SyncReproClient:
+    """Blocking facade over :class:`ReproClient`.
+
+    Runs a private event loop on a daemon thread, so scripts, tests,
+    and benchmarks can use the wire API without ``async``::
+
+        with SyncReproClient("127.0.0.1", 8000) as client:
+            outcome = client.prepare({"family": "ghz", "dims": [2, 3]})
+            print(outcome["report"]["operations"])
+    """
+
+    def __init__(self, host: str, port: int, **kwargs):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-net-client",
+            daemon=True,
+        )
+        self._thread.start()
+        self._client = ReproClient(host, port, **kwargs)
+        self._call(self._client.connect())
+
+    def _call(self, coroutine):
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop
+        ).result()
+
+    def prepare(self, job, *, include_circuit: bool = False) -> dict:
+        return self._call(
+            self._client.prepare(job, include_circuit=include_circuit)
+        )
+
+    def batch(self, jobs, *, defaults=None,
+              include_circuit: bool = False) -> dict:
+        return self._call(self._client.batch(
+            jobs, defaults=defaults, include_circuit=include_circuit
+        ))
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def ping(self) -> dict:
+        return self._call(self._client.ping())
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._call(self._client.aclose())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    def __enter__(self) -> "SyncReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

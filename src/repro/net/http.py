@@ -1,0 +1,375 @@
+"""Minimal HTTP/1.1 front end over the async serving layer.
+
+Pure stdlib ``asyncio.start_server`` — no frameworks, no threads.  The
+server speaks exactly the wire schema of :mod:`repro.net.protocol`
+over four routes:
+
+* ``POST /v1/prepare`` — one job (batch-spec job fields), one outcome,
+* ``POST /v1/batch`` — a batch-spec document, all outcomes in order,
+* ``GET /v1/stats`` — the service + engine counters
+  (``ServiceStats.to_dict()``),
+* ``GET /healthz`` — liveness (also reports whether the service is
+  accepting work).
+
+Connections are keep-alive by default (HTTP/1.1 semantics; honour
+``Connection: close``), bodies are bounded by ``max_request_bytes``,
+and :meth:`HttpServer.stop` performs a graceful shutdown: the listener
+closes first, every in-flight handler finishes, and only then is the
+underlying service's micro-batch queue drained — no accepted request
+is dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    WireError,
+    error_envelope,
+    execute_request,
+    result_envelope,
+)
+
+__all__ = ["HttpServer"]
+
+#: HTTP status per wire error code; anything unlisted is a 500.
+_STATUS_BY_CODE = {
+    "bad_json": 400,
+    "bad_request": 400,
+    "job_spec": 400,
+    "pipeline_config": 400,
+    "unsupported_version": 400,
+    "unknown_op": 404,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "too_large": 413,
+    "shutting_down": 503,
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Route table: path → (method, operation).
+_ROUTES = {
+    "/v1/prepare": ("POST", "prepare"),
+    "/v1/batch": ("POST", "batch"),
+    "/v1/stats": ("GET", "stats"),
+    "/healthz": ("GET", "health"),
+}
+
+
+class _HttpRequest:
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method, path, headers, body, keep_alive):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+class HttpServer:
+    """Serve an :class:`~repro.service.AsyncPreparationService` over HTTP.
+
+    Untrusted input is bounded everywhere: request lines and header
+    lines by the stream's 64 KiB line limit, header count by
+    :attr:`_MAX_HEADER_LINES`, bodies by ``max_request_bytes`` —
+    violations are answered with a structured error and the
+    connection is closed.
+
+    Args:
+        service: A *running* service (the caller owns its lifecycle
+            when it passes one in; the CLI starts/stops both).
+        host: Bind address.
+        port: Bind port; 0 picks an ephemeral port (see :attr:`port`).
+        max_request_bytes: Hard cap on a request body; larger bodies
+            are refused with 413 without being read into memory.
+        job_defaults: Option defaults layered under every wire job
+            (the CLI's ``--pipeline`` config), exactly like the
+            batch-spec ``defaults`` merge.
+    """
+
+    _MAX_HEADER_LINES = 256
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_request_bytes: int = 1_000_000,
+        job_defaults=None,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.max_request_bytes = max_request_bytes
+        self.job_defaults = job_defaults
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the kernel-assigned one)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    async def start(self) -> "HttpServer":
+        if self._server is not None:
+            return self
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown, in order: stop accepting connections,
+        let every in-flight request finish (idle keep-alive
+        connections are closed immediately), then drain the service's
+        micro-batch queue.  No accepted request is dropped."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._closing is not None:
+            self._closing.set()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        await self.service.stop()
+
+    async def __aenter__(self) -> "HttpServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._next_request(reader)
+                except asyncio.IncompleteReadError:
+                    break
+                except WireError as error:
+                    # Request framing is broken — answer and close;
+                    # we cannot trust the stream position anymore.
+                    await self._write_response(
+                        writer,
+                        _STATUS_BY_CODE.get(error.code, 500),
+                        error_envelope(error),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                # A stopping server answers what it has already read
+                # but never holds the connection open for more.
+                keep_alive = request.keep_alive and not (
+                    self._closing is not None and self._closing.is_set()
+                )
+                try:
+                    status, payload = await self._respond(request)
+                except WireError as error:
+                    status = _STATUS_BY_CODE.get(error.code, 500)
+                    payload = error_envelope(error)
+                except Exception as error:  # noqa: BLE001 - wire boundary
+                    status = 500
+                    payload = error_envelope(
+                        WireError.from_exception(error)
+                    )
+                self.requests_served += 1
+                await self._write_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _next_request(self, reader) -> _HttpRequest | None:
+        """Wait for the next request, or ``None`` when the server is
+        closing and the connection is idle.
+
+        A connection parked in ``readline`` between keep-alive
+        requests would otherwise stall graceful shutdown forever; the
+        race between "request arrived" and "server closing" is
+        resolved in favour of the request, so nothing already sent is
+        dropped.
+        """
+        if self._closing is None or self._closing.is_set():
+            return None
+        read = asyncio.ensure_future(self._read_request(reader))
+        closing = asyncio.ensure_future(self._closing.wait())
+        try:
+            await asyncio.wait(
+                {read, closing}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            closing.cancel()
+        if not read.done():
+            read.cancel()
+            try:
+                await read
+            except (asyncio.CancelledError, asyncio.IncompleteReadError):
+                pass
+            return None
+        return await read
+
+    async def _read_request(self, reader) -> _HttpRequest | None:
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            # readline wraps LimitOverrunError (line beyond the 64 KiB
+            # stream limit) in ValueError.
+            raise WireError(
+                "too_large", "request line exceeds the size limit"
+            )
+        if not request_line:
+            return None
+        try:
+            method, path, version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise WireError(
+                "bad_request",
+                f"malformed request line {request_line!r}",
+            )
+        headers: dict[str, str] = {}
+        for _ in range(self._MAX_HEADER_LINES):
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise WireError(
+                    "too_large", "header line exceeds the size limit"
+                )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise WireError(
+                "too_large",
+                f"more than {self._MAX_HEADER_LINES} header lines",
+            )
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise WireError(
+                "bad_request", "chunked request bodies are not supported"
+            )
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise WireError(
+                "bad_request",
+                f"bad Content-Length {headers.get('content-length')!r}",
+            )
+        if content_length > self.max_request_bytes:
+            raise WireError(
+                "too_large",
+                f"request body of {content_length} bytes exceeds the "
+                f"limit of {self.max_request_bytes}",
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        connection = headers.get("connection", "").lower()
+        keep_alive = connection != "close" and version.upper() not in (
+            "HTTP/1.0",
+        )
+        return _HttpRequest(method, path, headers, body, keep_alive)
+
+    async def _respond(self, request: _HttpRequest) -> tuple[int, dict]:
+        route = _ROUTES.get(request.path)
+        if route is None:
+            raise WireError(
+                "not_found", f"no route for {request.path!r}"
+            )
+        method, op = route
+        if request.method != method:
+            raise WireError(
+                "method_not_allowed",
+                f"{request.path} takes {method}, not {request.method}",
+            )
+        if op == "health":
+            return 200, result_envelope({
+                "status": "ok",
+                "accepting": self.service.running,
+                "v": PROTOCOL_VERSION,
+            })
+        if not self.service.running:
+            raise WireError(
+                "shutting_down", "service is draining; try again later"
+            )
+        payload: dict = {}
+        if request.body:
+            try:
+                payload = json.loads(request.body)
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise WireError(
+                    "bad_json", f"body is not valid JSON: {error}"
+                )
+            if not isinstance(payload, dict):
+                raise WireError(
+                    "bad_request",
+                    "body must be a JSON object",
+                )
+        result = await execute_request(
+            self.service, op, payload, defaults=self.job_defaults
+        )
+        return 200, result_envelope(result)
+
+    async def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    def __repr__(self) -> str:
+        state = "listening" if self.running else "stopped"
+        return f"HttpServer({state}, {self.host}:{self.port})"

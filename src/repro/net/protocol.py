@@ -1,0 +1,344 @@
+"""The versioned JSON wire schema of the network front end.
+
+Both transports — the HTTP/1.1 server (:mod:`repro.net.http`) and the
+newline-delimited-JSON stream server (:mod:`repro.net.tcp`) — speak
+the same logical protocol defined here:
+
+* **Requests** name an operation (``prepare`` / ``batch`` / ``stats``
+  / ``ping``) and carry a payload whose job fields are parsed by the
+  batch-spec machinery of :mod:`repro.engine.spec` — the wire accepts
+  exactly what ``python -m repro batch`` accepts per job.
+* **Responses** are envelopes ``{"v": 1, "ok": true, "result": ...}``
+  or ``{"v": 1, "ok": false, "error": {"code", "type", "message"}}``;
+  stream responses additionally echo the request ``id`` so clients can
+  pipeline out of order.
+* **Error codes** are derived mechanically from the library's
+  exception hierarchy (:mod:`repro.exceptions`): ``JobSpecError`` →
+  ``job_spec``, ``DimensionError`` → ``dimension``, and so on, plus a
+  small set of protocol-level codes (``bad_json``, ``too_large``,
+  ``unknown_op`` …).  A per-job :class:`~repro.engine.JobFailure`
+  travels inside a *successful* envelope, exactly as it does inside a
+  :class:`~repro.engine.BatchResult`.
+
+Successful outcomes are serialised with every
+:class:`~repro.core.report.SynthesisReport` field plus the per-stage
+``stage_timings`` ledger; :func:`comparable_wire_outcome` strips the
+scheduling-dependent fields (wall times, cache flags) in exact analogy
+to :func:`repro.engine.comparable_outcome`, so two transports — or the
+wire and the in-process path — can be compared for equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from collections.abc import Mapping
+
+from repro.circuit import qasm
+from repro.engine.jobs import PreparationJob
+from repro.engine.results import JobOutcome
+from repro.engine.spec import job_from_dict, jobs_from_spec
+from repro.exceptions import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "WireError",
+    "comparable_wire_outcome",
+    "decode_line",
+    "encode_line",
+    "error_code",
+    "error_envelope",
+    "execute_request",
+    "outcome_to_wire",
+    "parse_batch_payload",
+    "parse_prepare_payload",
+    "result_envelope",
+]
+
+#: Version tag carried by every envelope.  A request naming a version
+#: this server does not speak is rejected with ``unsupported_version``
+#: instead of being half-understood.
+PROTOCOL_VERSION = 1
+
+_TIMING_REPORT_FIELDS = ("synthesis_time", "build_time", "verify_time")
+
+#: Operations a stream request may name.  The HTTP transport maps its
+#: routes onto the same set (``POST /v1/prepare`` → ``prepare`` …).
+OPERATIONS = ("prepare", "batch", "stats", "ping")
+
+
+def _camel_to_snake(name: str) -> str:
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", name).lower()
+
+
+def error_code(error_type: str) -> str:
+    """Stable wire code of a library exception class name.
+
+    Mechanically derived — ``JobSpecError`` → ``job_spec``,
+    ``DimensionError`` → ``dimension`` — so the mapping can never
+    drift from :mod:`repro.exceptions`.  Names outside the hierarchy
+    (a worker raising ``ValueError``) collapse to ``internal``.
+    """
+    import repro.exceptions as exceptions
+
+    cls = getattr(exceptions, error_type, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        return "internal"
+    stem = error_type.removesuffix("Error") or "repro"
+    return _camel_to_snake(stem)
+
+
+class WireError(Exception):
+    """A request this server refuses, with its wire code.
+
+    Protocol-level refusals (malformed JSON, oversized body, unknown
+    operation) and library errors alike are surfaced to the client as
+    an error envelope carrying ``code`` plus the original exception
+    type and message.
+    """
+
+    def __init__(self, code: str, message: str, error_type: str = "WireError"):
+        super().__init__(message)
+        self.code = code
+        self.error_type = error_type
+
+    @classmethod
+    def from_exception(cls, error: Exception) -> "WireError":
+        name = type(error).__name__
+        return cls(error_code(name), str(error), error_type=name)
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def result_envelope(result: object, request_id: object = None) -> dict:
+    """A successful response envelope (``id`` only when given)."""
+    envelope: dict[str, object] = {"v": PROTOCOL_VERSION, "ok": True}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope["result"] = result
+    return envelope
+
+
+def error_envelope(error: WireError, request_id: object = None) -> dict:
+    """An error response envelope mirroring :func:`result_envelope`."""
+    envelope: dict[str, object] = {"v": PROTOCOL_VERSION, "ok": False}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope["error"] = {
+        "code": error.code,
+        "type": error.error_type,
+        "message": str(error),
+    }
+    return envelope
+
+
+def encode_line(payload: Mapping[str, object]) -> bytes:
+    """One NDJSON frame: compact JSON plus the terminating newline."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one NDJSON frame into a request dictionary.
+
+    Raises:
+        WireError: ``bad_json`` for undecodable bytes, ``bad_request``
+            when the frame is not a JSON object.
+    """
+    try:
+        payload = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireError("bad_json", f"request is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise WireError(
+            "bad_request", f"request must be a JSON object, got {payload!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Payload parsing (reusing the batch-spec machinery)
+# ----------------------------------------------------------------------
+def _check_version(payload: Mapping[str, object]) -> None:
+    version = payload.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            "unsupported_version",
+            f"this server speaks protocol v{PROTOCOL_VERSION}, "
+            f"request named v{version!r}",
+        )
+
+
+def parse_prepare_payload(
+    payload: Mapping[str, object],
+    defaults: Mapping[str, object] | None = None,
+) -> tuple[PreparationJob, bool]:
+    """Parse a ``prepare`` payload into ``(job, include_circuit)``.
+
+    The job may come wrapped (``{"job": {...}}``, optionally with
+    ``include_circuit``) or bare — any object with a ``dims`` field is
+    taken as the job itself, which keeps one-line ``curl`` calls
+    pleasant.  Job fields are exactly the batch-spec job fields.
+    """
+    _check_version(payload)
+    include_circuit = payload.get("include_circuit", False)
+    if not isinstance(include_circuit, bool):
+        raise WireError(
+            "bad_request", "'include_circuit' must be a boolean"
+        )
+    if "job" in payload:
+        raw_job = payload["job"]
+    else:
+        raw_job = {
+            key: value
+            for key, value in payload.items()
+            if key not in {"v", "id", "op", "include_circuit"}
+        }
+        if "dims" not in raw_job:
+            raise WireError(
+                "bad_request",
+                "prepare payload needs a 'job' object (or bare job "
+                "fields including 'dims')",
+            )
+    try:
+        job = job_from_dict(raw_job, defaults=defaults, where="job")
+    except ReproError as error:
+        raise WireError.from_exception(error)
+    return job, include_circuit
+
+
+def parse_batch_payload(
+    payload: Mapping[str, object],
+    defaults: Mapping[str, object] | None = None,
+) -> tuple[list[PreparationJob], bool]:
+    """Parse a ``batch`` payload into ``(jobs, include_circuit)``.
+
+    The payload is a batch-spec document (``jobs`` + optional
+    ``defaults``) as accepted by :func:`repro.engine.spec.jobs_from_spec`,
+    plus the envelope fields and an optional ``include_circuit``.
+    """
+    _check_version(payload)
+    include_circuit = payload.get("include_circuit", False)
+    if not isinstance(include_circuit, bool):
+        raise WireError(
+            "bad_request", "'include_circuit' must be a boolean"
+        )
+    document = {
+        key: value
+        for key, value in payload.items()
+        if key in {"jobs", "defaults"}
+    }
+    try:
+        jobs = jobs_from_spec(document, defaults_override=defaults)
+    except ReproError as error:
+        raise WireError.from_exception(error)
+    return jobs, include_circuit
+
+
+# ----------------------------------------------------------------------
+# Outcome serialisation
+# ----------------------------------------------------------------------
+def outcome_to_wire(
+    outcome: JobOutcome, include_circuit: bool = False
+) -> dict:
+    """Serialise one engine outcome for the wire.
+
+    Successes carry the full report (every
+    :class:`~repro.core.report.SynthesisReport` field), the cache
+    flag, the worker wall time, and the per-stage ``stage_timings``
+    ledger; with ``include_circuit`` the QDASM text of the circuit
+    rides along.  Failures carry the mapped error code plus the
+    original type and message.
+    """
+    wire: dict[str, object] = {
+        "label": outcome.job.label,
+        "dims": list(outcome.job.dims),
+        "ok": outcome.ok,
+        "key": outcome.key,
+    }
+    if outcome.ok:
+        report = dataclasses.asdict(outcome.report)
+        report["dims"] = list(report["dims"])
+        wire["report"] = report
+        wire["cache_hit"] = outcome.cache_hit
+        wire["elapsed"] = outcome.elapsed
+        wire["stage_timings"] = outcome.stage_timings_dict()
+        if include_circuit:
+            wire["circuit"] = qasm.dumps(outcome.circuit)
+    else:
+        wire["error"] = {
+            "code": error_code(outcome.error_type),
+            "type": outcome.error_type,
+            "message": outcome.message,
+        }
+    return wire
+
+
+def comparable_wire_outcome(wire: Mapping[str, object]) -> dict:
+    """Strip the scheduling-dependent fields from a wire outcome.
+
+    The exact analogue of :func:`repro.engine.comparable_outcome` on
+    the serialised form: wall times are zeroed, ``cache_hit`` /
+    ``elapsed`` / ``stage_timings`` / ``circuit`` are dropped.  Two
+    executions of the same job — over HTTP, over TCP, or in process —
+    are equivalent exactly when these forms are equal.
+    """
+    comparable = {
+        key: value
+        for key, value in wire.items()
+        if key not in {"cache_hit", "elapsed", "stage_timings", "circuit"}
+    }
+    report = comparable.get("report")
+    if isinstance(report, Mapping):
+        comparable["report"] = {
+            key: (0.0 if key in _TIMING_REPORT_FIELDS else value)
+            for key, value in report.items()
+        }
+    return comparable
+
+
+# ----------------------------------------------------------------------
+# Shared request execution (both transports call this)
+# ----------------------------------------------------------------------
+async def execute_request(
+    service,
+    op: str,
+    payload: Mapping[str, object],
+    defaults: Mapping[str, object] | None = None,
+) -> object:
+    """Run one request against an ``AsyncPreparationService``.
+
+    Returns the ``result`` value of the response envelope; raises
+    :class:`WireError` for anything refusable.  Per-job failures do
+    *not* raise — they come back as failure outcomes inside the
+    result, mirroring ``run_batch``.
+    """
+    if op == "ping":
+        return {"pong": True, "v": PROTOCOL_VERSION}
+    if op == "stats":
+        return service.stats().to_dict()
+    if op == "prepare":
+        job, include_circuit = parse_prepare_payload(payload, defaults)
+        try:
+            outcome = await service.submit(job)
+        except ReproError as error:
+            raise WireError.from_exception(error)
+        return outcome_to_wire(outcome, include_circuit=include_circuit)
+    if op == "batch":
+        jobs, include_circuit = parse_batch_payload(payload, defaults)
+        try:
+            batch = await service.run_batch(jobs)
+        except ReproError as error:
+            raise WireError.from_exception(error)
+        return {
+            "outcomes": [
+                outcome_to_wire(outcome, include_circuit=include_circuit)
+                for outcome in batch.outcomes
+            ],
+            "wall_time": batch.wall_time,
+        }
+    raise WireError(
+        "unknown_op",
+        f"unknown operation {op!r}; expected one of {list(OPERATIONS)}",
+    )

@@ -1,0 +1,215 @@
+"""Newline-delimited-JSON stream front end for high-throughput clients.
+
+One persistent TCP connection carries any number of requests, one
+JSON object per line (see :mod:`repro.net.protocol`)::
+
+    {"v": 1, "id": 7, "op": "prepare", "job": {"family": "ghz", "dims": [3, 6, 2]}}
+
+Every request spawns its own handler task, so responses come back
+**as they complete — possibly out of order** — each echoing its
+request ``id`` for correlation.  That is the point of this transport:
+a client can keep dozens of requests in flight on one socket
+(pipelining) and let the service's micro-batcher coalesce them,
+without the per-request framing overhead of HTTP.
+
+Shutdown mirrors :class:`~repro.net.http.HttpServer`: the listener
+closes, in-flight requests finish and their responses are written,
+idle connections are closed, and only then is the service drained.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.net.protocol import (
+    WireError,
+    decode_line,
+    encode_line,
+    error_envelope,
+    execute_request,
+    result_envelope,
+)
+
+__all__ = ["TcpServer"]
+
+#: Per-line byte bound; also the StreamReader limit, so an unbounded
+#: line aborts the read instead of growing without limit.
+_DEFAULT_MAX_LINE_BYTES = 1_000_000
+
+
+class TcpServer:
+    """Serve an ``AsyncPreparationService`` over an NDJSON stream.
+
+    Args:
+        service: A running service (lifecycle owned by the caller).
+        host: Bind address.
+        port: Bind port; 0 picks an ephemeral one (see :attr:`port`).
+        max_line_bytes: Hard cap on one request line.
+        job_defaults: Option defaults layered under every wire job,
+            exactly as in the HTTP server.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_line_bytes: int = _DEFAULT_MAX_LINE_BYTES,
+        job_defaults=None,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.max_line_bytes = max_line_bytes
+        self.job_defaults = job_defaults
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    async def start(self) -> "TcpServer":
+        if self._server is not None:
+            return self
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            limit=self.max_line_bytes,
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, finish and answer every
+        in-flight request, close idle connections, drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._closing is not None:
+            self._closing.set()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        await self.service.stop()
+
+    async def __aenter__(self) -> "TcpServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        self._connections.add(task)
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await self._next_line(reader)
+                if line is None:
+                    break
+                request_task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                inflight.add(request_task)
+                request_task.add_done_callback(inflight.discard)
+        finally:
+            # Answer everything already accepted on this connection
+            # before closing it — pipelined requests are never dropped.
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _next_line(self, reader) -> bytes | None:
+        """Next request line, or ``None`` on EOF / server shutdown.
+
+        The shutdown race resolves in favour of a line already
+        received, mirroring the HTTP server.
+        """
+        while True:
+            if self._closing is None or self._closing.is_set():
+                return None
+            read = asyncio.ensure_future(reader.readline())
+            closing = asyncio.ensure_future(self._closing.wait())
+            try:
+                await asyncio.wait(
+                    {read, closing},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                closing.cancel()
+            if not read.done():
+                read.cancel()
+                try:
+                    await read
+                except asyncio.CancelledError:
+                    pass
+                return None
+            try:
+                line = await read
+            except (asyncio.LimitOverrunError, ValueError):
+                # Line longer than the reader limit: the stream
+                # position is unrecoverable, drop the connection.
+                return None
+            if not line:
+                return None
+            if line.strip() == b"":
+                # Tolerate blank keep-alive lines between requests.
+                continue
+            return line
+
+    async def _serve_line(self, line, writer, write_lock) -> None:
+        request_id = None
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise WireError(
+                    "bad_request", "request needs a string 'op' field"
+                )
+            result = await execute_request(
+                self.service, op, request, defaults=self.job_defaults
+            )
+            envelope = result_envelope(result, request_id=request_id)
+        except WireError as error:
+            envelope = error_envelope(error, request_id=request_id)
+        except Exception as error:  # noqa: BLE001 - wire boundary
+            envelope = error_envelope(
+                WireError.from_exception(error), request_id=request_id
+            )
+        self.requests_served += 1
+        async with write_lock:
+            writer.write(encode_line(envelope))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    def __repr__(self) -> str:
+        state = "listening" if self.running else "stopped"
+        return f"TcpServer({state}, {self.host}:{self.port})"

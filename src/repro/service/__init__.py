@@ -10,7 +10,12 @@ Built on the :mod:`repro.engine` seam (see ``docs/engine.md``,
   concurrent single-job requests into bounded micro-batches,
 * :mod:`repro.service.service` — :class:`AsyncPreparationService`,
   the asyncio front end dispatching micro-batches to
-  ``PreparationEngine.run_batch`` on executor threads.
+  ``PreparationEngine.run_batch`` on executor threads — concurrently
+  for batches touching disjoint cache shards (per-shard dispatch
+  locks).
+
+The network front end over this layer lives in :mod:`repro.net`
+(HTTP + streaming TCP; see ``docs/serving.md``).
 
 Outcomes served through this layer are equivalent to a direct serial
 ``run_batch`` of the same jobs (compare with

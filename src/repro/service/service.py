@@ -3,10 +3,13 @@
 :class:`AsyncPreparationService` turns the blocking, batch-oriented
 engine into a concurrent server: any number of client coroutines
 ``await submit(job)`` (or ``run_batch(jobs)``), their requests are
-coalesced by a :class:`~repro.service.batching.MicroBatchQueue`, and a
-single dispatch loop ships each micro-batch to ``engine.run_batch``
-on an executor thread (``asyncio.to_thread``), keeping the event loop
-free while synthesis runs.
+coalesced by a :class:`~repro.service.batching.MicroBatchQueue`, and
+the dispatch loop ships each micro-batch to ``engine.run_batch`` on
+an executor thread (``asyncio.to_thread``), keeping the event loop
+free while synthesis runs.  Micro-batches whose content keys route to
+*disjoint* cache shards are dispatched concurrently — every shard is
+guarded by its own dispatch lock — while batches sharing a shard
+serialise on it, so cache counters stay identical to serial dispatch.
 
 Determinism: the engine itself guarantees that a job's outcome does
 not depend on batch composition (content-addressed caching plus
@@ -39,6 +42,7 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
+import inspect
 import time
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -60,6 +64,29 @@ from repro.service.sharding import ShardedCache
 __all__ = ["AsyncPreparationService", "ServiceStats"]
 
 
+def _set_exception_if_pending(
+    future: asyncio.Future, error: BaseException
+) -> None:
+    if not future.done():
+        future.set_exception(error)
+
+
+def _fail_batch_later(
+    batch: list["QueuedJob"], error: BaseException
+) -> None:
+    """Deliver a fatal dispatch error to the waiters *next* tick.
+
+    Fatal signals (cancellation at teardown) must reach the dispatcher
+    loop before the waiters wake — a waiter resuming first would
+    observe a service that still looks running while its dispatcher is
+    already doomed.  Deferring by one ``call_soon`` hop restores the
+    ordering the inline-dispatch implementation had.
+    """
+    loop = asyncio.get_running_loop()
+    for queued in batch:
+        loop.call_soon(_set_exception_if_pending, queued.future, error)
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """Snapshot of the serving layer plus the engine underneath.
@@ -77,6 +104,28 @@ class ServiceStats:
     largest_batch: int
     full_batches: int
     engine: EngineStats
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (``GET /v1/stats`` and ``serve --json``
+        emit exactly this); inverse of :meth:`from_dict`."""
+        return {
+            "requests": self.requests,
+            "batches_dispatched": self.batches_dispatched,
+            "largest_batch": self.largest_batch,
+            "full_batches": self.full_batches,
+            "engine": self.engine.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload) -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        return cls(
+            requests=payload["requests"],
+            batches_dispatched=payload["batches_dispatched"],
+            largest_batch=payload["largest_batch"],
+            full_batches=payload["full_batches"],
+            engine=EngineStats.from_dict(payload["engine"]),
+        )
 
     def summary(self) -> str:
         """One-line human-readable form (used by the CLI)."""
@@ -106,6 +155,12 @@ class AsyncPreparationService:
             exclusive with ``engine``.
         max_batch_size: Micro-batch size cap.
         max_batch_delay: Seconds a partial micro-batch stays open.
+        max_concurrent_batches: Micro-batches allowed in flight at
+            once; ``None`` defaults to the cache's shard count.
+            Batches whose content keys touch *disjoint* shards run
+            concurrently (each shard is guarded by its own dispatch
+            lock); batches sharing a shard serialise on it, which
+            keeps cache counters identical to serial dispatch.
 
     The service must be running before ``submit`` is called: either
     ``await service.start()`` / ``await service.stop()`` explicitly,
@@ -124,7 +179,16 @@ class AsyncPreparationService:
         pipeline: "Pipeline | None" = None,
         max_batch_size: int = 32,
         max_batch_delay: float = 0.005,
+        max_concurrent_batches: int | None = None,
     ):
+        if (
+            max_concurrent_batches is not None
+            and max_concurrent_batches < 1
+        ):
+            raise EngineError(
+                f"max_concurrent_batches must be >= 1, "
+                f"got {max_concurrent_batches}"
+            )
         if engine is not None and pipeline is not None:
             raise EngineError(
                 "give either a ready engine or a pipeline for the "
@@ -152,6 +216,16 @@ class AsyncPreparationService:
         self.engine = engine
         self._max_batch_size = max_batch_size
         self._max_batch_delay = max_batch_delay
+        self._num_shard_locks = max(
+            1, getattr(self.engine.cache, "num_shards", 1)
+        )
+        self._max_concurrent_batches = (
+            max_concurrent_batches
+            if max_concurrent_batches is not None
+            else self._num_shard_locks
+        )
+        self._shard_locks: list[asyncio.Lock] = []
+        self._batch_slots: asyncio.Semaphore | None = None
         self._queue: MicroBatchQueue | None = None
         self._dispatcher: asyncio.Task | None = None
         # Serving counters of queues retired by stop(): stats() stays
@@ -182,6 +256,14 @@ class AsyncPreparationService:
         self._queue = MicroBatchQueue(
             max_batch_size=self._max_batch_size,
             max_delay=self._max_batch_delay,
+        )
+        # Per-shard dispatch locks and the in-flight bound live on the
+        # running loop, so (re)create them at start time.
+        self._shard_locks = [
+            asyncio.Lock() for _ in range(self._num_shard_locks)
+        ]
+        self._batch_slots = asyncio.Semaphore(
+            self._max_concurrent_batches
         )
         self._dispatcher = asyncio.get_running_loop().create_task(
             self._dispatch_loop(self._queue)
@@ -281,29 +363,219 @@ class AsyncPreparationService:
     # Dispatch loop
     # ------------------------------------------------------------------
     async def _dispatch_loop(self, queue: MicroBatchQueue) -> None:
-        while True:
-            batch = await queue.next_batch()
-            if batch is None:
-                return
-            await self._dispatch(batch)
+        """Pull micro-batches and ship them, disjoint shards in parallel.
 
-    async def _dispatch(self, batch: list[QueuedJob]) -> None:
+        Each batch becomes its own dispatch task, gated by the
+        concurrency semaphore and by the locks of the cache shards its
+        content keys touch: batches on disjoint shards overlap,
+        batches sharing a shard (in particular: duplicate-heavy
+        traffic) serialise on it, so cache hit/miss counters stay
+        identical to strictly serial dispatch.
+        """
+        inflight: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        next_batch: asyncio.Task | None = None
+        try:
+            while True:
+                if next_batch is None:
+                    next_batch = loop.create_task(queue.next_batch())
+                await asyncio.wait(
+                    {next_batch, *inflight},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                # A dispatch that died of cancellation (teardown
+                # mid-batch) must kill the whole loop, exactly as it
+                # did when dispatch was awaited inline.
+                self._reap(inflight)
+                if not next_batch.done():
+                    continue
+                batch = next_batch.result()
+                next_batch = None
+                if batch is None:
+                    return
+                try:
+                    await self._batch_slots.acquire()
+                except BaseException as error:
+                    # Cancellation while waiting for a slot: the
+                    # popped batch is in no queue and no task — fail
+                    # its waiters or they hang forever.
+                    _fail_batch_later(batch, error)
+                    raise
+                inflight.add(
+                    loop.create_task(self._dispatch_sharded(batch))
+                )
+        except BaseException:
+            # The loop is dying (cancellation, crashed queue): take
+            # the in-flight dispatches down with it so their waiters
+            # are failed rather than stranded.
+            for task in inflight:
+                task.cancel()
+            raise
+        finally:
+            # Teardown must not await when nothing is pending: a
+            # dispatcher dying of a propagated cancellation finishes
+            # in the same loop tick, as the inline-dispatch version
+            # did.
+            self._abandon_next_batch(next_batch)
+            pending = [task for task in inflight if not task.done()]
+            if pending:
+                await asyncio.gather(
+                    *pending, return_exceptions=True
+                )
+
+    @staticmethod
+    def _reap(inflight: set[asyncio.Task]) -> None:
+        """Drop finished dispatch tasks; re-raise fatal ones.
+
+        Dispatch tasks resolve per-job errors onto their waiters and
+        finish cleanly — the only way one *fails* is a non-``Exception``
+        signal (cancellation at loop teardown), which must propagate so
+        the dispatcher dies instead of looping uncancellably.
+        """
+        for task in [t for t in inflight if t.done()]:
+            inflight.discard(task)
+            if task.cancelled():
+                raise asyncio.CancelledError
+            error = task.exception()
+            if error is not None:
+                raise error
+
+    @staticmethod
+    def _fail_orphaned_batch(next_batch: asyncio.Task) -> None:
+        """Fail the waiters of a batch nobody will dispatch."""
+        if next_batch.cancelled() or next_batch.exception() is not None:
+            return
+        for queued in next_batch.result() or ():
+            if not queued.future.done():
+                queued.future.set_exception(EngineError(
+                    "service stopped before the request was "
+                    "dispatched"
+                ))
+
+    @classmethod
+    def _abandon_next_batch(
+        cls, next_batch: asyncio.Task | None
+    ) -> None:
+        """Tear down a pending ``next_batch`` without losing its jobs.
+
+        The task may (yet) complete with a batch the dead loop will
+        never dispatch; those waiters must be failed explicitly or
+        they hang forever.  Synchronous on purpose — see the caller.
+        """
+        if next_batch is None:
+            return
+        if next_batch.done():
+            cls._fail_orphaned_batch(next_batch)
+        else:
+            next_batch.cancel()
+            next_batch.add_done_callback(cls._fail_orphaned_batch)
+
+    def _engine_accepts_keys(self) -> bool:
+        """Whether ``engine.run_batch`` takes precomputed ``keys``.
+
+        Checked per dispatch (not cached) because tests and custom
+        engines may swap ``run_batch`` on a live instance for a
+        callable without the parameter.
+        """
+        try:
+            return "keys" in inspect.signature(
+                self.engine.run_batch
+            ).parameters
+        except (TypeError, ValueError):
+            return False
+
+    def _route_batch(
+        self, jobs: list[PreparationJob]
+    ) -> tuple[set[int], list[str | None] | None]:
+        """Shard indices this batch will touch, plus its content keys.
+
+        Unsharded caches collapse to the single lock 0 (serial
+        dispatch, the pre-sharding behaviour) without keying anything.
+        The computed keys are handed to ``run_batch`` so routing does
+        not cost a second state resolution.  A job whose state cannot
+        even be resolved gets key ``None`` and touches no shard —
+        ``run_batch`` turns it into a
+        :class:`~repro.engine.JobFailure` without a cache probe.
+        Note an *unseeded* random job may resolve differently here and
+        in the engine; correctness is unaffected (the engine re-keys
+        the state it actually synthesises, and shards also lock
+        internally), only counter determinism is guaranteed for
+        deterministic jobs.
+        """
+        cache = self.engine.cache
+        if self._num_shard_locks <= 1:
+            return {0}, None
+        shards: set[int] = set()
+        keys: list[str | None] = []
+        for job in jobs:
+            try:
+                key = self.engine.job_key(job)
+            except Exception:  # noqa: BLE001 - failure handled in run_batch
+                keys.append(None)
+                continue
+            keys.append(key)
+            shards.add(cache.shard_index(key))
+        return shards, keys
+
+    async def _dispatch_sharded(self, batch: list[QueuedJob]) -> None:
+        """Run one micro-batch under the locks of the shards it touches."""
+        acquired: list[asyncio.Lock] = []
+        try:
+            shards, keys = await asyncio.to_thread(
+                self._route_batch, [queued.job for queued in batch]
+            )
+            # Sorted acquisition: two batches wanting shards {1, 3}
+            # and {3, 1} lock in the same order, so they cannot
+            # deadlock.
+            for index in sorted(shards):
+                lock = self._shard_locks[index]
+                await lock.acquire()
+                acquired.append(lock)
+            await self._dispatch(batch, keys)
+        except BaseException as error:  # noqa: BLE001 - fan out to waiters
+            # Failures before/around _dispatch (key resolution, lock
+            # acquisition cancelled at teardown) would otherwise
+            # strand the batch's waiters.
+            if isinstance(error, Exception):
+                for queued in batch:
+                    if not queued.future.done():
+                        queued.future.set_exception(error)
+            else:
+                _fail_batch_later(batch, error)
+                raise
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+            self._batch_slots.release()
+
+    async def _dispatch(
+        self,
+        batch: list[QueuedJob],
+        keys: list[str | None] | None = None,
+    ) -> None:
         jobs = [queued.job for queued in batch]
         try:
-            result = await asyncio.to_thread(
-                self.engine.run_batch, jobs
-            )
+            if keys is not None and self._engine_accepts_keys():
+                result = await asyncio.to_thread(
+                    self.engine.run_batch, jobs, keys=keys
+                )
+            else:
+                result = await asyncio.to_thread(
+                    self.engine.run_batch, jobs
+                )
         except BaseException as error:  # noqa: BLE001 - fan out to waiters
-            for queued in batch:
-                if not queued.future.done():
-                    queued.future.set_exception(error)
-            if not isinstance(error, Exception):
-                # CancelledError (loop shutdown) and other
-                # non-Exception signals must keep propagating, or the
-                # dispatcher task becomes uncancellable and hangs
-                # event-loop teardown.
-                raise
-            return
+            if isinstance(error, Exception):
+                for queued in batch:
+                    if not queued.future.done():
+                        queued.future.set_exception(error)
+                return
+            # CancelledError (loop shutdown) and other non-Exception
+            # signals must keep propagating, or the dispatcher task
+            # becomes uncancellable and hangs event-loop teardown;
+            # the waiters are failed one tick later, after the
+            # dispatcher has observed the death.
+            _fail_batch_later(batch, error)
+            raise
         for queued, outcome in zip(batch, result.outcomes):
             if not queued.future.done():
                 queued.future.set_result(outcome)

@@ -12,9 +12,11 @@ aggregated :class:`~repro.engine.cache.CacheStats` sum to the
 unsharded counts.
 
 Why shard at all?  Independent shards are the unit of scale-out: each
-shard has its own LRU bound and its own disk directory
-(``disk_dir/shard-00`` …), so shards can later live behind separate
-locks, processes, or machines without re-keying anything.
+shard has its own LRU bound, its own lock (every ``CircuitCache``
+guards itself — the serving layer additionally serialises same-shard
+micro-batches on per-shard dispatch locks), and its own disk
+directory (``disk_dir/shard-00`` …), so shards can later move to
+separate processes or machines without re-keying anything.
 
 The class mirrors the ``CircuitCache`` surface the
 :class:`~repro.engine.PreparationEngine` uses (``get`` / ``peek`` /

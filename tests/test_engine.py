@@ -648,3 +648,82 @@ class TestDiskCacheSharing:
         )
         assert fresh.submit(job).cache_hit
         assert fresh.stats().disk_hits == 1
+
+
+class TestProvidedKeys:
+    """run_batch(keys=...): precomputed routing keys skip resolution."""
+
+    def test_provided_keys_skip_resolution_on_hits(self, monkeypatch):
+        from repro.engine import PreparationEngine
+
+        engine = PreparationEngine()
+        job = PreparationJob(dims=(3, 6, 2), family="ghz")
+        key = engine.job_key(job)
+        assert engine.run_batch([job]).outcomes[0].ok  # warm the cache
+
+        calls = []
+        original = PreparationJob.resolve_state
+
+        def counted(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(PreparationJob, "resolve_state", counted)
+        batch = engine.run_batch([job, job], keys=[key, key])
+        assert all(o.ok and o.cache_hit for o in batch.outcomes)
+        assert calls == []  # hits never resolved the state
+
+    def test_wrong_provided_key_never_poisons_cache(self):
+        from repro.engine import PreparationEngine
+
+        engine = PreparationEngine()
+        job = PreparationJob(dims=(2, 2), family="ghz")
+        stale = "0" * 64
+        outcome = engine.run_batch([job], keys=[stale]).outcomes[0]
+        assert outcome.ok
+        # The engine re-keyed the state it actually synthesised; the
+        # circuit is addressable under the real key, and nothing is
+        # stored under the stale one.
+        real_key = engine.job_key(job)
+        assert outcome.key == real_key
+        assert engine.cache.peek(real_key) is not None
+        assert engine.cache.peek(stale) is None
+
+    def test_none_entries_are_computed(self):
+        from repro.engine import PreparationEngine
+
+        engine = PreparationEngine()
+        job = PreparationJob(dims=(2, 2), family="ghz")
+        batch = engine.run_batch([job], keys=[None])
+        assert batch.outcomes[0].ok
+        assert batch.outcomes[0].key == engine.job_key(job)
+
+    def test_mismatched_keys_length_rejected(self):
+        from repro.engine import PreparationEngine
+        from repro.exceptions import EngineError
+
+        engine = PreparationEngine()
+        job = PreparationJob(dims=(2, 2), family="ghz")
+        with pytest.raises(EngineError, match="parallel"):
+            engine.run_batch([job], keys=[])
+
+    def test_outcomes_identical_with_and_without_keys(self):
+        from repro.engine import PreparationEngine, comparable_outcome
+
+        jobs = [
+            PreparationJob(dims=(3, 6, 2), family="ghz"),
+            PreparationJob(dims=(2, 2, 2), family="w"),
+            PreparationJob(dims=(3, 6, 2), family="ghz"),  # duplicate
+        ]
+        plain_engine = PreparationEngine()
+        plain = plain_engine.run_batch(jobs)
+        keyed_engine = PreparationEngine()
+        keys = [keyed_engine.job_key(job) for job in jobs]
+        keyed = keyed_engine.run_batch(jobs, keys=keys)
+        assert [
+            comparable_outcome(o) for o in keyed.outcomes
+        ] == [comparable_outcome(o) for o in plain.outcomes]
+        assert (
+            keyed_engine.stats().cache_hits
+            == plain_engine.stats().cache_hits
+        )

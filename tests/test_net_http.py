@@ -1,0 +1,258 @@
+"""Tests for the HTTP/1.1 front end (`repro.net.http`)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net import ClientError, HttpServer, ReproClient
+from repro.service import AsyncPreparationService
+
+GHZ = {"family": "ghz", "dims": [3, 6, 2]}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def raw_http(port: int, blob: bytes) -> bytes:
+    """Send raw bytes, return the raw response (connection closed)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(blob)
+    await writer.drain()
+    writer.write_eof()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+def http_blob(method: str, path: str, body: bytes = b"",
+              extra_headers: str = "") -> bytes:
+    return (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: test\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra_headers}"
+        f"\r\n"
+    ).encode() + body
+
+
+class TestRoutes:
+    def test_healthz_and_stats(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                async with ReproClient("127.0.0.1", server.port) as client:
+                    health = await client.ping()
+                    await client.prepare(GHZ)
+                    stats = await client.stats()
+            return health, stats
+
+        health, stats = run(scenario())
+        assert health["status"] == "ok"
+        assert health["accepting"] is True
+        assert stats["requests"] == 1
+        assert stats["engine"]["cache_misses"] == 1
+
+    def test_prepare_and_batch(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                async with ReproClient("127.0.0.1", server.port) as client:
+                    one = await client.prepare(
+                        GHZ, include_circuit=True
+                    )
+                    many = await client.batch(
+                        [GHZ, {"family": "w", "dims": [2, 2, 2]}],
+                        defaults={"verify": True},
+                    )
+            return one, many
+
+        one, many = run(scenario())
+        assert one["ok"] and "circuit" in one
+        assert [o["ok"] for o in many["outcomes"]] == [True, True]
+        # Same GHZ again: served from the cache.
+        assert many["outcomes"][0]["cache_hit"] is True
+
+    def test_unknown_route_is_404(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                return await raw_http(
+                    server.port, http_blob("GET", "/nope")
+                )
+
+        response = run(scenario())
+        assert response.startswith(b"HTTP/1.1 404")
+        assert b'"not_found"' in response
+
+    def test_wrong_method_is_405(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                return await raw_http(
+                    server.port, http_blob("GET", "/v1/prepare")
+                )
+
+        response = run(scenario())
+        assert response.startswith(b"HTTP/1.1 405")
+
+    def test_bad_json_body_is_400(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                return await raw_http(
+                    server.port,
+                    http_blob("POST", "/v1/prepare", b"{oops"),
+                )
+
+        response = run(scenario())
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b'"bad_json"' in response
+
+    def test_oversized_body_is_413(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(
+                service, max_request_bytes=64
+            ) as server:
+                body = json.dumps(
+                    {"job": {**GHZ, "label": "x" * 100}}
+                ).encode()
+                return await raw_http(
+                    server.port, http_blob("POST", "/v1/prepare", body)
+                )
+
+        response = run(scenario())
+        assert response.startswith(b"HTTP/1.1 413")
+        assert b'"too_large"' in response
+
+    def test_failing_job_travels_as_outcome_not_http_error(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                async with ReproClient("127.0.0.1", server.port) as client:
+                    return await client.prepare({
+                        "family": "dicke", "dims": [2, 2],
+                        "params": {"excitations": 7},
+                    })
+
+        outcome = run(scenario())
+        assert outcome["ok"] is False
+        assert outcome["error"]["type"]
+
+    def test_unparsable_job_raises_client_error(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                async with ReproClient("127.0.0.1", server.port) as client:
+                    with pytest.raises(ClientError) as info:
+                        await client.prepare({"family": "nope", "dims": [2]})
+                    return info.value
+
+        error = run(scenario())
+        assert error.code == "job_spec"
+
+
+class TestConnections:
+    def test_keep_alive_reuses_one_connection(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                responses = []
+                for _ in range(3):
+                    writer.write(http_blob("GET", "/healthz"))
+                    await writer.drain()
+                    status = await reader.readline()
+                    responses.append(status)
+                    length = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n"):
+                            break
+                        if line.lower().startswith(b"content-length"):
+                            length = int(line.split(b":")[1])
+                    await reader.readexactly(length)
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+        responses = run(scenario())
+        assert all(r.startswith(b"HTTP/1.1 200") for r in responses)
+
+    def test_connection_close_honoured(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                return await raw_http(
+                    server.port,
+                    http_blob(
+                        "GET", "/healthz",
+                        extra_headers="Connection: close\r\n",
+                    ),
+                )
+
+        response = run(scenario())
+        assert b"Connection: close" in response
+
+    def test_job_defaults_apply_to_wire_jobs(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(
+                service, job_defaults={"verify": False}
+            ) as server:
+                async with ReproClient("127.0.0.1", server.port) as client:
+                    return await client.prepare(GHZ)
+
+        outcome = run(scenario())
+        assert outcome["ok"]
+        assert outcome["report"]["fidelity"] is None  # verify skipped
+
+
+class TestGracefulShutdown:
+    def test_stop_finishes_inflight_and_drains(self):
+        async def scenario():
+            service = AsyncPreparationService(max_batch_delay=0.05)
+            await service.start()
+            server = await HttpServer(service).start()
+            client = ReproClient("127.0.0.1", server.port)
+            await client.connect()
+            inflight = asyncio.ensure_future(client.prepare(GHZ))
+            await asyncio.sleep(0.01)  # request reaches the queue
+            await server.stop()
+            outcome = await inflight
+            await client.aclose()
+            return outcome, service.running
+
+        outcome, running = run(scenario())
+        assert outcome["ok"] is True
+        assert running is False
+
+    def test_stopped_server_refuses_new_connections(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = await HttpServer(service).start()
+            port = server.port
+            await server.stop()
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", port)
+
+        run(scenario())

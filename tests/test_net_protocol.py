@@ -1,0 +1,241 @@
+"""Tests for the wire schema (`repro.net.protocol`)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine import PreparationEngine, PreparationJob, comparable_outcome
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    WireError,
+    comparable_wire_outcome,
+    decode_line,
+    encode_line,
+    error_code,
+    error_envelope,
+    execute_request,
+    outcome_to_wire,
+    parse_batch_payload,
+    parse_prepare_payload,
+    result_envelope,
+)
+from repro.service import AsyncPreparationService
+
+
+def ghz_dict(dims=(3, 6, 2)) -> dict:
+    return {"family": "ghz", "dims": list(dims)}
+
+
+class TestErrorCodes:
+    def test_mapped_from_exception_hierarchy(self):
+        assert error_code("JobSpecError") == "job_spec"
+        assert error_code("DimensionError") == "dimension"
+        assert error_code("EngineError") == "engine"
+        assert error_code("PipelineConfigError") == "pipeline_config"
+        assert error_code("SynthesisError") == "synthesis"
+        assert error_code("ReproError") == "repro"
+
+    def test_every_library_exception_gets_a_code(self):
+        import repro.exceptions as exceptions
+
+        for name in exceptions.__all__:
+            code = error_code(name)
+            assert code != "internal", name
+            assert code == code.lower()
+
+    def test_foreign_exceptions_collapse_to_internal(self):
+        assert error_code("ValueError") == "internal"
+        assert error_code("KeyError") == "internal"
+        assert error_code("NoSuchThing") == "internal"
+
+    def test_wire_error_from_exception(self):
+        from repro.exceptions import JobSpecError
+
+        error = WireError.from_exception(JobSpecError("bad dims"))
+        assert error.code == "job_spec"
+        assert error.error_type == "JobSpecError"
+        assert "bad dims" in str(error)
+
+
+class TestEnvelopes:
+    def test_result_envelope_shape(self):
+        envelope = result_envelope({"x": 1}, request_id=7)
+        assert envelope == {
+            "v": PROTOCOL_VERSION, "ok": True, "id": 7,
+            "result": {"x": 1},
+        }
+        assert "id" not in result_envelope({"x": 1})
+
+    def test_error_envelope_shape(self):
+        envelope = error_envelope(
+            WireError("bad_json", "nope"), request_id="abc"
+        )
+        assert envelope["ok"] is False
+        assert envelope["id"] == "abc"
+        assert envelope["error"]["code"] == "bad_json"
+        assert envelope["error"]["message"] == "nope"
+
+    def test_line_codec_round_trip(self):
+        line = encode_line({"op": "ping", "id": 3})
+        assert line.endswith(b"\n")
+        assert decode_line(line) == {"op": "ping", "id": 3}
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(WireError) as info:
+            decode_line(b"{not json}\n")
+        assert info.value.code == "bad_json"
+        with pytest.raises(WireError) as info:
+            decode_line(b"[1, 2]\n")
+        assert info.value.code == "bad_request"
+
+
+class TestPayloadParsing:
+    def test_wrapped_job(self):
+        job, include = parse_prepare_payload({"job": ghz_dict()})
+        assert isinstance(job, PreparationJob)
+        assert job.family == "ghz"
+        assert include is False
+
+    def test_bare_job_with_envelope_fields(self):
+        job, include = parse_prepare_payload({
+            "v": PROTOCOL_VERSION, "id": 9, "op": "prepare",
+            "include_circuit": True, **ghz_dict(),
+        })
+        assert job.dims == (3, 6, 2)
+        assert include is True
+
+    def test_missing_dims_rejected(self):
+        with pytest.raises(WireError) as info:
+            parse_prepare_payload({"op": "prepare"})
+        assert info.value.code == "bad_request"
+
+    def test_bad_job_maps_to_job_spec(self):
+        with pytest.raises(WireError) as info:
+            parse_prepare_payload({"job": {"family": "nope", "dims": [2]}})
+        assert info.value.code == "job_spec"
+
+    def test_version_check(self):
+        with pytest.raises(WireError) as info:
+            parse_prepare_payload({"v": 99, "job": ghz_dict()})
+        assert info.value.code == "unsupported_version"
+
+    def test_defaults_layer_under_wire_jobs(self):
+        job, _ = parse_prepare_payload(
+            {"job": ghz_dict()}, defaults={"verify": False}
+        )
+        assert job.options.verify is False
+        job, _ = parse_prepare_payload(
+            {"job": {**ghz_dict(), "verify": True}},
+            defaults={"verify": False},
+        )
+        assert job.options.verify is True  # per-job field wins
+
+    def test_batch_payload_uses_spec_parser(self):
+        jobs, include = parse_batch_payload({
+            "jobs": [ghz_dict(), {"family": "w", "dims": [2, 2, 2]}],
+            "defaults": {"verify": True},
+            "include_circuit": True,
+            "id": 1, "op": "batch",
+        })
+        assert [job.family for job in jobs] == ["ghz", "w"]
+        assert include is True
+
+    def test_batch_payload_needs_jobs(self):
+        with pytest.raises(WireError) as info:
+            parse_batch_payload({"op": "batch"})
+        assert info.value.code == "job_spec"
+
+
+class TestOutcomeWire:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return PreparationEngine().submit(
+            PreparationJob(dims=(3, 6, 2), family="ghz")
+        )
+
+    def test_success_fields(self, outcome):
+        wire = outcome_to_wire(outcome)
+        assert wire["ok"] is True
+        assert wire["dims"] == [3, 6, 2]
+        assert wire["key"] == outcome.key
+        assert wire["report"]["operations"] == outcome.report.operations
+        assert wire["report"]["dims"] == [3, 6, 2]
+        assert "stage_timings" in wire
+        assert "circuit" not in wire
+        json.dumps(wire)  # JSON-clean
+
+    def test_include_circuit_carries_qdasm(self, outcome):
+        from repro.circuit import qasm
+
+        wire = outcome_to_wire(outcome, include_circuit=True)
+        circuit = qasm.loads(wire["circuit"])
+        assert len(circuit) == len(outcome.circuit)
+
+    def test_failure_fields(self):
+        outcome = PreparationEngine().submit(PreparationJob(
+            dims=(2, 2), family="dicke",
+            params={"excitations": 7},
+        ))
+        assert not outcome.ok
+        wire = outcome_to_wire(outcome)
+        assert wire["ok"] is False
+        assert wire["error"]["type"] == outcome.error_type
+        assert wire["error"]["code"] != ""
+        json.dumps(wire)
+
+    def test_comparable_form_mirrors_comparable_outcome(self, outcome):
+        # Serialising then stripping == stripping then serialising.
+        via_wire = comparable_wire_outcome(
+            outcome_to_wire(outcome, include_circuit=True)
+        )
+        via_engine = outcome_to_wire(comparable_outcome(outcome))
+        via_engine.pop("cache_hit")
+        via_engine.pop("elapsed")
+        via_engine.pop("stage_timings")
+        assert via_wire == via_engine
+
+
+class TestExecuteRequest:
+    def test_prepare_stats_and_ping(self):
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                pong = await execute_request(service, "ping", {})
+                outcome = await execute_request(
+                    service, "prepare", {"job": ghz_dict()}
+                )
+                stats = await execute_request(service, "stats", {})
+            return pong, outcome, stats
+
+        pong, outcome, stats = asyncio.run(scenario())
+        assert pong["pong"] is True
+        assert outcome["ok"] is True
+        assert stats["requests"] == 1
+        assert stats["engine"]["jobs_submitted"] == 1
+
+    def test_unknown_op_rejected(self):
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                with pytest.raises(WireError) as info:
+                    await execute_request(service, "frobnicate", {})
+                return info.value
+
+        assert asyncio.run(scenario()).code == "unknown_op"
+
+    def test_per_job_failure_travels_inside_result(self):
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                return await execute_request(service, "batch", {
+                    "jobs": [
+                        ghz_dict(),
+                        {"family": "dicke", "dims": [2, 2],
+                         "params": {"excitations": 7}},
+                    ],
+                })
+
+        result = asyncio.run(scenario())
+        assert result["outcomes"][0]["ok"] is True
+        assert result["outcomes"][1]["ok"] is False
+        assert "code" in result["outcomes"][1]["error"]

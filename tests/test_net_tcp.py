@@ -1,0 +1,201 @@
+"""Tests for the NDJSON stream front end (`repro.net.tcp`)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net import ClientError, ReproClient, TcpServer
+from repro.net.protocol import PROTOCOL_VERSION
+from repro.service import AsyncPreparationService
+
+GHZ = {"family": "ghz", "dims": [3, 6, 2]}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def started_server():
+    service = AsyncPreparationService()
+    await service.start()
+    server = await TcpServer(service).start()
+    return server
+
+
+class TestStreamProtocol:
+    def test_ping_stats_prepare_batch(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                async with ReproClient(
+                    "127.0.0.1", server.port, transport="tcp"
+                ) as client:
+                    pong = await client.ping()
+                    outcome = await client.prepare(GHZ)
+                    batch = await client.batch(
+                        [GHZ, {"family": "w", "dims": [2, 2, 2]}]
+                    )
+                    stats = await client.stats()
+            return pong, outcome, batch, stats
+
+        pong, outcome, batch, stats = run(scenario())
+        assert pong["pong"] is True
+        assert outcome["ok"] is True
+        assert [o["ok"] for o in batch["outcomes"]] == [True, True]
+        assert batch["outcomes"][0]["cache_hit"] is True
+        assert stats["engine"]["jobs_submitted"] == 3
+
+    def test_pipelined_requests_on_one_socket(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                async with ReproClient(
+                    "127.0.0.1", server.port, transport="tcp"
+                ) as client:
+                    return await asyncio.gather(*(
+                        client.prepare(GHZ) for _ in range(16)
+                    ))
+
+        outcomes = run(scenario())
+        assert len(outcomes) == 16
+        assert all(o["ok"] for o in outcomes)
+        # One synthesis, the rest cache hits (dedup/caching intact
+        # through the pipelined path).
+        assert sum(not o["cache_hit"] for o in outcomes) == 1
+
+    def test_responses_echo_request_ids(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                for request_id in ("a", 2, "c"):
+                    writer.write(json.dumps({
+                        "v": PROTOCOL_VERSION, "id": request_id,
+                        "op": "ping",
+                    }).encode() + b"\n")
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline())
+                    for _ in range(3)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+        responses = run(scenario())
+        assert {r["id"] for r in responses} == {"a", 2, "c"}
+        assert all(r["ok"] for r in responses)
+
+    def test_bad_line_answers_error_and_keeps_stream_alive(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"{broken json\n")
+                writer.write(json.dumps(
+                    {"id": 1, "op": "ping"}
+                ).encode() + b"\n")
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline())
+                    for _ in range(2)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+        responses = run(scenario())
+        by_ok = sorted(responses, key=lambda r: r["ok"])
+        assert by_ok[0]["ok"] is False
+        assert by_ok[0]["error"]["code"] == "bad_json"
+        assert by_ok[1]["ok"] is True
+
+    def test_unknown_op_and_missing_op(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b'{"id": 1, "op": "frobnicate"}\n')
+                writer.write(b'{"id": 2}\n')
+                await writer.drain()
+                responses = [
+                    json.loads(await reader.readline())
+                    for _ in range(2)
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return responses
+
+        responses = {r["id"]: r for r in run(scenario())}
+        assert responses[1]["error"]["code"] == "unknown_op"
+        assert responses[2]["error"]["code"] == "bad_request"
+
+    def test_client_error_carries_code(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                async with ReproClient(
+                    "127.0.0.1", server.port, transport="tcp"
+                ) as client:
+                    with pytest.raises(ClientError) as info:
+                        await client.prepare(
+                            {"family": "nope", "dims": [2]}
+                        )
+                    return info.value
+
+        assert run(scenario()).code == "job_spec"
+
+
+class TestShutdown:
+    def test_stop_answers_accepted_requests(self):
+        async def scenario():
+            service = AsyncPreparationService(max_batch_delay=0.05)
+            await service.start()
+            server = await TcpServer(service).start()
+            client = ReproClient(
+                "127.0.0.1", server.port, transport="tcp"
+            )
+            await client.connect()
+            inflight = [
+                asyncio.ensure_future(client.prepare(GHZ))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0.01)  # requests reach the server
+            await server.stop()
+            outcomes = await asyncio.gather(*inflight)
+            await client.aclose()
+            return outcomes
+
+        outcomes = run(scenario())
+        assert len(outcomes) == 4
+        assert all(o["ok"] for o in outcomes)
+
+    def test_eof_waits_for_inflight_responses(self):
+        async def scenario():
+            server = await started_server()
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(json.dumps({
+                    "id": 1, "op": "prepare", "job": GHZ,
+                }).encode() + b"\n")
+                await writer.drain()
+                writer.write_eof()  # half-close: still readable
+                response = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return response
+
+        response = run(scenario())
+        assert response["ok"] is True
+        assert response["id"] == 1

@@ -484,3 +484,209 @@ class TestAsyncPreparationService:
         text = stats.summary()
         assert "requests=1" in text
         assert "jobs=1" in text
+
+
+class TestMicroBatchQueueEdgeCases:
+    def test_max_delay_expiry_ships_non_full_batch(self):
+        # A batch that never fills must be cut by the delay timer,
+        # not wait for max_batch_size jobs that will never come.
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=64, max_delay=0.02)
+            queue.put(ghz_job())
+            queue.put(ghz_job())
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            batch = await asyncio.wait_for(
+                queue.next_batch(), timeout=5.0
+            )
+            elapsed = loop.time() - start
+            return batch, elapsed, queue.stats
+
+        batch, elapsed, stats = asyncio.run(scenario())
+        assert len(batch) == 2          # far below max_batch_size
+        assert elapsed < 2.0            # the timer, not a full batch
+        assert stats.full_batches == 0  # cut by the delay, not size
+
+    def test_drain_on_close_preserves_submission_order(self):
+        async def scenario():
+            queue = MicroBatchQueue(max_batch_size=3, max_delay=0.0)
+            futures = [queue.put(ghz_job()) for _ in range(7)]
+            queue.close()
+            drained = []
+            while True:
+                batch = await queue.next_batch()
+                if batch is None:
+                    break
+                drained.extend(queued.future for queued in batch)
+            return futures, drained, queue.stats
+
+        futures, drained, stats = asyncio.run(scenario())
+        # Every accepted job comes out exactly once, in order.
+        assert drained == futures
+        assert stats.batches_formed == 3  # 3 + 3 + 1
+        assert stats.jobs_enqueued == 7
+
+    def test_submit_after_close_raises_clean_error(self):
+        async def scenario():
+            queue = MicroBatchQueue()
+            queue.put(ghz_job())
+            queue.close()
+            with pytest.raises(EngineError, match="closed"):
+                queue.put(ghz_job())
+            # The refusal is clean: nothing already accepted is lost,
+            # and the queue still reports itself closed.
+            assert queue.closed
+            batch = await queue.next_batch()
+            assert len(batch) == 1
+            assert await queue.next_batch() is None
+
+        asyncio.run(scenario())
+
+
+class TestStatsToDict:
+    def test_engine_stats_round_trip(self):
+        from repro.engine import PreparationEngine
+
+        engine = PreparationEngine()
+        engine.run_batch([ghz_job(), ghz_job(dims=(2, 2, 2))])
+        stats = engine.stats()
+        payload = stats.to_dict()
+        assert payload["jobs_submitted"] == 2
+        assert payload["cache_lookups"] == (
+            payload["cache_hits"] + payload["cache_misses"]
+        )
+        import json
+
+        restored = type(stats).from_dict(json.loads(json.dumps(payload)))
+        assert restored == stats
+
+    def test_service_stats_round_trip(self):
+        from repro.service.service import ServiceStats
+
+        async def scenario():
+            async with AsyncPreparationService() as service:
+                await service.submit(ghz_job())
+                return service.stats()
+
+        stats = asyncio.run(scenario())
+        payload = stats.to_dict()
+        assert payload["requests"] == 1
+        assert payload["engine"]["jobs_submitted"] == 1
+        import json
+
+        restored = ServiceStats.from_dict(json.loads(json.dumps(payload)))
+        assert restored == stats
+
+    def test_from_dict_tolerates_extra_keys(self):
+        from repro.engine import PreparationEngine
+
+        stats = PreparationEngine().stats()
+        payload = {**stats.to_dict(), "new_field_from_the_future": 1}
+        assert type(stats).from_dict(payload) == stats
+
+
+class TestPerShardDispatch:
+    """Micro-batches on disjoint shards run concurrently; batches
+    sharing a shard serialise — and outcomes stay equal either way."""
+
+    @staticmethod
+    def _disjoint_shard_jobs(engine, want_same=False):
+        """Two single-job workloads on different (or equal) shards."""
+        candidates = [
+            ghz_job(dims=dims)
+            for dims in [(2, 2), (2, 3), (3, 2), (3, 3), (2, 2, 2),
+                         (2, 2, 3), (3, 6, 2), (2, 4)]
+        ]
+        cache = engine.cache
+        first = candidates[0]
+        first_shard = cache.shard_index(engine.job_key(first))
+        for candidate in candidates[1:]:
+            shard = cache.shard_index(engine.job_key(candidate))
+            if (shard == first_shard) == want_same:
+                return first, candidate
+        pytest.skip("no shard-colliding candidate pair found")
+
+    def _concurrency_probe(self, want_same):
+        import threading
+
+        from repro.engine import PreparationEngine
+
+        class ProbedEngine(PreparationEngine):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.concurrent = 0
+                self.max_concurrent = 0
+                self.probe_lock = threading.Lock()
+
+            def run_batch(self, jobs):
+                with self.probe_lock:
+                    self.concurrent += 1
+                    self.max_concurrent = max(
+                        self.max_concurrent, self.concurrent
+                    )
+                import time as _time
+
+                _time.sleep(0.05)   # widen the overlap window
+                try:
+                    return super().run_batch(jobs)
+                finally:
+                    with self.probe_lock:
+                        self.concurrent -= 1
+
+        engine = ProbedEngine(cache=ShardedCache(num_shards=2))
+        job_a, job_b = self._disjoint_shard_jobs(
+            engine, want_same=want_same
+        )
+
+        async def scenario():
+            async with AsyncPreparationService(
+                engine=engine, max_batch_size=1, max_batch_delay=0.0
+            ) as service:
+                outcomes = await asyncio.gather(
+                    service.submit(job_a), service.submit(job_b)
+                )
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert all(outcome.ok for outcome in outcomes)
+        return engine.max_concurrent, outcomes
+
+    def test_disjoint_shards_dispatch_concurrently(self):
+        max_concurrent, _ = self._concurrency_probe(want_same=False)
+        assert max_concurrent == 2
+
+    def test_same_shard_batches_serialise(self):
+        max_concurrent, _ = self._concurrency_probe(want_same=True)
+        assert max_concurrent == 1
+
+    def test_concurrent_dispatch_outcomes_equal_serial(self):
+        from repro.engine import PreparationEngine, comparable_outcome
+
+        jobs = [
+            ghz_job(dims=(3, 6, 2)),
+            ghz_job(dims=(2, 2, 2)),
+            PreparationJob(dims=(3, 3), family="random",
+                           params={"rng": 7}),
+            ghz_job(dims=(3, 6, 2)),   # duplicate
+        ]
+
+        async def scenario():
+            async with AsyncPreparationService(
+                num_shards=4, max_batch_size=2, max_batch_delay=0.0
+            ) as service:
+                results = await asyncio.gather(*(
+                    service.run_batch(jobs) for _ in range(8)
+                ))
+            return results, service.stats()
+
+        results, stats = asyncio.run(scenario())
+        reference = PreparationEngine().run_batch(jobs)
+        expected = [comparable_outcome(o) for o in reference.outcomes]
+        for result in results:
+            assert [
+                comparable_outcome(o) for o in result.outcomes
+            ] == expected
+        # Counter determinism: every slot is one counted lookup,
+        # every distinct key one miss, despite concurrent dispatch.
+        assert stats.engine.cache_misses == 3
+        assert stats.engine.cache_hits == 8 * len(jobs) - 3

@@ -115,3 +115,114 @@ def test_serve_disk_cache_round_trip(spec_path, tmp_path, capsys):
 def test_serve_mentioned_in_cli_doc(capsys):
     assert main([]) == 0
     assert "serve" in capsys.readouterr().out
+
+
+class TestListenMode:
+    """`serve --listen` subprocess: real sockets, SIGTERM drain."""
+
+    @staticmethod
+    def _spawn(spec_path, *extra):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            str(src) + (os.pathsep + existing if existing else "")
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             spec_path, "--listen", "127.0.0.1:0", *extra],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            for _ in range(50):
+                line = process.stdout.readline()
+                if "listening on" in line:
+                    port = int(
+                        line.split("listening on ", 1)[1]
+                        .split(" ")[0]
+                        .rsplit(":", 1)[1]
+                    )
+                    return process, port
+            raise AssertionError("server never reported its port")
+        except BaseException:
+            process.kill()
+            raise
+
+    def test_http_listen_serves_and_drains_on_sigterm(self, spec_path):
+        import json as json_module
+        import signal
+        import urllib.request
+
+        process, port = self._spawn(spec_path)
+        try:
+            health = json_module.loads(urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ).read())
+            assert health["result"]["status"] == "ok"
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/prepare",
+                data=json_module.dumps(
+                    {"family": "ghz", "dims": [3, 6, 2]}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            outcome = json_module.loads(
+                urllib.request.urlopen(request, timeout=30).read()
+            )
+            assert outcome["ok"] is True
+            assert outcome["result"]["ok"] is True
+            # The warm-up spec already synthesised this circuit.
+            assert outcome["result"]["cache_hit"] is True
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, output[-2000:]
+        assert "drained cleanly" in output
+        assert "service stats:" in output
+
+    def test_tcp_listen_round_trip(self, spec_path):
+        import json as json_module
+        import signal
+        import socket
+
+        process, port = self._spawn(spec_path, "--tcp")
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", port), timeout=10
+            ) as connection:
+                connection.sendall(json_module.dumps({
+                    "v": 1, "id": 1, "op": "prepare",
+                    "job": {"family": "w", "dims": [2, 2, 2]},
+                }).encode() + b"\n")
+                connection.settimeout(30)
+                blob = b""
+                while not blob.endswith(b"\n"):
+                    chunk = connection.recv(65536)
+                    if not chunk:
+                        break
+                    blob += chunk
+            response = json_module.loads(blob)
+            assert response["ok"] is True
+            assert response["id"] == 1
+            assert response["result"]["ok"] is True
+        finally:
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        assert process.returncode == 0, output[-2000:]
+        assert "drained cleanly" in output
+
+    def test_tcp_without_listen_rejected(self, spec_path, capsys):
+        assert main(["serve", spec_path, "--tcp"]) == 2
+        assert "--tcp requires --listen" in capsys.readouterr().err
+
+    def test_replay_without_spec_rejected(self, capsys):
+        assert main(["serve"]) == 2
+        assert "replay mode needs a spec" in capsys.readouterr().err
