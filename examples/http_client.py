@@ -14,11 +14,10 @@ paper's flagship mixed-dimensional example, the GHZ state on a
 * the outcome over the wire equals the in-process
   ``prepare_state`` result (modulo wall times).
 
-Run:  python examples/http_client.py [output-dir]
+Run:  python examples/http_client.py
 """
 
 import asyncio
-import sys
 
 from repro.circuit import qasm
 from repro.net import HttpServer, ReproClient
@@ -70,6 +69,5 @@ async def main() -> None:
 
 
 if __name__ == "__main__":
-    sys.argv  # output-dir argument accepted but unused
     asyncio.run(main())
     print("\nhttp_client example OK")

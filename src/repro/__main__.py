@@ -296,6 +296,12 @@ def _serve_parser() -> argparse.ArgumentParser:
              "(default: 1000000)",
     )
     parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="seconds a graceful shutdown waits for in-flight "
+             "requests before cancelling them; 0 or negative waits "
+             "forever (default: 30)",
+    )
+    parser.add_argument(
         "--clients", type=int, default=8, metavar="N",
         help="concurrent clients, each submitting the whole spec "
              "(default: 8)",
@@ -381,6 +387,11 @@ async def _serve_network(service, options, jobs, defaults):
     server = server_type(
         service, host, port,
         job_defaults=defaults,
+        drain_timeout=(
+            options.drain_timeout
+            if options.drain_timeout > 0
+            else None
+        ),
         **{limit_field: options.max_request_bytes},
     )
     try:
@@ -533,6 +544,11 @@ def _run_serve(arguments: list[str]) -> int:
         )
 
     if options.as_json:
+        # The engine counters are emitted once, at top level; the
+        # nested copy inside ServiceStats.to_dict() is popped so the
+        # two cannot diverge.
+        service_json = stats.to_dict()
+        engine_json = service_json.pop("engine")
         payload = {
             "clients": options.clients,
             "jobs_per_client": len(jobs),
@@ -542,8 +558,8 @@ def _run_serve(arguments: list[str]) -> int:
             "requests_per_second": (
                 total_requests / wall_time if wall_time > 0 else None
             ),
-            "service": stats.to_dict(),
-            "engine": _engine_stats_json(stats.engine),
+            "service": service_json,
+            "engine": engine_json,
             "shards": [
                 shard_stats.as_dict()
                 for shard_stats in (

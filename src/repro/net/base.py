@@ -1,0 +1,173 @@
+"""Shared listener lifecycle for the network front ends.
+
+:class:`StreamServer` owns everything the HTTP and NDJSON/TCP servers
+have in common: the ``asyncio.start_server`` listener, the bound-port
+and running properties, connection tracking, the graceful ``stop()``
+ordering, and the read-vs-shutdown race that lets idle connections be
+closed without dropping a request that already arrived.  Subclasses
+implement ``_handle_connection`` (the per-connection protocol loop)
+and may override ``_listen_kwargs`` to pass extra options to
+``asyncio.start_server``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["StreamServer", "CLOSING"]
+
+#: Sentinel returned by :meth:`StreamServer._read_or_closing` when the
+#: shutdown event won the race against the pending read.
+CLOSING = object()
+
+
+class StreamServer:
+    """Common asyncio listener lifecycle for HTTP and TCP servers.
+
+    Args:
+        service: A *running*
+            :class:`~repro.service.AsyncPreparationService`.  The
+            server considers itself the service's final owner:
+            :meth:`stop` drains and stops it.  Do not share one
+            service between two servers that are stopped
+            independently — the first ``stop()`` drains it for both.
+        host: Bind address.
+        port: Bind port; 0 picks an ephemeral port (see :attr:`port`).
+        job_defaults: Option defaults layered under every wire job
+            (the CLI's ``--pipeline`` config), exactly like the
+            batch-spec ``defaults`` merge.
+        drain_timeout: Seconds :meth:`stop` waits for in-flight
+            connection handlers before cancelling them (``None``
+            waits forever).  Bounds shutdown against a peer that
+            stops reading its socket and parks a handler in
+            ``writer.drain()`` indefinitely.
+    """
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        job_defaults=None,
+        drain_timeout: float | None = 30.0,
+    ):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.job_defaults = job_defaults
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing: asyncio.Event | None = None
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the kernel-assigned one)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    def _listen_kwargs(self) -> dict:
+        """Extra keyword arguments for ``asyncio.start_server``."""
+        return {}
+
+    async def start(self) -> "StreamServer":
+        if self._server is not None:
+            return self
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            **self._listen_kwargs(),
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown, in order: stop accepting connections,
+        wake idle handlers, let every in-flight request finish, then
+        drain and stop the underlying service.  No accepted request
+        is dropped."""
+        if self._server is not None:
+            self._server.close()
+        # Wake idle handlers parked in _read_or_closing first; they
+        # would otherwise never notice the shutdown.
+        if self._closing is not None:
+            self._closing.set()
+        # Finish (or, past the deadline, cancel) every handler BEFORE
+        # awaiting wait_closed(): on Python >= 3.12.1 wait_closed()
+        # blocks until every connection drops, so putting it first
+        # would both deadlock against idle handlers waiting on the
+        # closing event and render the drain deadline unreachable for
+        # a handler stuck in writer.drain().
+        if self._connections:
+            _, stuck = await asyncio.wait(
+                list(self._connections), timeout=self.drain_timeout
+            )
+            if stuck:
+                # A peer that stopped reading its socket can park a
+                # handler in writer.drain() forever; past the
+                # deadline, liveness wins over the drain guarantee.
+                for connection in stuck:
+                    connection.cancel()
+                await asyncio.gather(*stuck, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def __aenter__(self) -> "StreamServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Read-vs-shutdown race
+    # ------------------------------------------------------------------
+    async def _read_or_closing(self, coroutine):
+        """Await *coroutine* unless the server starts closing first.
+
+        Returns the read's result (its exceptions propagate), or the
+        :data:`CLOSING` sentinel when shutdown won the race and the
+        pending read was cancelled.  The race resolves in favour of
+        the read: a request that completed before the shutdown signal
+        is always returned, never dropped.
+        """
+        if self._closing is None or self._closing.is_set():
+            coroutine.close()
+            return CLOSING
+        read = asyncio.ensure_future(coroutine)
+        closing = asyncio.ensure_future(self._closing.wait())
+        try:
+            await asyncio.wait(
+                {read, closing}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            closing.cancel()
+        if not read.done():
+            read.cancel()
+            try:
+                await read
+            except (asyncio.CancelledError, asyncio.IncompleteReadError):
+                pass
+            return CLOSING
+        return await read
+
+    async def _handle_connection(self, reader, writer):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        state = "listening" if self.running else "stopped"
+        return (
+            f"{type(self).__name__}({state}, {self.host}:{self.port})"
+        )

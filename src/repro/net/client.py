@@ -102,6 +102,7 @@ class ReproClient:
         self.timeout = timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._connect_lock = asyncio.Lock()
         self._http_lock = asyncio.Lock()
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
@@ -115,45 +116,59 @@ class ReproClient:
         return self._writer is not None and not self._writer.is_closing()
 
     async def connect(self) -> "ReproClient":
-        if self.connected:
+        # Serialized: concurrent reconnects (several calls racing
+        # after a sibling's timeout closed the connection) must not
+        # open duplicate sockets or spawn two response pumps fighting
+        # over one reader.
+        async with self._connect_lock:
+            if self.connected:
+                return self
+            try:
+                self._reader, self._writer = (
+                    await asyncio.open_connection(self.host, self.port)
+                )
+            except OSError as error:
+                raise ClientError(
+                    "transport",
+                    f"cannot connect to {self.host}:{self.port}: "
+                    f"{error}",
+                )
+            if self.transport == "tcp":
+                self._reader_task = asyncio.ensure_future(
+                    self._pump_responses()
+                )
             return self
-        try:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
-            )
-        except OSError as error:
-            raise ClientError(
-                "transport",
-                f"cannot connect to {self.host}:{self.port}: {error}",
-            )
-        if self.transport == "tcp":
-            self._reader_task = asyncio.ensure_future(
-                self._pump_responses()
-            )
-        return self
 
     async def aclose(self) -> None:
-        if self._reader_task is not None:
-            self._reader_task.cancel()
-            try:
-                await self._reader_task
-            except asyncio.CancelledError:
-                pass
+        # Detach the connection state atomically under the connect
+        # lock, then tear the detached pieces down outside it: a
+        # concurrent reconnect can never have its fresh writer nulled
+        # mid-install by a sibling's timeout-triggered close.
+        async with self._connect_lock:
+            reader_task = self._reader_task
+            writer = self._writer
+            pending = list(self._pending.values())
             self._reader_task = None
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
             self._writer = None
             self._reader = None
-        for future in self._pending.values():
+            self._pending.clear()
+        if reader_task is not None:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except asyncio.CancelledError:
+                pass
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        for future in pending:
             if not future.done():
                 future.set_exception(
                     ClientError("transport", "connection closed")
                 )
-        self._pending.clear()
 
     async def __aenter__(self) -> "ReproClient":
         return await self.connect()
@@ -199,7 +214,9 @@ class ReproClient:
     # Transport plumbing
     # ------------------------------------------------------------------
     async def _call(self, op: str, payload: dict) -> dict:
-        await self.connect()
+        # Connection establishment happens inside the transport
+        # coroutines, so wait_for covers it: a black-holed host fails
+        # the request after `timeout`, not the OS connect timeout.
         if self.transport == "http":
             coroutine = self._call_http(op, payload)
         else:
@@ -250,10 +267,19 @@ class ReproClient:
             f"\r\n"
         ).encode("latin-1") + body
         async with self._http_lock:
+            # A concurrent call's timeout (or a Connection: close
+            # response) may have closed the connection while this call
+            # waited for the lock or its first scheduling tick —
+            # reconnect instead of crashing on a dead writer.  The
+            # streams are bound locally so a sibling's aclose()
+            # nulling the attributes mid-response surfaces as a
+            # ConnectionError below, not an AttributeError.
+            await self.connect()
+            reader, writer = self._reader, self._writer
             try:
-                self._writer.write(request)
-                await self._writer.drain()
-                envelope = await self._read_http_response()
+                writer.write(request)
+                await writer.drain()
+                envelope = await self._read_http_response(reader)
             except (
                 ConnectionError, OSError, asyncio.IncompleteReadError,
             ) as error:
@@ -263,32 +289,42 @@ class ReproClient:
                 )
         return self._unwrap(envelope)
 
-    async def _read_http_response(self) -> dict:
-        status_line = await self._reader.readline()
+    async def _read_http_response(self, reader) -> dict:
+        status_line = await reader.readline()
         if not status_line:
+            # Server-side FIN does not flip writer.is_closing(), so
+            # drop the dead connection or every subsequent call would
+            # reuse it and fail the same way instead of reconnecting.
+            await self.aclose()
             raise ClientError(
                 "transport", "server closed the connection"
             )
         headers: dict[str, str] = {}
         while True:
-            line = await self._reader.readline()
+            line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0"))
-        body = await self._reader.readexactly(length) if length else b""
+        body = await reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.aclose()
         try:
             return json.loads(body)
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            # The stream is desynchronised; a fresh connection is the
+            # only safe state for the next call.
+            await self.aclose()
             raise ClientError(
                 "transport", f"undecodable server response: {error}"
             )
 
     # -- TCP -----------------------------------------------------------
     async def _call_tcp(self, op: str, payload: dict) -> dict:
+        # The connection may have been closed (concurrent timeout)
+        # between _call's connect and this coroutine's first step.
+        await self.connect()
         self._next_id += 1
         request_id = self._next_id
         request = {
@@ -333,6 +369,17 @@ class ReproClient:
                         "transport", "connection closed by server"
                     ))
             self._pending.clear()
+            if self._reader_task is asyncio.current_task():
+                # Server-side EOF (aclose detaches _reader_task
+                # before cancelling, so this is not the aclose path):
+                # drop the half-dead connection so `connected` turns
+                # False and the next call reconnects instead of
+                # writing into a socket nobody reads.
+                self._reader_task = None
+                if self._writer is not None:
+                    self._writer.close()
+                self._writer = None
+                self._reader = None
 
 
 class SyncReproClient:
@@ -355,7 +402,14 @@ class SyncReproClient:
         )
         self._thread.start()
         self._client = ReproClient(host, port, **kwargs)
-        self._call(self._client.connect())
+        try:
+            self._call(self._client.connect())
+        except BaseException:
+            # A failed connect leaves no client to close, but the
+            # loop thread is already spinning — shut it down or it
+            # leaks for the life of the process.
+            self._shutdown_loop()
+            raise
 
     def _call(self, coroutine):
         return asyncio.run_coroutine_threadsafe(
@@ -379,13 +433,16 @@ class SyncReproClient:
     def ping(self) -> dict:
         return self._call(self._client.ping())
 
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
     def close(self) -> None:
         if self._loop.is_closed():
             return
         self._call(self._client.aclose())
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=5.0)
-        self._loop.close()
+        self._shutdown_loop()
 
     def __enter__(self) -> "SyncReproClient":
         return self

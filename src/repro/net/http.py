@@ -24,6 +24,7 @@ from __future__ import annotations
 import asyncio
 import json
 
+from repro.net.base import CLOSING, StreamServer
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     WireError,
@@ -78,7 +79,7 @@ class _HttpRequest:
         self.keep_alive = keep_alive
 
 
-class HttpServer:
+class HttpServer(StreamServer):
     """Serve an :class:`~repro.service.AsyncPreparationService` over HTTP.
 
     Untrusted input is bounded everywhere: request lines and header
@@ -88,8 +89,9 @@ class HttpServer:
     connection is closed.
 
     Args:
-        service: A *running* service (the caller owns its lifecycle
-            when it passes one in; the CLI starts/stops both).
+        service: A *running* service.  ``stop()`` drains and stops it
+            too (the CLI starts/stops both); do not share one service
+            between independently-stopped servers.
         host: Bind address.
         port: Bind port; 0 picks an ephemeral port (see :attr:`port`).
         max_request_bytes: Hard cap on a request body; larger bodies
@@ -97,6 +99,8 @@ class HttpServer:
         job_defaults: Option defaults layered under every wire job
             (the CLI's ``--pipeline`` config), exactly like the
             batch-spec ``defaults`` merge.
+        drain_timeout: Seconds ``stop()`` waits for in-flight
+            handlers before cancelling them (``None`` = forever).
     """
 
     _MAX_HEADER_LINES = 256
@@ -109,62 +113,14 @@ class HttpServer:
         *,
         max_request_bytes: int = 1_000_000,
         job_defaults=None,
+        drain_timeout: float | None = 30.0,
     ):
-        self.service = service
-        self.host = host
-        self._requested_port = port
-        self.max_request_bytes = max_request_bytes
-        self.job_defaults = job_defaults
-        self._server: asyncio.base_events.Server | None = None
-        self._connections: set[asyncio.Task] = set()
-        self._closing: asyncio.Event | None = None
-        self.requests_served = 0
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def port(self) -> int:
-        """The bound port (resolves 0 to the kernel-assigned one)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
-    @property
-    def running(self) -> bool:
-        return self._server is not None and self._server.is_serving()
-
-    async def start(self) -> "HttpServer":
-        if self._server is not None:
-            return self
-        self._closing = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
+        super().__init__(
+            service, host, port,
+            job_defaults=job_defaults,
+            drain_timeout=drain_timeout,
         )
-        return self
-
-    async def stop(self) -> None:
-        """Graceful shutdown, in order: stop accepting connections,
-        let every in-flight request finish (idle keep-alive
-        connections are closed immediately), then drain the service's
-        micro-batch queue.  No accepted request is dropped."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if self._closing is not None:
-            self._closing.set()
-        if self._connections:
-            await asyncio.gather(
-                *self._connections, return_exceptions=True
-            )
-        await self.service.stop()
-
-    async def __aenter__(self) -> "HttpServer":
-        return await self.start()
-
-    async def __aexit__(self, *exc_info) -> None:
-        await self.stop()
+        self.max_request_bytes = max_request_bytes
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -172,11 +128,16 @@ class HttpServer:
     async def _handle_connection(self, reader, writer):
         task = asyncio.current_task()
         self._connections.add(task)
+        forced = False
         try:
             while True:
                 try:
                     request = await self._next_request(reader)
                 except asyncio.IncompleteReadError:
+                    break
+                except (ConnectionError, OSError):
+                    # Abrupt client disconnect (TCP reset) mid-read:
+                    # nothing to answer, just drop the connection.
                     break
                 except WireError as error:
                     # Request framing is broken — answer and close;
@@ -211,13 +172,26 @@ class HttpServer:
                 )
                 if not keep_alive:
                     break
+        except asyncio.CancelledError:
+            # stop()'s drain deadline: the peer may never read again,
+            # so a graceful flush could wait forever.
+            forced = True
+            raise
         finally:
             self._connections.discard(task)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            if forced:
+                writer.transport.abort()
+            else:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                except asyncio.CancelledError:
+                    # Cancelled while flushing to a non-reading peer:
+                    # discard the buffer, don't wait on it.
+                    writer.transport.abort()
+                    raise
 
     async def _next_request(self, reader) -> _HttpRequest | None:
         """Wait for the next request, or ``None`` when the server is
@@ -225,28 +199,13 @@ class HttpServer:
 
         A connection parked in ``readline`` between keep-alive
         requests would otherwise stall graceful shutdown forever; the
-        race between "request arrived" and "server closing" is
-        resolved in favour of the request, so nothing already sent is
-        dropped.
+        race is resolved by :meth:`_read_or_closing` in favour of the
+        request, so nothing already sent is dropped.
         """
-        if self._closing is None or self._closing.is_set():
+        result = await self._read_or_closing(self._read_request(reader))
+        if result is CLOSING:
             return None
-        read = asyncio.ensure_future(self._read_request(reader))
-        closing = asyncio.ensure_future(self._closing.wait())
-        try:
-            await asyncio.wait(
-                {read, closing}, return_when=asyncio.FIRST_COMPLETED
-            )
-        finally:
-            closing.cancel()
-        if not read.done():
-            read.cancel()
-            try:
-                await read
-            except (asyncio.CancelledError, asyncio.IncompleteReadError):
-                pass
-            return None
-        return await read
+        return result
 
     async def _read_request(self, reader) -> _HttpRequest | None:
         try:
@@ -295,6 +254,11 @@ class HttpServer:
             raise WireError(
                 "bad_request",
                 f"bad Content-Length {headers.get('content-length')!r}",
+            )
+        if content_length < 0:
+            raise WireError(
+                "bad_request",
+                f"negative Content-Length {content_length}",
             )
         if content_length > self.max_request_bytes:
             raise WireError(
@@ -369,7 +333,3 @@ class HttpServer:
             await writer.drain()
         except (ConnectionError, OSError):
             pass
-
-    def __repr__(self) -> str:
-        state = "listening" if self.running else "stopped"
-        return f"HttpServer({state}, {self.host}:{self.port})"

@@ -224,10 +224,13 @@ def parse_batch_payload(
         raise WireError(
             "bad_request", "'include_circuit' must be a boolean"
         )
+    # Strip only the envelope fields; everything else goes to the
+    # spec parser so unknown keys (e.g. a misspelled 'defaults') are
+    # rejected exactly as `python -m repro batch` rejects them.
     document = {
         key: value
         for key, value in payload.items()
-        if key in {"jobs", "defaults"}
+        if key not in {"v", "id", "op", "include_circuit"}
     }
     try:
         jobs = jobs_from_spec(document, defaults_override=defaults)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.net.base import CLOSING, StreamServer
 from repro.net.protocol import (
     WireError,
     decode_line,
@@ -36,17 +37,29 @@ __all__ = ["TcpServer"]
 #: line aborts the read instead of growing without limit.
 _DEFAULT_MAX_LINE_BYTES = 1_000_000
 
+#: Per-connection cap on requests being served at once; reading stops
+#: (natural TCP backpressure) until a response frees a slot, so one
+#: fast client cannot grow tasks and buffered responses without bound.
+_DEFAULT_MAX_INFLIGHT = 256
 
-class TcpServer:
+
+class TcpServer(StreamServer):
     """Serve an ``AsyncPreparationService`` over an NDJSON stream.
 
     Args:
-        service: A running service (lifecycle owned by the caller).
+        service: A *running* service.  ``stop()`` drains and stops it
+            too (the CLI starts/stops both); do not share one service
+            between independently-stopped servers.
         host: Bind address.
         port: Bind port; 0 picks an ephemeral one (see :attr:`port`).
         max_line_bytes: Hard cap on one request line.
+        max_inflight_requests: Per-connection cap on concurrently
+            served requests; further lines are not read until a
+            response completes.
         job_defaults: Option defaults layered under every wire job,
             exactly as in the HTTP server.
+        drain_timeout: Seconds ``stop()`` waits for in-flight
+            handlers before cancelling them (``None`` = forever).
     """
 
     def __init__(
@@ -56,63 +69,20 @@ class TcpServer:
         port: int = 0,
         *,
         max_line_bytes: int = _DEFAULT_MAX_LINE_BYTES,
+        max_inflight_requests: int = _DEFAULT_MAX_INFLIGHT,
         job_defaults=None,
+        drain_timeout: float | None = 30.0,
     ):
-        self.service = service
-        self.host = host
-        self._requested_port = port
-        self.max_line_bytes = max_line_bytes
-        self.job_defaults = job_defaults
-        self._server: asyncio.base_events.Server | None = None
-        self._connections: set[asyncio.Task] = set()
-        self._closing: asyncio.Event | None = None
-        self.requests_served = 0
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    @property
-    def port(self) -> int:
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
-    @property
-    def running(self) -> bool:
-        return self._server is not None and self._server.is_serving()
-
-    async def start(self) -> "TcpServer":
-        if self._server is not None:
-            return self
-        self._closing = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            self.host,
-            self._requested_port,
-            limit=self.max_line_bytes,
+        super().__init__(
+            service, host, port,
+            job_defaults=job_defaults,
+            drain_timeout=drain_timeout,
         )
-        return self
+        self.max_line_bytes = max_line_bytes
+        self.max_inflight_requests = max_inflight_requests
 
-    async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, finish and answer every
-        in-flight request, close idle connections, drain the service."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if self._closing is not None:
-            self._closing.set()
-        if self._connections:
-            await asyncio.gather(
-                *self._connections, return_exceptions=True
-            )
-        await self.service.stop()
-
-    async def __aenter__(self) -> "TcpServer":
-        return await self.start()
-
-    async def __aexit__(self, *exc_info) -> None:
-        await self.stop()
+    def _listen_kwargs(self) -> dict:
+        return {"limit": self.max_line_bytes}
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -122,60 +92,83 @@ class TcpServer:
         self._connections.add(task)
         write_lock = asyncio.Lock()
         inflight: set[asyncio.Task] = set()
+        slots = asyncio.Semaphore(self.max_inflight_requests)
+
+        def _request_done(done):
+            inflight.discard(done)
+            slots.release()
+
+        forced = False
         try:
             while True:
                 line = await self._next_line(reader)
                 if line is None:
                     break
+                await slots.acquire()
                 request_task = asyncio.ensure_future(
                     self._serve_line(line, writer, write_lock)
                 )
                 inflight.add(request_task)
-                request_task.add_done_callback(inflight.discard)
+                request_task.add_done_callback(_request_done)
+        except asyncio.CancelledError:
+            # stop()'s drain deadline: the peer may never read again,
+            # so graceful waits below could block forever.
+            forced = True
+            raise
         finally:
             # Answer everything already accepted on this connection
-            # before closing it — pipelined requests are never dropped.
-            if inflight:
-                await asyncio.gather(*inflight, return_exceptions=True)
-            self._connections.discard(task)
-            writer.close()
+            # before closing it — pipelined requests are never
+            # dropped.  On the deadline path the request tasks may
+            # themselves be parked in drain() on this dead peer, so
+            # they are taken down rather than awaited.
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                if forced:
+                    for request_task in inflight:
+                        request_task.cancel()
+                if inflight:
+                    await asyncio.gather(
+                        *inflight, return_exceptions=True
+                    )
+            except asyncio.CancelledError:
+                # Deadline cancellation landing during this cleanup
+                # wait (the handler left its loop when the closing
+                # event fired, then parked here on stuck children —
+                # gather has already cancelled them).
+                forced = True
+                raise
+            finally:
+                self._connections.discard(task)
+                if forced:
+                    writer.transport.abort()
+                else:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+                    except asyncio.CancelledError:
+                        # Cancelled while flushing to a non-reading
+                        # peer: discard the buffer, don't wait on it.
+                        writer.transport.abort()
+                        raise
 
     async def _next_line(self, reader) -> bytes | None:
         """Next request line, or ``None`` on EOF / server shutdown.
 
         The shutdown race resolves in favour of a line already
-        received, mirroring the HTTP server.
+        received (see :meth:`_read_or_closing`).
         """
         while True:
-            if self._closing is None or self._closing.is_set():
-                return None
-            read = asyncio.ensure_future(reader.readline())
-            closing = asyncio.ensure_future(self._closing.wait())
             try:
-                await asyncio.wait(
-                    {read, closing},
-                    return_when=asyncio.FIRST_COMPLETED,
-                )
-            finally:
-                closing.cancel()
-            if not read.done():
-                read.cancel()
-                try:
-                    await read
-                except asyncio.CancelledError:
-                    pass
-                return None
-            try:
-                line = await read
+                line = await self._read_or_closing(reader.readline())
             except (asyncio.LimitOverrunError, ValueError):
                 # Line longer than the reader limit: the stream
                 # position is unrecoverable, drop the connection.
                 return None
-            if not line:
+            except (ConnectionError, OSError):
+                # Abrupt client disconnect (TCP reset) mid-read.
+                return None
+            if line is CLOSING or not line:
                 return None
             if line.strip() == b"":
                 # Tolerate blank keep-alive lines between requests.
@@ -209,7 +202,3 @@ class TcpServer:
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass
-
-    def __repr__(self) -> str:
-        state = "listening" if self.running else "stopped"
-        return f"TcpServer({state}, {self.host}:{self.port})"

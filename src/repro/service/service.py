@@ -393,17 +393,38 @@ class AsyncPreparationService:
                 next_batch = None
                 if batch is None:
                     return
+                slots = self._batch_slots
                 try:
-                    await self._batch_slots.acquire()
+                    await slots.acquire()
                 except BaseException as error:
                     # Cancellation while waiting for a slot: the
                     # popped batch is in no queue and no task — fail
                     # its waiters or they hang forever.
                     _fail_batch_later(batch, error)
                     raise
-                inflight.add(
-                    loop.create_task(self._dispatch_sharded(batch))
+                dispatch = loop.create_task(
+                    self._dispatch_sharded(batch)
                 )
+                # Clean up via done callback, not inside the task: a
+                # task cancelled before its coroutine first runs never
+                # reaches _dispatch_sharded's except/finally, which
+                # would leak the slot and strand the batch's waiters.
+                def _finish_dispatch(
+                    task, *, slots=slots, batch=batch
+                ):
+                    slots.release()
+                    if task.cancelled():
+                        error = EngineError(
+                            "service stopped before the batch was "
+                            "dispatched"
+                        )
+                        for queued in batch:
+                            _set_exception_if_pending(
+                                queued.future, error
+                            )
+
+                dispatch.add_done_callback(_finish_dispatch)
+                inflight.add(dispatch)
         except BaseException:
             # The loop is dying (cancellation, crashed queue): take
             # the in-flight dispatches down with it so their waiters
@@ -507,6 +528,12 @@ class AsyncPreparationService:
             return {0}, None
         shards: set[int] = set()
         keys: list[str | None] = []
+        # Deliberately keyed per job, not memoized by payload: the
+        # key IS the state resolution, and two unseeded random jobs
+        # with identical payloads must resolve (and key)
+        # independently — a shared key would make run_batch serve the
+        # second job the first one's circuit as an intra-batch
+        # duplicate.
         for job in jobs:
             try:
                 key = self.engine.job_key(job)
@@ -544,9 +571,11 @@ class AsyncPreparationService:
                 _fail_batch_later(batch, error)
                 raise
         finally:
+            # The batch slot is released by the dispatcher's done
+            # callback on this task, so cancel-before-start (which
+            # skips this finally) cannot leak it.
             for lock in reversed(acquired):
                 lock.release()
-            self._batch_slots.release()
 
     async def _dispatch(
         self,

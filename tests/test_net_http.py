@@ -3,11 +3,20 @@
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
+import socket
+import struct
+import threading
 
 import pytest
 
-from repro.net import ClientError, HttpServer, ReproClient
+from repro.net import (
+    ClientError,
+    HttpServer,
+    ReproClient,
+    SyncReproClient,
+)
 from repro.service import AsyncPreparationService
 
 GHZ = {"family": "ghz", "dims": [3, 6, 2]}
@@ -136,6 +145,25 @@ class TestRoutes:
         assert response.startswith(b"HTTP/1.1 413")
         assert b'"too_large"' in response
 
+    def test_negative_content_length_is_400(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                return await raw_http(
+                    server.port,
+                    (
+                        b"POST /v1/prepare HTTP/1.1\r\n"
+                        b"Host: test\r\n"
+                        b"Content-Length: -5\r\n"
+                        b"\r\n"
+                    ),
+                )
+
+        response = run(scenario())
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b'"bad_request"' in response
+
     def test_failing_job_travels_as_outcome_not_http_error(self):
         async def scenario():
             service = AsyncPreparationService()
@@ -211,6 +239,104 @@ class TestConnections:
         response = run(scenario())
         assert b"Connection: close" in response
 
+    def test_abrupt_client_reset_does_not_leak_task_exception(self):
+        # A TCP reset mid-read raises ConnectionResetError out of
+        # readline; the handler must treat it as a normal disconnect,
+        # not die with an unretrieved task exception.
+        async def scenario():
+            errors = []
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda _loop, context: errors.append(context)
+            )
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(http_blob("GET", "/healthz"))
+                await writer.drain()
+                await reader.readline()  # handler served one request
+                writer.get_extra_info("socket").setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                writer.transport.abort()  # RST instead of FIN
+                await asyncio.sleep(0.05)
+            gc.collect()  # unretrieved exceptions surface at task GC
+            await asyncio.sleep(0)
+            loop.set_exception_handler(None)
+            return errors
+
+        assert run(scenario()) == []
+
+    def test_client_recovers_after_server_restart(self):
+        # A server-side FIN doesn't flip writer.is_closing(), so the
+        # client must drop the dead keep-alive connection when it
+        # reads EOF; the very next call then reconnects instead of
+        # repeatedly reusing the dead socket.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = await HttpServer(service).start()
+            port = server.port
+            client = ReproClient("127.0.0.1", port, timeout=5)
+            one = await client.prepare(GHZ)
+            await server.stop()  # FIN on the keep-alive connection
+            service2 = AsyncPreparationService()
+            await service2.start()
+            server2 = await HttpServer(service2, port=port).start()
+            try:
+                # The call that discovers the dead socket fails once…
+                with pytest.raises(ClientError):
+                    await client.prepare(GHZ)
+                # …and the next one reconnects and succeeds.
+                two = await client.prepare(GHZ)
+            finally:
+                await client.aclose()
+                await server2.stop()
+            return one, two
+
+        one, two = run(scenario())
+        assert one["ok"] and two["ok"]
+
+    def test_call_survives_concurrent_connection_close(self):
+        # A sibling call's timeout closes the connection via aclose();
+        # a call already past _call's connect check must reconnect
+        # under the lock instead of crashing on the dead writer.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            async with HttpServer(service) as server:
+                client = ReproClient("127.0.0.1", server.port)
+                await client.connect()
+                await client.aclose()  # what a sibling timeout does
+                outcome = await client._call_http(
+                    "prepare", {"job": GHZ}
+                )
+                await client.aclose()
+                return outcome
+
+        assert run(scenario())["ok"] is True
+
+    def test_sync_client_failed_connect_does_not_leak_thread(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens on this port now
+        before = sum(
+            thread.name == "repro-net-client"
+            for thread in threading.enumerate()
+        )
+        with pytest.raises(ClientError):
+            SyncReproClient("127.0.0.1", port)
+        after = sum(
+            thread.name == "repro-net-client"
+            for thread in threading.enumerate()
+        )
+        assert after == before
+
     def test_job_defaults_apply_to_wire_jobs(self):
         async def scenario():
             service = AsyncPreparationService()
@@ -244,6 +370,53 @@ class TestGracefulShutdown:
         outcome, running = run(scenario())
         assert outcome["ok"] is True
         assert running is False
+
+    def test_stop_with_idle_keep_alive_connection_does_not_hang(self):
+        # Regression: on Python >= 3.12.1, Server.wait_closed() blocks
+        # until every connection drops; stop() must wake idle
+        # keep-alive handlers first or the two wait on each other.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = await HttpServer(service).start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(http_blob("GET", "/healthz"))
+            await writer.drain()
+            await reader.readline()  # handler is now parked, idle
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario())
+
+    def test_stop_terminates_with_peer_that_stopped_reading(self):
+        # A response larger than the transport buffers to a peer that
+        # never reads parks the handler in drain(); past the drain
+        # deadline, stop() must abort the transport instead of
+        # waiting on a flush that can never happen.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = await HttpServer(
+                service, drain_timeout=0.2
+            ).start()
+
+            async def big_respond(request):
+                return 200, {"blob": "x" * (8 << 20)}
+
+            server._respond = big_respond
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(http_blob("GET", "/healthz"))
+            await writer.drain()
+            await asyncio.sleep(0.1)  # handler parks in drain
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+
+        run(scenario())
 
     def test_stopped_server_refuses_new_connections(self):
         async def scenario():

@@ -148,6 +148,16 @@ class TestPayloadParsing:
             parse_batch_payload({"op": "batch"})
         assert info.value.code == "job_spec"
 
+    def test_batch_payload_rejects_unknown_keys(self):
+        # Parity with `python -m repro batch`: a misspelled
+        # 'defaults' must be an error, not silently ignored.
+        with pytest.raises(WireError) as info:
+            parse_batch_payload({
+                "jobs": [ghz_dict()],
+                "default": {"verify": False},
+            })
+        assert info.value.code == "job_spec"
+
 
 class TestOutcomeWire:
     @pytest.fixture(scope="class")

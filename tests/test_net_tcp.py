@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
+import socket
+import struct
 
 import pytest
 
@@ -139,6 +142,125 @@ class TestStreamProtocol:
         assert responses[1]["error"]["code"] == "unknown_op"
         assert responses[2]["error"]["code"] == "bad_request"
 
+    def test_call_survives_concurrent_connection_close(self):
+        # A sibling call's timeout closes the connection via aclose();
+        # a call already past _call's connect check must reconnect
+        # (restoring the response pump) instead of crashing on the
+        # dead writer.
+        async def scenario():
+            server = await started_server()
+            async with server:
+                client = ReproClient(
+                    "127.0.0.1", server.port, transport="tcp"
+                )
+                await client.connect()
+                await client.aclose()  # what a sibling timeout does
+                outcome = await client._call_tcp(
+                    "prepare", {"job": GHZ}
+                )
+                await client.aclose()
+                return outcome
+
+        assert run(scenario())["ok"] is True
+
+    def test_abrupt_client_reset_does_not_leak_task_exception(self):
+        # Mirror of the HTTP test: a reset mid-read must read as a
+        # normal disconnect, not an unretrieved task exception.
+        async def scenario():
+            errors = []
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda _loop, context: errors.append(context)
+            )
+            server = await started_server()
+            async with server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(json.dumps({
+                    "id": 1, "op": "ping",
+                }).encode() + b"\n")
+                await writer.drain()
+                await reader.readline()
+                writer.get_extra_info("socket").setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                writer.transport.abort()  # RST instead of FIN
+                await asyncio.sleep(0.05)
+            gc.collect()  # unretrieved exceptions surface at task GC
+            await asyncio.sleep(0)
+            loop.set_exception_handler(None)
+            return errors
+
+        assert run(scenario()) == []
+
+    def test_client_reconnects_after_server_side_eof(self):
+        # When the server drops the connection, the response pump
+        # exits on EOF and must drop the half-dead connection state,
+        # so the next call reconnects instead of writing into a
+        # socket nobody reads and timing out.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = TcpServer(service, max_line_bytes=512)
+            async with server:
+                client = ReproClient(
+                    "127.0.0.1", server.port,
+                    transport="tcp", timeout=5,
+                )
+                await client.connect()
+                one = await client.prepare(GHZ)
+                pump = client._reader_task
+                # An oversized line makes the server drop the
+                # connection (stream position unrecoverable).
+                client._writer.write(b"x" * 2048 + b"\n")
+                await client._writer.drain()
+                await pump  # exits on EOF, detaching the dead state
+                assert not client.connected
+                two = await client.prepare(GHZ)
+                await client.aclose()
+                return one, two
+
+        one, two = run(scenario())
+        assert one["ok"] and two["ok"]
+        assert two["cache_hit"] is True
+
+    def test_inflight_cap_bounds_concurrency_without_deadlock(self):
+        # The per-connection cap stops reading until a response frees
+        # a slot; all pipelined requests must still complete and the
+        # number served at once must never exceed the cap.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = TcpServer(service, max_inflight_requests=2)
+            async with server:
+                active = 0
+                peak = 0
+                real = server._serve_line
+
+                async def spy(line, writer, lock):
+                    nonlocal active, peak
+                    active += 1
+                    peak = max(peak, active)
+                    try:
+                        return await real(line, writer, lock)
+                    finally:
+                        active -= 1
+
+                server._serve_line = spy
+                async with ReproClient(
+                    "127.0.0.1", server.port, transport="tcp"
+                ) as client:
+                    outcomes = await asyncio.gather(*(
+                        client.prepare(GHZ) for _ in range(12)
+                    ))
+            return outcomes, peak
+
+        outcomes, peak = run(scenario())
+        assert all(outcome["ok"] for outcome in outcomes)
+        assert 1 <= peak <= 2
+
     def test_client_error_carries_code(self):
         async def scenario():
             server = await started_server()
@@ -178,6 +300,108 @@ class TestShutdown:
         outcomes = run(scenario())
         assert len(outcomes) == 4
         assert all(o["ok"] for o in outcomes)
+
+    def test_stop_with_idle_connection_does_not_hang(self):
+        # Regression: on Python >= 3.12.1, Server.wait_closed() blocks
+        # until every connection drops; stop() must wake idle handlers
+        # parked in _next_line first or the two wait on each other.
+        async def scenario():
+            server = await started_server()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(json.dumps({
+                "id": 1, "op": "ping",
+            }).encode() + b"\n")
+            await writer.drain()
+            await reader.readline()  # handler is now parked, idle
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+            await writer.wait_closed()
+
+        run(scenario())
+
+    def test_stop_cancels_handlers_stuck_past_drain_timeout(self):
+        # A peer that never reads its socket can park a handler
+        # forever (writer.drain() on a full send buffer); stop() must
+        # cancel it after drain_timeout instead of hanging shutdown.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = TcpServer(service, drain_timeout=0.2)
+            await server.start()
+
+            async def stuck_serve(line, writer, lock):
+                await asyncio.Event().wait()  # parked forever
+
+            server._serve_line = stuck_serve
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b'{"id": 1, "op": "ping"}\n')
+            await writer.drain()
+            await asyncio.sleep(0.05)  # request reaches the handler
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+
+        run(scenario())
+
+    def test_stop_terminates_with_handler_parked_in_slot_acquire(self):
+        # Peer pipelines past the in-flight cap and stops reading:
+        # the handler parks in slots.acquire(); the drain deadline
+        # must cancel the stuck request tasks too, or the handler's
+        # cleanup gathers children that never finish.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = TcpServer(
+                service, max_inflight_requests=1, drain_timeout=0.2
+            )
+            await server.start()
+
+            async def stuck_serve(line, writer, lock):
+                await asyncio.Event().wait()  # parked forever
+
+            server._serve_line = stuck_serve
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b'{"id": 1, "op": "ping"}\n'
+                         b'{"id": 2, "op": "ping"}\n')
+            await writer.drain()
+            await asyncio.sleep(0.05)  # handler parks in acquire
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+
+        run(scenario())
+
+    def test_stop_terminates_with_peer_that_stopped_reading(self):
+        # Responses larger than the transport buffers to a peer that
+        # never reads park the request task in writer.drain(); the
+        # deadline path must abort the transport instead of waiting
+        # for a flush that can never happen.
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            server = TcpServer(service, drain_timeout=0.2)
+            await server.start()
+
+            async def big_serve(line, writer, lock):
+                async with lock:
+                    writer.write(b"x" * (8 << 20) + b"\n")
+                    await writer.drain()  # peer never reads
+
+            server._serve_line = big_serve
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b'{"id": 1, "op": "ping"}\n')
+            await writer.drain()
+            await asyncio.sleep(0.1)  # request task parks in drain
+            await asyncio.wait_for(server.stop(), timeout=5)
+            writer.close()
+
+        run(scenario())
 
     def test_eof_waits_for_inflight_responses(self):
         async def scenario():

@@ -407,6 +407,42 @@ class TestAsyncPreparationService:
 
         asyncio.run(scenario())
 
+    def test_dispatch_cancelled_before_start_fails_waiters(self):
+        # A dispatch task cancelled before its coroutine ever runs
+        # (loop teardown cancels queued tasks wholesale) reaches
+        # neither _dispatch_sharded's except nor its finally; the
+        # dispatcher's done callback must still release the batch
+        # slot and fail the batch's waiters instead of stranding
+        # them forever.
+        async def scenario():
+            service = AsyncPreparationService(
+                max_batch_size=1, max_batch_delay=0.0
+            )
+            await service.start()
+            loop = asyncio.get_running_loop()
+            real = service._dispatch_sharded
+
+            def cancel_pre_start(coro):
+                for task in asyncio.all_tasks():
+                    if task.get_coro() is coro:
+                        task.cancel()
+
+            def spy(batch):
+                coro = real(batch)
+                # Queued before create_task schedules the
+                # coroutine's first step, so the cancel lands
+                # strictly pre-start.
+                loop.call_soon(cancel_pre_start, coro)
+                return coro
+
+            service._dispatch_sharded = spy
+            waiter = asyncio.ensure_future(service.submit(ghz_job()))
+            with pytest.raises(EngineError, match="before the batch"):
+                await asyncio.wait_for(waiter, timeout=5.0)
+            await service.stop()
+
+        asyncio.run(scenario())
+
     def test_stop_fails_requests_stranded_by_dead_dispatcher(self):
         # If the dispatcher is cancelled while requests are still
         # queued, stop() must resolve those futures (with an error)
@@ -658,6 +694,26 @@ class TestPerShardDispatch:
     def test_same_shard_batches_serialise(self):
         max_concurrent, _ = self._concurrency_probe(want_same=True)
         assert max_concurrent == 1
+
+    def test_unseeded_random_jobs_key_independently(self):
+        # Two identical unseeded random payloads in one micro-batch
+        # must resolve (and key) independently — shard routing must
+        # never collapse them into one key, or the second would be
+        # served the first one's circuit as an intra-batch duplicate.
+        async def scenario():
+            async with AsyncPreparationService(
+                num_shards=4, max_batch_size=2, max_batch_delay=0.05
+            ) as service:
+                return await service.run_batch([
+                    PreparationJob(dims=(2, 2), family="random"),
+                    PreparationJob(dims=(2, 2), family="random"),
+                ])
+
+        result = asyncio.run(scenario())
+        first, second = result.outcomes
+        assert first.ok and second.ok
+        assert first.key != second.key
+        assert second.cache_hit is False
 
     def test_concurrent_dispatch_outcomes_equal_serial(self):
         from repro.engine import PreparationEngine, comparable_outcome

@@ -50,6 +50,9 @@ def test_serve_json_output(spec_path, capsys):
         engine["cache_hits"] + engine["cache_misses"]
         == engine["cache_lookups"]
     )
+    # The engine counters appear exactly once, at top level.
+    assert "engine" not in payload["service"]
+    assert payload["service"]["requests"] == 12
     assert engine["jobs_executed"] == 2     # ghz deduplicated
     assert "disk_write_errors" in engine
     assert len(payload["shards"]) == 4
