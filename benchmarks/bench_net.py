@@ -19,6 +19,22 @@ so the benchmark doubles as a regression test.  Results are written
 to ``BENCH_net.json`` (override with ``-o``); run under pytest
 (``pytest benchmarks/bench_net.py -s``) or directly
 (``python benchmarks/bench_net.py``).
+
+Two observability measurements ride along (ISSUE 6):
+
+* per-transport p50/p95/p99 request latency, estimated from the
+  server's ``repro_request_seconds`` histogram exactly the way
+  Prometheus' ``histogram_quantile`` would,
+* the cost of the instrumentation itself — the in-process path runs
+  with the production in-process configuration (a live
+  ``MetricsRegistry`` in the service + engine, no tracer: tracing
+  starts at the wire layer) vs an ``enabled=False`` registry, best
+  of :data:`REPEATS` runs each, and the instrumented run must keep
+  >= 95 % of baseline throughput.  A third, fully *traced*
+  in-process run (every call wrapped in ``tracer.request``) is
+  reported but not asserted: it over-counts — in production only
+  wire requests are traced, where span bookkeeping is ~0.1 % of the
+  observed multi-millisecond request latency.
 """
 
 from __future__ import annotations
@@ -37,10 +53,21 @@ from repro.net import (
     comparable_wire_outcome,
     outcome_to_wire,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.service import AsyncPreparationService
 
 NUM_CLIENTS = 16
 ROUNDS = 3  # workload replays per client (first one is the cold round)
+REPEATS = 5  # timed repetitions per in-process mode (best taken)
+
+#: The in-process overhead comparison replays the workload this many
+#: extra times per run, stretching the timed region to ~60 ms so the
+#: best-of-REPEATS estimate is not dominated by scheduler jitter.
+OVERHEAD_SCALE = 4
+
+#: The instrumented in-process run must keep this share of the
+#: uninstrumented throughput.
+MAX_OVERHEAD_RATIO = 1.05
 
 WIRE_WORKLOAD = [
     {"family": "ghz", "dims": [3, 6, 2]},
@@ -60,9 +87,10 @@ def make_jobs() -> list[PreparationJob]:
     ]
 
 
-def make_service() -> AsyncPreparationService:
+def make_service(metrics=None) -> AsyncPreparationService:
     return AsyncPreparationService(
-        num_shards=4, max_batch_size=32, max_batch_delay=0.002
+        num_shards=4, max_batch_size=32, max_batch_delay=0.002,
+        metrics=metrics,
     )
 
 
@@ -74,14 +102,23 @@ def reference_outcomes() -> list[dict]:
     ]
 
 
-async def _bench_inprocess() -> dict:
-    service = make_service()
+async def _bench_inprocess(
+    instrumented: bool, traced: bool = False
+) -> dict:
+    registry = MetricsRegistry(enabled=instrumented)
+    tracer = Tracer(enabled=traced)
+    service = make_service(metrics=registry)
     jobs = make_jobs()
+
+    async def one_call():
+        with tracer.request(transport="inprocess"):
+            return await service.run_batch(jobs)
+
+    calls = NUM_CLIENTS * ROUNDS * OVERHEAD_SCALE
     start = time.perf_counter()
     async with service:
         results = await asyncio.gather(*(
-            service.run_batch(jobs)
-            for _ in range(NUM_CLIENTS * ROUNDS)
+            one_call() for _ in range(calls)
         ))
     elapsed = time.perf_counter() - start
     expected = [
@@ -92,15 +129,71 @@ async def _bench_inprocess() -> dict:
         assert [
             comparable_outcome(o) for o in result.outcomes
         ] == expected
-    requests = NUM_CLIENTS * ROUNDS * len(jobs)
+    if instrumented:
+        # The instrumented run really did instrument: every job's
+        # queue wait was observed.
+        assert registry.histogram(
+            "repro_queue_wait_seconds"
+        ).count() == calls * len(jobs)
+    if traced:
+        assert len(tracer.ids()) > 0
+    requests = calls * len(jobs)
     return {"requests": requests, "seconds": elapsed}
 
 
+def _bench_inprocess_modes() -> tuple[dict[str, dict], dict[str, float]]:
+    """Best of :data:`REPEATS` runs per mode, plus overhead ratios.
+
+    The three modes run interleaved, one sweep per repeat, and each
+    mode's overhead ratio is computed *within* a sweep (instrumented
+    seconds / that sweep's baseline seconds) with the minimum over
+    sweeps kept — pairing in time cancels machine drift that
+    independent best-of minima cannot.
+    """
+    modes = {
+        "inprocess": dict(instrumented=False),
+        "inprocess_instrumented": dict(instrumented=True),
+        "inprocess_traced": dict(instrumented=True, traced=True),
+    }
+    best: dict[str, dict] = {}
+    ratios: dict[str, float] = {}
+    for _ in range(REPEATS):
+        sweep = {}
+        for name, kwargs in modes.items():
+            result = asyncio.run(_bench_inprocess(**kwargs))
+            sweep[name] = result
+            if (
+                name not in best
+                or result["seconds"] < best[name]["seconds"]
+            ):
+                best[name] = result
+        baseline = sweep["inprocess"]["seconds"]
+        for name in ("inprocess_instrumented", "inprocess_traced"):
+            ratio = sweep[name]["seconds"] / baseline
+            if name not in ratios or ratio < ratios[name]:
+                ratios[name] = ratio
+    return best, ratios
+
+
+def _latency_percentiles(registry, transport: str) -> dict:
+    histogram = registry.histogram(
+        "repro_request_seconds", labels=("transport",)
+    )
+    return {
+        "p50": histogram.quantile(0.50, transport),
+        "p95": histogram.quantile(0.95, transport),
+        "p99": histogram.quantile(0.99, transport),
+    }
+
+
 async def _bench_transport(transport: str) -> dict:
-    service = make_service()
+    registry = MetricsRegistry()
+    service = make_service(metrics=registry)
     await service.start()
     server_type = TcpServer if transport == "tcp" else HttpServer
-    server = await server_type(service).start()
+    server = await server_type(
+        service, metrics=registry, tracer=Tracer()
+    ).start()
     expected = reference_outcomes()
 
     async def one_client():
@@ -134,21 +227,37 @@ async def _bench_transport(transport: str) -> dict:
     # Warm traffic is all cache hits: only the distinct targets were
     # ever synthesised.
     assert stats.engine.jobs_executed == 3
-    return {"requests": requests, "seconds": elapsed}
+    latency = _latency_percentiles(registry, transport)
+    # The wire layer observed every request it served.
+    wire_count = registry.histogram(
+        "repro_request_seconds", labels=("transport",)
+    ).count(transport)
+    assert wire_count > 0
+    return {
+        "requests": requests,
+        "seconds": elapsed,
+        "latency_seconds": latency,
+    }
 
 
 def run_benchmark() -> dict:
     measurements = {}
     for name, runner in (
-        ("inprocess", _bench_inprocess()),
         ("http", _bench_transport("http")),
         ("tcp", _bench_transport("tcp")),
     ):
         result = asyncio.run(runner)
+        measurements[name] = result
+
+    # Instrumentation overhead: the same in-process workload with
+    # metrics off / metrics on / metrics + per-call tracing.
+    inprocess_best, overhead_ratios = _bench_inprocess_modes()
+    measurements.update(inprocess_best)
+
+    for name, result in measurements.items():
         result["requests_per_second"] = (
             result["requests"] / result["seconds"]
         )
-        measurements[name] = result
         print(
             f"[net/{name}] {result['requests']} requests in "
             f"{result['seconds']:.3f}s = "
@@ -158,20 +267,50 @@ def run_benchmark() -> dict:
     for name in ("http", "tcp"):
         ratio = measurements[name]["requests_per_second"] / baseline
         measurements[name]["vs_inprocess"] = ratio
-        print(f"[net/{name}] {ratio:.2f}x of in-process throughput")
+        latency = measurements[name]["latency_seconds"]
+        print(
+            f"[net/{name}] {ratio:.2f}x of in-process throughput; "
+            f"p50={latency['p50'] * 1e3:.2f}ms "
+            f"p95={latency['p95'] * 1e3:.2f}ms "
+            f"p99={latency['p99'] * 1e3:.2f}ms"
+        )
+
+    overhead = overhead_ratios["inprocess_instrumented"]
+    traced_overhead = overhead_ratios["inprocess_traced"]
+    print(
+        f"[net/instrumentation] metrics {overhead:.3f}x baseline "
+        f"wall time (limit {MAX_OVERHEAD_RATIO:.2f}x); with per-call "
+        f"tracing {traced_overhead:.3f}x (reported only)"
+    )
+    assert overhead <= MAX_OVERHEAD_RATIO, (
+        f"metrics instrumentation cost {overhead:.3f}x the "
+        f"uninstrumented in-process run "
+        f"(limit {MAX_OVERHEAD_RATIO:.2f}x)"
+    )
     return {
         "clients": NUM_CLIENTS,
         "rounds": ROUNDS,
         "jobs_per_round": len(WIRE_WORKLOAD),
+        "instrumentation_overhead_ratio": overhead,
+        "tracing_overhead_ratio": traced_overhead,
         "transports": measurements,
     }
 
 
 def test_network_transports_serve_correctly_and_report_throughput():
     payload = run_benchmark()
-    for transport in ("inprocess", "http", "tcp"):
+    for transport in (
+        "inprocess", "inprocess_instrumented", "inprocess_traced",
+        "http", "tcp",
+    ):
         assert payload["transports"][transport]["requests"] > 0
         assert payload["transports"][transport]["seconds"] > 0
+    for transport in ("http", "tcp"):
+        latency = payload["transports"][transport]["latency_seconds"]
+        assert 0 < latency["p50"] <= latency["p99"]
+    assert (
+        payload["instrumentation_overhead_ratio"] <= MAX_OVERHEAD_RATIO
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

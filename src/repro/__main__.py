@@ -26,6 +26,9 @@ from repro.analysis import table1
 from repro.analysis.figures import figure1, figure2, figure3, figure4
 from repro.analysis.rendering import render_table
 from repro.analysis.scaling import approximation_tradeoff, synthesis_scaling
+from repro.obs import log as obs_log
+
+_LOGGER = obs_log.get_logger("cli")
 
 
 def _run_figures() -> int:
@@ -347,6 +350,22 @@ def _serve_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit machine-readable JSON instead of text",
     )
+    parser.add_argument(
+        "--log-level", default="info", metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="minimum structured-log level on stderr "
+             "(debug/info/warning/error; default: info)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as line-JSON instead of the "
+             "human-readable rendering",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=256, metavar="N",
+        help="recent request traces retained for GET /v1/trace/<id> "
+             "in network mode (default: 256)",
+    )
     return parser
 
 
@@ -366,7 +385,9 @@ def _parse_listen(value: str) -> tuple[str, int]:
     return host, int(port_text)
 
 
-async def _serve_network(service, options, jobs, defaults):
+async def _serve_network(
+    service, options, jobs, defaults, registry=None, tracer=None
+):
     """Run the network front end until SIGTERM/SIGINT, then drain."""
     import signal
 
@@ -392,6 +413,8 @@ async def _serve_network(service, options, jobs, defaults):
             if options.drain_timeout > 0
             else None
         ),
+        metrics=registry,
+        tracer=tracer,
         **{limit_field: options.max_request_bytes},
     )
     try:
@@ -432,6 +455,7 @@ async def _serve_network(service, options, jobs, defaults):
 def _run_listen(options) -> int:
     from repro.engine import ParallelExecutor, load_batch_spec
     from repro.exceptions import EngineError, PipelineConfigError
+    from repro.obs import MetricsRegistry, Tracer
     from repro.service import AsyncPreparationService
 
     try:
@@ -446,6 +470,8 @@ def _run_listen(options) -> int:
             if options.workers is not None
             else None
         )
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=options.trace_capacity)
         service = AsyncPreparationService(
             num_shards=options.shards,
             cache_capacity=options.cache_capacity,
@@ -453,9 +479,13 @@ def _run_listen(options) -> int:
             executor=executor,
             max_batch_size=options.batch_size,
             max_batch_delay=options.batch_delay_ms / 1000.0,
+            metrics=registry,
         )
         requests_served = asyncio.run(
-            _serve_network(service, options, jobs, defaults)
+            _serve_network(
+                service, options, jobs, defaults,
+                registry=registry, tracer=tracer,
+            )
         )
     except (
         EngineError, PipelineConfigError, ValueError, OSError,
@@ -470,9 +500,10 @@ def _run_listen(options) -> int:
         print(json.dumps({
             "requests_served": requests_served,
             "service": stats.to_dict(),
+            "metrics": registry.snapshot(),
         }, indent=2))
     else:
-        print("service stats: " + stats.summary())
+        _LOGGER.info("service_stats", summary=stats.summary())
     return 0
 
 
@@ -487,6 +518,7 @@ def _run_serve(arguments: list[str]) -> int:
     from repro.service import AsyncPreparationService
 
     options = _serve_parser().parse_args(arguments)
+    obs_log.configure(options.log_level, json_mode=options.log_json)
     if options.tcp and options.listen is None:
         print("error: --tcp requires --listen", file=sys.stderr)
         return 2
@@ -579,7 +611,7 @@ def _run_serve(arguments: list[str]) -> int:
             f"in {wall_time:.3f}s "
             f"= {total_requests / max(wall_time, 1e-9):.1f} req/s"
         )
-        print("service stats: " + stats.summary())
+        _LOGGER.info("service_stats", summary=stats.summary())
         if hasattr(service.engine.cache, "shard_stats"):
             per_shard = service.engine.cache.shard_stats()
             print(

@@ -33,6 +33,9 @@ from repro.engine.cache import CacheEntry, CircuitCache
 from repro.engine.executor import ExecutionBackend, as_executor
 from repro.exceptions import EngineError
 from repro.engine.jobs import PreparationJob, content_key
+from repro.obs import log as obs_log
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
 from repro.engine.results import (
     BatchResult,
     JobFailure,
@@ -41,6 +44,9 @@ from repro.engine.results import (
 )
 
 __all__ = ["EngineStats", "PreparationEngine"]
+
+
+_LOGGER = obs_log.get_logger("engine")
 
 
 def _execute_job(
@@ -56,10 +62,28 @@ def _execute_job(
     the engine's custom pipeline (``None`` runs the default pipeline
     for the job's config).
 
+    An optional fifth task element carries the request's
+    ``(trace, parent_span)`` (serial executor only — traces do not
+    pickle to worker processes): it is re-established as the current
+    trace around the pipeline run, under an ``execute`` span, so
+    every pipeline pass lands as a span of the right request.
+
     Module-level so it pickles for ``ProcessPoolExecutor`` dispatch.
     """
-    job, key, state, pipeline = task
+    job, key, state, pipeline = task[:4]
+    traced = task[4] if len(task) > 4 else None
     start = time.perf_counter()
+    execute_span = None
+    tokens = None
+    if traced is not None:
+        trace, parent = traced
+        execute_span = trace.begin_span(
+            "execute", parent=parent, start=start, key=key[:16]
+        )
+        tokens = (
+            tracing.CURRENT_TRACE.set(trace),
+            tracing.CURRENT_SPAN.set(execute_span),
+        )
     try:
         result = prepare_state(
             state, config=job.options, pipeline=pipeline
@@ -77,6 +101,10 @@ def _execute_job(
             ),
         )
     except Exception as error:  # noqa: BLE001 - per-job isolation
+        if execute_span is not None:
+            execute_span.annotate(
+                error=type(error).__name__
+            )
         return JobFailure(
             job=job,
             key=key,
@@ -84,6 +112,12 @@ def _execute_job(
             message=str(error),
             elapsed=time.perf_counter() - start,
         )
+    finally:
+        if tokens is not None:
+            tracing.CURRENT_SPAN.reset(tokens[1])
+            tracing.CURRENT_TRACE.reset(tokens[0])
+        if execute_span is not None:
+            execute_span.finish()
 
 
 @dataclass(frozen=True)
@@ -158,6 +192,12 @@ class PreparationEngine:
             into every cache key, so entries computed by different
             pipelines never alias; it must be picklable to use the
             parallel executor.
+        metrics: A :class:`~repro.obs.MetricsRegistry` to publish
+            engine metrics into: the per-executed-job latency
+            histogram ``repro_job_execute_seconds`` plus a scrape-time
+            collector exposing the lifetime :class:`EngineStats`
+            counters (cache traffic, jobs).  ``None`` leaves the
+            engine un-instrumented.
     """
 
     def __init__(
@@ -165,6 +205,7 @@ class PreparationEngine:
         cache: CircuitCache | None = None,
         executor: ExecutionBackend | str | None = None,
         pipeline: Pipeline | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.cache = cache if cache is not None else CircuitCache()
         self.executor = as_executor(executor)
@@ -172,6 +213,14 @@ class PreparationEngine:
         self._pipeline_signature = (
             pipeline.signature() if pipeline is not None else None
         )
+        self.metrics = metrics
+        self._job_seconds = None
+        if metrics is not None:
+            self._job_seconds = metrics.histogram(
+                "repro_job_execute_seconds",
+                "Wall time of each executed (cache-missing) job.",
+            )
+            metrics.register_collector(self._collect_samples)
         self._jobs_submitted = 0
         self._jobs_executed = 0
         self._jobs_failed = 0
@@ -267,6 +316,18 @@ class PreparationEngine:
             self._jobs_submitted += len(jobs)
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
 
+        # Per-job (trace, parent_span) pairs, planted by the service's
+        # dispatch coroutine just before asyncio.to_thread — the
+        # context copy carried them into this worker thread.
+        traces = tracing.DISPATCH_TRACES.get(None)
+        if traces is not None and len(traces) != len(jobs):
+            traces = None
+
+        def traced_at(position: int):
+            if traces is None:
+                return None
+            return traces[position]
+
         # Key every job up front — from the caller where provided,
         # else by resolving the state here; a job whose state cannot
         # even be built fails here without touching a worker.
@@ -318,6 +379,16 @@ class PreparationEngine:
                     report=entry.report,
                     cache_hit=True,
                 )
+                traced = traced_at(position)
+                if traced is not None:
+                    trace, parent = traced
+                    trace.add_span(
+                        "cache_hit",
+                        start=trace.offset(),
+                        duration=0.0,
+                        parent=parent,
+                        key=key[:16],
+                    )
             else:
                 dispatch[key] = position
 
@@ -348,7 +419,14 @@ class PreparationEngine:
                     jobs[position].options,
                     self._pipeline_signature,
                 )
-            tasks.append((jobs[position], key, state, self._pipeline))
+            task = (jobs[position], key, state, self._pipeline)
+            traced = traced_at(position)
+            if traced is not None and self.executor.name == "serial":
+                # Traces hold locks and context references — they do
+                # not pickle, so only the in-thread serial executor
+                # carries them into _execute_job.
+                task = task + (traced,)
+            tasks.append(task)
             task_positions.append(position)
         with self._stats_lock:
             self._jobs_executed += len(tasks)
@@ -356,6 +434,8 @@ class PreparationEngine:
             task_positions, self.executor.run(_execute_job, tasks)
         ):
             outcomes[position] = outcome
+            if self._job_seconds is not None and outcome.elapsed:
+                self._job_seconds.observe(outcome.elapsed)
             if outcome.ok:
                 self.cache.put(
                     CacheEntry(
@@ -374,6 +454,17 @@ class PreparationEngine:
         # outcome either way.
         for position in duplicates:
             key = keys[position]
+            traced = traced_at(position)
+            if traced is not None:
+                trace, parent = traced
+                trace.add_span(
+                    "cache_hit",
+                    start=trace.offset(),
+                    duration=0.0,
+                    parent=parent,
+                    key=key[:16],
+                    deduplicated=True,
+                )
             entry = self.cache.get_if_present(key)
             if entry is not None:
                 outcomes[position] = JobSuccess(
@@ -405,12 +496,48 @@ class PreparationEngine:
                     )
 
         wall_time = time.perf_counter() - start
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
         with self._stats_lock:
-            self._jobs_failed += sum(
-                1 for outcome in outcomes if not outcome.ok
-            )
+            self._jobs_failed += failed
             self._total_wall_time += wall_time
+        _LOGGER.debug(
+            "batch_executed",
+            jobs=len(jobs),
+            executed=len(tasks),
+            failed=failed,
+            duration=round(wall_time, 6),
+        )
         return BatchResult(outcomes=tuple(outcomes), wall_time=wall_time)
+
+    def _collect_samples(self):
+        """Scrape-time samples of the lifetime engine counters."""
+        stats = self.stats()
+        return [
+            ("repro_jobs_submitted_total", "counter",
+             "Jobs seen across all batches.", stats.jobs_submitted),
+            ("repro_jobs_executed_total", "counter",
+             "Jobs that ran synthesis (cache misses after dedup).",
+             stats.jobs_executed),
+            ("repro_jobs_failed_total", "counter",
+             "Jobs that ended in a JobFailure.", stats.jobs_failed),
+            ("repro_cache_lookups_total", "counter",
+             "Circuit-cache lookups (hits + misses).",
+             stats.cache_lookups),
+            ("repro_cache_hits_total", "counter",
+             "Circuit-cache hits.", stats.cache_hits),
+            ("repro_cache_misses_total", "counter",
+             "Circuit-cache misses.", stats.cache_misses),
+            ("repro_cache_stores_total", "counter",
+             "Circuits stored into the cache.", stats.cache_stores),
+            ("repro_cache_evictions_total", "counter",
+             "Cache entries evicted by capacity.",
+             stats.cache_evictions),
+            ("repro_disk_hits_total", "counter",
+             "Lookups served from the persistent disk cache.",
+             stats.disk_hits),
+            ("repro_disk_write_errors_total", "counter",
+             "Failed disk-cache writes.", stats.disk_write_errors),
+        ]
 
     def stats(self) -> EngineStats:
         """Snapshot of lifetime engine + cache counters."""

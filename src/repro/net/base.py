@@ -13,6 +13,11 @@ and may override ``_listen_kwargs`` to pass extra options to
 from __future__ import annotations
 
 import asyncio
+import time
+
+from repro.obs import log as obs_log
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 
 __all__ = ["StreamServer", "CLOSING"]
 
@@ -41,7 +46,19 @@ class StreamServer:
             waits forever).  Bounds shutdown against a peer that
             stops reading its socket and parks a handler in
             ``writer.drain()`` indefinitely.
+        metrics: A :class:`~repro.obs.MetricsRegistry` the server
+            publishes wire metrics into — request counts and latency
+            by transport, the in-flight gauge, and per-error-code
+            counts.  Two servers may share one registry (the
+            instrument factories are idempotent).  ``None`` leaves
+            the transport un-instrumented.
+        tracer: A :class:`~repro.obs.Tracer`; when given, every
+            ``prepare``/``batch`` request is traced end-to-end under
+            its wire request id.  ``None`` disables tracing.
     """
+
+    #: Value of the ``transport`` metric label; subclasses override.
+    transport = "stream"
 
     def __init__(
         self,
@@ -51,16 +68,86 @@ class StreamServer:
         *,
         job_defaults=None,
         drain_timeout: float | None = 30.0,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.service = service
         self.host = host
         self._requested_port = port
         self.job_defaults = job_defaults
         self.drain_timeout = drain_timeout
+        self.metrics = metrics
+        self.tracer = tracer
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self._closing: asyncio.Event | None = None
         self.requests_served = 0
+        self.inflight_requests = 0
+        self._log = obs_log.get_logger(f"net.{self.transport}")
+        self._requests_total = None
+        self._request_seconds = None
+        self._errors_total = None
+        self._inflight_gauge = None
+        if metrics is not None:
+            self._requests_total = metrics.counter(
+                "repro_requests_total",
+                "Wire requests served, by transport and operation.",
+                labels=("transport", "op"),
+            )
+            self._request_seconds = metrics.histogram(
+                "repro_request_seconds",
+                "Wall time from request receipt to response written.",
+                labels=("transport",),
+            )
+            self._errors_total = metrics.counter(
+                "repro_errors_total",
+                "Error envelopes returned, by transport and wire code.",
+                labels=("transport", "code"),
+            )
+            self._inflight_gauge = metrics.gauge(
+                "repro_inflight_requests",
+                "Requests currently being served across transports.",
+            )
+
+    # ------------------------------------------------------------------
+    # Instrumentation hooks (tolerate a None registry everywhere)
+    # ------------------------------------------------------------------
+    def _request_begin(self) -> float:
+        """Mark one request in flight; returns its start instant."""
+        self.inflight_requests += 1
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.inc()
+        return time.perf_counter()
+
+    def _request_end(
+        self,
+        op: str,
+        started: float,
+        *,
+        error_code: str | None = None,
+        request_id: object = None,
+    ) -> None:
+        """Mark a request finished: counters, latency, and one log line."""
+        self.inflight_requests = max(0, self.inflight_requests - 1)
+        elapsed = time.perf_counter() - started
+        if self._inflight_gauge is not None:
+            self._inflight_gauge.dec()
+        if self._requests_total is not None:
+            self._requests_total.labels(self.transport, op).inc()
+            self._request_seconds.labels(self.transport).observe(elapsed)
+            if error_code is not None:
+                self._errors_total.labels(
+                    self.transport, error_code
+                ).inc()
+        self.requests_served += 1
+        fields = {"op": op, "duration": round(elapsed, 6)}
+        if request_id is not None:
+            fields["request_id"] = str(request_id)
+        if error_code is not None:
+            fields["error_code"] = error_code
+            self._log.warning(f"{self.transport}_request", **fields)
+        else:
+            self._log.debug(f"{self.transport}_request", **fields)
 
     # ------------------------------------------------------------------
     # Lifecycle

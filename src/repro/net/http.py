@@ -9,7 +9,17 @@ over four routes:
 * ``GET /v1/stats`` — the service + engine counters
   (``ServiceStats.to_dict()``),
 * ``GET /healthz`` — liveness (also reports whether the service is
-  accepting work).
+  accepting work, its uptime, and the in-flight request count),
+* ``GET /metrics`` — the Prometheus text exposition of the server's
+  :class:`~repro.obs.MetricsRegistry` (404 when none is attached),
+* ``GET /v1/trace/<id>`` — the retained span tree of a recent traced
+  request (404 when tracing is off or the id has been evicted).
+
+A ``prepare``/``batch`` request is traced under the id the client
+supplied — the ``X-Repro-Request-Id`` header or the body's ``id``
+field — or a generated one; the response always echoes the id in its
+``X-Repro-Request-Id`` header (and in the envelope's ``id`` field
+when the client supplied one).
 
 Connections are keep-alive by default (HTTP/1.1 semantics; honour
 ``Connection: close``), bodies are bounded by ``max_request_bytes``,
@@ -23,6 +33,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
+from urllib.parse import unquote
 
 from repro.net.base import CLOSING, StreamServer
 from repro.net.protocol import (
@@ -34,6 +46,9 @@ from repro.net.protocol import (
 )
 
 __all__ = ["HttpServer"]
+
+#: Content type of the Prometheus text exposition format.
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: HTTP status per wire error code; anything unlisted is a 500.
 _STATUS_BY_CODE = {
@@ -65,7 +80,25 @@ _ROUTES = {
     "/v1/batch": ("POST", "batch"),
     "/v1/stats": ("GET", "stats"),
     "/healthz": ("GET", "health"),
+    "/metrics": ("GET", "metrics"),
 }
+
+#: Prefix route for trace read-back: ``GET /v1/trace/<request-id>``.
+_TRACE_PREFIX = "/v1/trace/"
+
+#: Operations traced end-to-end (the read-only routes are not worth a
+#: ring-buffer slot each).
+_TRACED_OPS = frozenset({"prepare", "batch"})
+
+
+class _RawResponse:
+    """A non-JSON response body with its own content type."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str):
+        self.body = body
+        self.content_type = content_type
 
 
 class _HttpRequest:
@@ -101,7 +134,12 @@ class HttpServer(StreamServer):
             batch-spec ``defaults`` merge.
         drain_timeout: Seconds ``stop()`` waits for in-flight
             handlers before cancelling them (``None`` = forever).
+        metrics: Registry behind ``GET /metrics`` (see
+            :class:`~repro.net.base.StreamServer`).
+        tracer: Tracer behind ``GET /v1/trace/<id>``.
     """
+
+    transport = "http"
 
     _MAX_HEADER_LINES = 256
 
@@ -114,11 +152,15 @@ class HttpServer(StreamServer):
         max_request_bytes: int = 1_000_000,
         job_defaults=None,
         drain_timeout: float | None = 30.0,
+        metrics=None,
+        tracer=None,
     ):
         super().__init__(
             service, host, port,
             job_defaults=job_defaults,
             drain_timeout=drain_timeout,
+            metrics=metrics,
+            tracer=tracer,
         )
         self.max_request_bytes = max_request_bytes
 
@@ -156,19 +198,39 @@ class HttpServer(StreamServer):
                 keep_alive = request.keep_alive and not (
                     self._closing is not None and self._closing.is_set()
                 )
+                started = self._request_begin()
+                trace = None
+                failed_code = None
                 try:
-                    status, payload = await self._respond(request)
+                    status, payload, trace = await self._respond(
+                        request
+                    )
+                    if (
+                        isinstance(payload, dict)
+                        and payload.get("ok") is False
+                    ):
+                        failed_code = payload.get("error", {}).get(
+                            "code"
+                        )
                 except WireError as error:
                     status = _STATUS_BY_CODE.get(error.code, 500)
                     payload = error_envelope(error)
+                    failed_code = error.code
                 except Exception as error:  # noqa: BLE001 - wire boundary
+                    wire = WireError.from_exception(error)
                     status = 500
-                    payload = error_envelope(
-                        WireError.from_exception(error)
-                    )
-                self.requests_served += 1
+                    payload = error_envelope(wire)
+                    failed_code = wire.code
                 await self._write_response(
-                    writer, status, payload, keep_alive=keep_alive
+                    writer, status, payload,
+                    keep_alive=keep_alive, trace=trace,
+                )
+                self._request_end(
+                    self._op_label(request.path), started,
+                    error_code=failed_code,
+                    request_id=(
+                        trace.request_id if trace is not None else None
+                    ),
                 )
                 if not keep_alive:
                     break
@@ -277,9 +339,57 @@ class HttpServer(StreamServer):
         )
         return _HttpRequest(method, path, headers, body, keep_alive)
 
-    async def _respond(self, request: _HttpRequest) -> tuple[int, dict]:
+    @staticmethod
+    def _op_label(path: str) -> str:
+        """The ``op`` metric-label value for a request path."""
+        route = _ROUTES.get(path)
+        if route is not None:
+            return route[1]
+        if path.startswith(_TRACE_PREFIX):
+            return "trace"
+        return "invalid"
+
+    def _respond_metrics(self):
+        if self.metrics is None:
+            raise WireError(
+                "not_found", "no metrics registry on this server"
+            )
+        return 200, _RawResponse(
+            self.metrics.render_prometheus().encode(),
+            _PROMETHEUS_CONTENT_TYPE,
+        ), None
+
+    def _respond_trace(self, request: _HttpRequest):
+        if request.method != "GET":
+            raise WireError(
+                "method_not_allowed",
+                f"{request.path} takes GET, not {request.method}",
+            )
+        if self.tracer is None:
+            raise WireError(
+                "not_found", "tracing is not enabled on this server"
+            )
+        request_id = unquote(request.path[len(_TRACE_PREFIX):])
+        trace = self.tracer.get(request_id)
+        if trace is None:
+            raise WireError(
+                "not_found",
+                f"no retained trace for request id {request_id!r}",
+            )
+        return 200, result_envelope(trace.to_dict()), None
+
+    async def _respond(
+        self, request: _HttpRequest
+    ) -> tuple[int, object, object]:
+        """Answer one request: ``(status, payload, trace-or-None)``.
+
+        ``payload`` is an envelope dict, or a :class:`_RawResponse`
+        for the Prometheus exposition.
+        """
         route = _ROUTES.get(request.path)
         if route is None:
+            if request.path.startswith(_TRACE_PREFIX):
+                return self._respond_trace(request)
             raise WireError(
                 "not_found", f"no route for {request.path!r}"
             )
@@ -293,12 +403,21 @@ class HttpServer(StreamServer):
             return 200, result_envelope({
                 "status": "ok",
                 "accepting": self.service.running,
+                # Unstable extras (see docs/observability.md): shape
+                # may change between versions.
+                "uptime_seconds": round(
+                    getattr(self.service, "uptime", lambda: 0.0)(), 6
+                ),
+                "inflight_requests": self.inflight_requests,
                 "v": PROTOCOL_VERSION,
-            })
+            }), None
+        if op == "metrics":
+            return self._respond_metrics()
         if not self.service.running:
             raise WireError(
                 "shutting_down", "service is draining; try again later"
             )
+        parse_started = time.perf_counter()
         payload: dict = {}
         if request.body:
             try:
@@ -312,19 +431,89 @@ class HttpServer(StreamServer):
                     "bad_request",
                     "body must be a JSON object",
                 )
-        result = await execute_request(
-            self.service, op, payload, defaults=self.job_defaults
-        )
-        return 200, result_envelope(result)
+        parse_elapsed = time.perf_counter() - parse_started
+        client_id = request.headers.get("x-repro-request-id")
+        if client_id is None:
+            client_id = payload.get("id")
+        if self.tracer is None or op not in _TRACED_OPS:
+            result = await execute_request(
+                self.service, op, payload, defaults=self.job_defaults
+            )
+            return 200, result_envelope(
+                result, request_id=client_id
+            ), None
+        with self.tracer.request(client_id, transport="http") as trace:
+            if trace is not None:
+                trace.add_span(
+                    "parse", start=0.0, duration=parse_elapsed
+                )
+            try:
+                result = await execute_request(
+                    self.service, op, payload,
+                    defaults=self.job_defaults,
+                )
+            except WireError as error:
+                if trace is not None:
+                    trace.set_error(error.code, str(error))
+                return (
+                    _STATUS_BY_CODE.get(error.code, 500),
+                    error_envelope(error, request_id=client_id),
+                    trace,
+                )
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                wire = WireError.from_exception(error)
+                if trace is not None:
+                    trace.set_error(wire.code, str(wire))
+                return (
+                    500,
+                    error_envelope(wire, request_id=client_id),
+                    trace,
+                )
+        if (
+            trace is not None
+            and isinstance(result, dict)
+            and result.get("ok") is False
+        ):
+            failure = result.get("error") or {}
+            trace.set_error(
+                failure.get("code", "internal"),
+                failure.get("message", ""),
+            )
+        return 200, result_envelope(result, request_id=client_id), trace
 
     async def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload,
+        keep_alive: bool,
+        trace=None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        serialize_span = (
+            trace.begin_span("serialize", parent=trace.find("request"))
+            if trace is not None else None
+        )
+        if isinstance(payload, _RawResponse):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        request_id_header = ""
+        if trace is not None:
+            # The id may echo client input: strip CR/LF so it cannot
+            # inject response headers.
+            safe_id = (
+                str(trace.request_id)
+                .replace("\r", "")
+                .replace("\n", "")[:256]
+            )
+            request_id_header = f"X-Repro-Request-Id: {safe_id}\r\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{request_id_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -333,3 +522,6 @@ class HttpServer(StreamServer):
             await writer.drain()
         except (ConnectionError, OSError):
             pass
+        finally:
+            if serialize_span is not None:
+                serialize_span.finish()

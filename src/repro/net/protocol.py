@@ -64,8 +64,10 @@ PROTOCOL_VERSION = 1
 _TIMING_REPORT_FIELDS = ("synthesis_time", "build_time", "verify_time")
 
 #: Operations a stream request may name.  The HTTP transport maps its
-#: routes onto the same set (``POST /v1/prepare`` → ``prepare`` …).
-OPERATIONS = ("prepare", "batch", "stats", "ping")
+#: routes onto the same set (``POST /v1/prepare`` → ``prepare`` …);
+#: ``metrics`` and ``trace`` are the stream analogues of
+#: ``GET /metrics`` and ``GET /v1/trace/<id>``.
+OPERATIONS = ("prepare", "batch", "stats", "ping", "metrics", "trace")
 
 
 def _camel_to_snake(name: str) -> str:
@@ -309,6 +311,9 @@ async def execute_request(
     op: str,
     payload: Mapping[str, object],
     defaults: Mapping[str, object] | None = None,
+    *,
+    registry=None,
+    tracer=None,
 ) -> object:
     """Run one request against an ``AsyncPreparationService``.
 
@@ -316,11 +321,41 @@ async def execute_request(
     :class:`WireError` for anything refusable.  Per-job failures do
     *not* raise — they come back as failure outcomes inside the
     result, mirroring ``run_batch``.
+
+    ``registry`` and ``tracer`` back the observability operations:
+    ``metrics`` returns the registry's dict snapshot, ``trace``
+    returns the retained span tree of the request id named by the
+    payload's ``trace_id`` field; both answer ``not_found`` when the
+    server has no registry/tracer attached.
     """
     if op == "ping":
         return {"pong": True, "v": PROTOCOL_VERSION}
     if op == "stats":
         return service.stats().to_dict()
+    if op == "metrics":
+        if registry is None:
+            raise WireError(
+                "not_found", "no metrics registry on this server"
+            )
+        return registry.snapshot()
+    if op == "trace":
+        if tracer is None:
+            raise WireError(
+                "not_found", "tracing is not enabled on this server"
+            )
+        trace_id = payload.get("trace_id")
+        if trace_id is None:
+            raise WireError(
+                "bad_request",
+                "the 'trace' operation needs a 'trace_id' field",
+            )
+        trace = tracer.get(trace_id)
+        if trace is None:
+            raise WireError(
+                "not_found",
+                f"no retained trace for request id {trace_id!r}",
+            )
+        return trace.to_dict()
     if op == "prepare":
         job, include_circuit = parse_prepare_payload(payload, defaults)
         try:

@@ -20,6 +20,7 @@ idle connections are closed, and only then is the service drained.
 from __future__ import annotations
 
 import asyncio
+import time
 
 from repro.net.base import CLOSING, StreamServer
 from repro.net.protocol import (
@@ -32,6 +33,9 @@ from repro.net.protocol import (
 )
 
 __all__ = ["TcpServer"]
+
+#: Operations traced end-to-end (matching the HTTP front end).
+_TRACED_OPS = frozenset({"prepare", "batch"})
 
 #: Per-line byte bound; also the StreamReader limit, so an unbounded
 #: line aborts the read instead of growing without limit.
@@ -60,7 +64,14 @@ class TcpServer(StreamServer):
             exactly as in the HTTP server.
         drain_timeout: Seconds ``stop()`` waits for in-flight
             handlers before cancelling them (``None`` = forever).
+        metrics: Registry wire metrics are published into; also
+            served by the ``metrics`` operation (see
+            :class:`~repro.net.base.StreamServer`).
+        tracer: Tracer for end-to-end request tracing; retained
+            traces are served by the ``trace`` operation.
     """
+
+    transport = "tcp"
 
     def __init__(
         self,
@@ -72,11 +83,15 @@ class TcpServer(StreamServer):
         max_inflight_requests: int = _DEFAULT_MAX_INFLIGHT,
         job_defaults=None,
         drain_timeout: float | None = 30.0,
+        metrics=None,
+        tracer=None,
     ):
         super().__init__(
             service, host, port,
             job_defaults=job_defaults,
             drain_timeout=drain_timeout,
+            metrics=metrics,
+            tracer=tracer,
         )
         self.max_line_bytes = max_line_bytes
         self.max_inflight_requests = max_inflight_requests
@@ -175,30 +190,85 @@ class TcpServer(StreamServer):
                 continue
             return line
 
+    async def _execute(self, op: str, request: dict) -> object:
+        return await execute_request(
+            self.service, op, request,
+            defaults=self.job_defaults,
+            registry=self.metrics,
+            tracer=self.tracer,
+        )
+
     async def _serve_line(self, line, writer, write_lock) -> None:
         request_id = None
+        started = self._request_begin()
+        op_label = "invalid"
+        trace = None
+        failed_code = None
         try:
+            parse_started = time.perf_counter()
             request = decode_line(line)
+            parse_elapsed = time.perf_counter() - parse_started
             request_id = request.get("id")
             op = request.get("op")
             if not isinstance(op, str):
                 raise WireError(
                     "bad_request", "request needs a string 'op' field"
                 )
-            result = await execute_request(
-                self.service, op, request, defaults=self.job_defaults
-            )
+            op_label = op
+            if self.tracer is not None and op in _TRACED_OPS:
+                with self.tracer.request(
+                    request_id, transport="tcp"
+                ) as trace:
+                    if trace is not None:
+                        trace.add_span(
+                            "parse", start=0.0, duration=parse_elapsed
+                        )
+                    result = await self._execute(op, request)
+            else:
+                result = await self._execute(op, request)
+            if (
+                trace is not None
+                and isinstance(result, dict)
+                and result.get("ok") is False
+            ):
+                failure = result.get("error") or {}
+                trace.set_error(
+                    failure.get("code", "internal"),
+                    failure.get("message", ""),
+                )
             envelope = result_envelope(result, request_id=request_id)
         except WireError as error:
+            if trace is not None:
+                trace.set_error(error.code, str(error))
             envelope = error_envelope(error, request_id=request_id)
+            failed_code = error.code
         except Exception as error:  # noqa: BLE001 - wire boundary
-            envelope = error_envelope(
-                WireError.from_exception(error), request_id=request_id
+            wire = WireError.from_exception(error)
+            if trace is not None:
+                trace.set_error(wire.code, str(wire))
+            envelope = error_envelope(wire, request_id=request_id)
+            failed_code = wire.code
+        serialize_span = (
+            trace.begin_span("serialize", parent=trace.find("request"))
+            if trace is not None else None
+        )
+        try:
+            async with write_lock:
+                writer.write(encode_line(envelope))
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            if serialize_span is not None:
+                serialize_span.finish()
+            self._request_end(
+                op_label, started,
+                error_code=failed_code,
+                request_id=(
+                    request_id if request_id is not None
+                    else (
+                        trace.request_id if trace is not None else None
+                    )
+                ),
             )
-        self.requests_served += 1
-        async with write_lock:
-            writer.write(encode_line(envelope))
-            try:
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass

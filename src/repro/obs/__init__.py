@@ -1,0 +1,57 @@
+"""Observability for the serving stack: metrics, tracing, logging.
+
+Dependency-free (stdlib only), three modules:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with thread-safe
+  counters, gauges, and fixed-bucket histograms; snapshot as a dict or
+  as the Prometheus text exposition format (``GET /metrics``),
+* :mod:`repro.obs.tracing` — :class:`Tracer`/:class:`Trace`/
+  :class:`Span`: a per-request span ledger carried across tasks and
+  worker threads via ``contextvars``, retained in a bounded ring
+  (``GET /v1/trace/<id>``),
+* :mod:`repro.obs.log` — structured line-JSON logging with a
+  human-readable fallback (``serve --log-json`` / ``--log-level``).
+
+See ``docs/observability.md`` for the metric catalogue, span taxonomy,
+and log schema.
+"""
+
+from repro.obs import log
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    iter_prometheus_lines,
+    quantile_from_buckets,
+)
+from repro.obs.tracing import (
+    CURRENT_SPAN,
+    CURRENT_TRACE,
+    DISPATCH_TRACES,
+    Span,
+    Trace,
+    Tracer,
+    current_trace,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "CURRENT_SPAN",
+    "CURRENT_TRACE",
+    "Counter",
+    "DISPATCH_TRACES",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace",
+    "iter_prometheus_lines",
+    "log",
+    "quantile_from_buckets",
+]

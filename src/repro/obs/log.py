@@ -1,0 +1,206 @@
+"""Structured logging: line-JSON records with a human fallback.
+
+One process-wide sink (configured once, by the CLI or a test) feeds
+any number of named loggers::
+
+    from repro.obs import log
+
+    logger = log.get_logger("net.http")
+    logger.info("http_request", request_id=rid, status=200,
+                duration_ms=12.4)
+
+In JSON mode every record is one compact line —
+``{"ts": ..., "level": "info", "logger": "net.http",
+"event": "http_request", "request_id": ..., ...}`` — greppable and
+machine-parseable; in human mode the same record renders as
+``2026-08-07T12:00:00.000Z INFO  net.http http_request request_id=…``.
+
+Records go to **stderr** by default, so they never contaminate the
+CLI's stdout protocol (``--json`` blobs, the ``listening on`` line).
+The stream is resolved at emit time when configured by name
+(``"stderr"``/``"stdout"``), so test harnesses that swap
+``sys.stderr`` capture records without re-configuring.
+
+Levels are the usual ``debug < info < warning < error``; per-request
+records are emitted at ``debug`` so an idle default (``info``) stays
+quiet under load.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+
+__all__ = [
+    "LEVELS",
+    "Logger",
+    "configure",
+    "get_logger",
+    "set_stream",
+]
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _format_timestamp(seconds: float) -> str:
+    whole = time.strftime(
+        "%Y-%m-%dT%H:%M:%S", time.gmtime(seconds)
+    )
+    return f"{whole}.{int((seconds % 1) * 1000):03d}Z"
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(val) for key, val in value.items()}
+    return repr(value)
+
+
+class _Sink:
+    """The process-wide record formatter/writer (one lock, one stream)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.level = LEVELS["info"]
+        self.json_mode = False
+        self._stream: object = "stderr"
+
+    def _resolve_stream(self):
+        if self._stream == "stderr":
+            return sys.stderr
+        if self._stream == "stdout":
+            return sys.stdout
+        return self._stream
+
+    def configure(
+        self,
+        level: str | None = None,
+        *,
+        json_mode: bool | None = None,
+        stream=None,
+    ) -> None:
+        with self._lock:
+            if level is not None:
+                if level not in LEVELS:
+                    raise ValueError(
+                        f"unknown log level {level!r}; "
+                        f"expected one of {sorted(LEVELS)}"
+                    )
+                self.level = LEVELS[level]
+            if json_mode is not None:
+                self.json_mode = json_mode
+            if stream is not None:
+                self._stream = stream
+
+    def enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= self.level
+
+    def emit(self, level: str, logger: str, event: str, fields: dict):
+        now = time.time()
+        if self.json_mode:
+            record = {
+                "ts": _format_timestamp(now),
+                "level": level,
+                "logger": logger,
+                "event": event,
+            }
+            for key, value in fields.items():
+                if key not in record:
+                    record[key] = _json_safe(value)
+            line = json.dumps(record, separators=(",", ":"))
+        else:
+            rendered = " ".join(
+                f"{key}={self._render_value(value)}"
+                for key, value in fields.items()
+            )
+            line = (
+                f"{_format_timestamp(now)} {level.upper():<7} "
+                f"{logger} {event}"
+                + (f" {rendered}" if rendered else "")
+            )
+        with self._lock:
+            stream = self._resolve_stream()
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError, io.UnsupportedOperation):
+                # A closed/captured stream must never take the serving
+                # stack down with it.
+                pass
+
+    @staticmethod
+    def _render_value(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.6g}"
+        text = str(value)
+        if " " in text or text == "":
+            return json.dumps(text)
+        return text
+
+
+_SINK = _Sink()
+
+
+def configure(
+    level: str | None = None,
+    *,
+    json_mode: bool | None = None,
+    stream=None,
+) -> None:
+    """(Re)configure the process-wide sink.
+
+    Args:
+        level: Minimum level name (``"debug"``…``"error"``).
+        json_mode: ``True`` for line-JSON records, ``False`` for the
+            human-readable rendering.
+        stream: A writable file object, or ``"stderr"``/``"stdout"``
+            to resolve the system stream at emit time (the default is
+            ``"stderr"``).
+    """
+    _SINK.configure(level, json_mode=json_mode, stream=stream)
+
+
+def set_stream(stream) -> None:
+    """Point records at ``stream`` (tests use an ``io.StringIO``)."""
+    _SINK.configure(stream=stream)
+
+
+class Logger:
+    """A named emitter bound to the process-wide sink."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def log(self, level: str, event: str, **fields) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        if _SINK.enabled_for(level):
+            _SINK.emit(level, self.name, event, fields)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    def __repr__(self) -> str:
+        return f"Logger({self.name!r})"
+
+
+def get_logger(name: str) -> Logger:
+    """A named logger (cheap; loggers hold no state of their own)."""
+    return Logger(name)

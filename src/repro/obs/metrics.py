@@ -1,0 +1,558 @@
+"""Thread-safe metrics primitives and the per-server registry.
+
+Dependency-free re-implementation of the three Prometheus instrument
+kinds the serving stack needs:
+
+* :class:`Counter` — monotonically increasing totals (requests,
+  per-error-code counts),
+* :class:`Gauge` — instantaneous values (in-flight requests),
+* :class:`Histogram` — fixed-bucket distributions (request latency,
+  micro-batch size, queue wait), with approximate quantile read-back
+  for benchmark reports.
+
+A :class:`MetricsRegistry` owns a set of named metric families, each
+optionally labelled; every mutation happens under one registry lock,
+so instruments can be bumped from the event loop and from engine
+worker threads alike.  Two snapshot forms are offered: a plain nested
+``dict`` (folded into ``serve --json``) and the Prometheus text
+exposition format (served at ``GET /metrics``).
+
+Registries are instantiated per server — nothing here is global — and
+the stack shares one via :class:`~repro.service.AsyncPreparationService`
+(see ``docs/observability.md`` for the metric catalogue).  A registry
+built with ``enabled=False`` hands out no-op instruments, which is how
+the benchmark measures instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
+    "MetricsRegistry",
+    "iter_prometheus_lines",
+    "quantile_from_buckets",
+]
+
+#: Request/queue latency bucket upper bounds, in seconds.  Chosen to
+#: straddle the stack's observed range: sub-millisecond cache hits up
+#: to multi-second cold dense synthesis.  ``+Inf`` is implicit.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Micro-batch size bucket upper bounds (jobs per dispatched batch).
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(
+        ch.isalnum() or ch in "_:" for ch in name
+    ) or name[0].isdigit():
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(
+    label_names: Sequence[str],
+    label_values: Sequence[str],
+    extra: Sequence[tuple[str, str]] = (),
+) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(label_names, label_values)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in extra
+    )
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+) -> float | None:
+    """Approximate the ``q``-quantile of a bucketed distribution.
+
+    ``bounds`` are the finite upper bucket bounds, ``counts`` the
+    per-bucket observation counts (same length plus one trailing
+    overflow bucket).  Linear interpolation inside the winning bucket,
+    exactly as Prometheus' ``histogram_quantile``; returns ``None``
+    for an empty histogram.  The overflow bucket clamps to its lower
+    bound (there is no upper edge to interpolate towards).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            lower = bounds[index - 1] if index > 0 else 0.0
+            if index >= len(bounds):
+                return float(bounds[-1]) if bounds else 0.0
+            upper = bounds[index]
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1]) if bounds else 0.0
+
+
+class _Instrument:
+    """One metric family: a name, help text, and per-label-set series."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        lock: threading.Lock,
+        enabled: bool,
+    ):
+        self.name = _validate_name(name)
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._lock = lock
+        self._enabled = enabled
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _labels_key(self, label_values: Sequence[str]) -> tuple[str, ...]:
+        if len(label_values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {list(self.label_names)}, "
+                f"got {len(label_values)} values"
+            )
+        return tuple(str(value) for value in label_values)
+
+    def snapshot(self) -> dict[str, object]:
+        raise NotImplementedError
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, *label_values: str) -> None:
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        key = self._labels_key(label_values)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def labels(self, *label_values: str) -> "_BoundCounter":
+        """A single-series handle (pre-resolved label values)."""
+        return _BoundCounter(self, self._labels_key(label_values))
+
+    def value(self, *label_values: str) -> float:
+        key = self._labels_key(label_values)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            series = dict(self._series)
+        if not self.label_names:
+            return {"type": self.kind, "value": series.get((), 0)}
+        return {
+            "type": self.kind,
+            "labels": list(self.label_names),
+            "series": {
+                ",".join(key): value for key, value in series.items()
+            },
+        }
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = dict(self._series)
+        if not self.label_names and not series:
+            series = {(): 0}
+        lines = self._header()
+        for key in sorted(series):
+            suffix = _label_suffix(self.label_names, key)
+            lines.append(
+                f"{self.name}{suffix} "
+                f"{_format_value(float(series[key]))}"
+            )
+        return lines
+
+
+class _BoundCounter:
+    __slots__ = ("_counter", "_key")
+
+    def __init__(self, counter: Counter, key: tuple[str, ...]):
+        self._counter = counter
+        self._key = key
+
+    def inc(self, amount: float = 1) -> None:
+        self._counter.inc(amount, *self._key)
+
+
+class Gauge(_Instrument):
+    """An instantaneous value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, *label_values: str) -> None:
+        if not self._enabled:
+            return
+        key = self._labels_key(label_values)
+        with self._lock:
+            self._series[key] = value
+
+    def inc(self, amount: float = 1, *label_values: str) -> None:
+        if not self._enabled:
+            return
+        key = self._labels_key(label_values)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, *label_values: str) -> None:
+        self.inc(-amount, *label_values)
+
+    def value(self, *label_values: str) -> float:
+        key = self._labels_key(label_values)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            series = dict(self._series)
+        if not self.label_names:
+            return {"type": self.kind, "value": series.get((), 0)}
+        return {
+            "type": self.kind,
+            "labels": list(self.label_names),
+            "series": {
+                ",".join(key): value for key, value in series.items()
+            },
+        }
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = dict(self._series)
+        if not self.label_names and not series:
+            series = {(): 0}
+        lines = self._header()
+        for key in sorted(series):
+            suffix = _label_suffix(self.label_names, key)
+            lines.append(
+                f"{self.name}{suffix} "
+                f"{_format_value(float(series[key]))}"
+            )
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * (num_buckets + 1)  # trailing +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution with sum/count and quantile read-back."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Sequence[str],
+        lock: threading.Lock,
+        enabled: bool,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help_text, label_names, lock, enabled)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly "
+                f"increasing and non-empty, got {buckets!r}"
+            )
+        if bounds and bounds[-1] == math.inf:
+            bounds = bounds[:-1]
+        self.bounds = bounds
+
+    def observe(self, value: float, *label_values: str) -> None:
+        if not self._enabled:
+            return
+        key = self._labels_key(label_values)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.bounds)
+                )
+            series.counts[index] += 1
+            series.total += value
+            series.count += 1
+
+    def labels(self, *label_values: str) -> "_BoundHistogram":
+        return _BoundHistogram(self, self._labels_key(label_values))
+
+    def quantile(self, q: float, *label_values: str) -> float | None:
+        """Approximate ``q``-quantile of one series (``None`` if empty)."""
+        key = self._labels_key(label_values)
+        with self._lock:
+            series = self._series.get(key)
+            counts = list(series.counts) if series is not None else []
+        if not counts:
+            return None
+        return quantile_from_buckets(self.bounds, counts, q)
+
+    def count(self, *label_values: str) -> int:
+        key = self._labels_key(label_values)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series is not None else 0
+
+    def _snapshot_series(self) -> dict[tuple[str, ...], dict]:
+        with self._lock:
+            return {
+                key: {
+                    "buckets": list(series.counts),
+                    "sum": series.total,
+                    "count": series.count,
+                }
+                for key, series in self._series.items()
+            }
+
+    def snapshot(self) -> dict[str, object]:
+        series = self._snapshot_series()
+        body: dict[str, object] = {
+            "type": self.kind,
+            "bounds": list(self.bounds),
+        }
+        if not self.label_names:
+            body.update(series.get(
+                (), {"buckets": [], "sum": 0.0, "count": 0}
+            ))
+            return body
+        body["labels"] = list(self.label_names)
+        body["series"] = {
+            ",".join(key): value for key, value in series.items()
+        }
+        return body
+
+    def render(self) -> list[str]:
+        series = self._snapshot_series()
+        if not self.label_names and not series:
+            series = {(): {
+                "buckets": [0] * (len(self.bounds) + 1),
+                "sum": 0.0, "count": 0,
+            }}
+        lines = self._header()
+        for key in sorted(series):
+            data = series[key]
+            cumulative = 0
+            for bound, count in zip(
+                list(self.bounds) + [math.inf], data["buckets"]
+            ):
+                cumulative += count
+                suffix = _label_suffix(
+                    self.label_names, key,
+                    extra=(("le", _format_value(bound)),),
+                )
+                lines.append(
+                    f"{self.name}_bucket{suffix} {cumulative}"
+                )
+            plain = _label_suffix(self.label_names, key)
+            lines.append(
+                f"{self.name}_sum{plain} "
+                f"{_format_value(float(data['sum']))}"
+            )
+            lines.append(f"{self.name}_count{plain} {data['count']}")
+        return lines
+
+
+class _BoundHistogram:
+    __slots__ = ("_histogram", "_key")
+
+    def __init__(self, histogram: Histogram, key: tuple[str, ...]):
+        self._histogram = histogram
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._histogram.observe(value, *self._key)
+
+
+class MetricsRegistry:
+    """A named collection of metric families, snapshot-able two ways.
+
+    Args:
+        enabled: ``False`` hands out instruments whose mutators are
+            no-ops (creation/registration still works), so a caller
+            can measure the stack with instrumentation compiled out —
+            the benchmark's overhead baseline.
+
+    Collector callbacks (:meth:`register_collector`) let a component
+    expose counters it already maintains — the engine's lifetime cache
+    counters, the server's uptime — without double bookkeeping: each
+    callback runs at snapshot/render time and returns
+    ``(name, kind, help, value)`` sample tuples.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Instrument] = {}
+        self._collectors: list = []
+
+    # ------------------------------------------------------------------
+    # Instrument factories (idempotent per name)
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or (
+                    existing.label_names != tuple(labels)
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.label_names)}"
+                    )
+                return existing
+            metric = cls(
+                name, help_text, labels, threading.Lock(),
+                self.enabled, **kwargs,
+            )
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "",
+        labels: Sequence[str] = (),
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "",
+        labels: Sequence[str] = (),
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(
+        self, name: str, help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_collector(self, callback) -> None:
+        """Register a scrape-time sample source.
+
+        ``callback`` takes no arguments and returns an iterable of
+        ``(name, kind, help_text, value)`` tuples (kind is
+        ``"counter"`` or ``"gauge"``).  Exceptions in a collector are
+        propagated — a broken collector should fail the scrape loudly,
+        not silently ship partial metrics.
+        """
+        with self._lock:
+            self._collectors.append(callback)
+
+    def _collect(self) -> list[tuple[str, str, str, float]]:
+        with self._lock:
+            collectors = list(self._collectors)
+        samples: list[tuple[str, str, str, float]] = []
+        for callback in collectors:
+            samples.extend(callback())
+        return samples
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """All metrics as one JSON-ready dict (collectors included)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        payload = {
+            name: metric.snapshot()
+            for name, metric in sorted(metrics.items())
+        }
+        for name, kind, _help, value in self._collect():
+            payload[name] = {"type": kind, "value": value}
+        return payload
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: list[str] = []
+        for name in sorted(metrics):
+            lines.extend(metrics[name].render())
+        for name, kind, help_text, value in sorted(self._collect()):
+            lines.append(f"# HELP {_validate_name(name)} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {_format_value(float(value))}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._metrics)} metrics, "
+            f"{'enabled' if self.enabled else 'disabled'})"
+        )
+
+
+def iter_prometheus_lines(text: str) -> Iterable[str]:
+    """Yield the non-comment sample lines of an exposition blob."""
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            yield line

@@ -1,0 +1,370 @@
+"""End-to-end request tracing: one span tree per request id.
+
+A :class:`Trace` is created at the wire layer — keyed by the client's
+envelope ``id`` / ``X-Repro-Request-Id`` header, or a generated id —
+and carried across the stack via :data:`contextvars`:
+
+* the request handler task holds :data:`CURRENT_TRACE` while it
+  parses, awaits the service, and serialises;
+* ``service.submit`` captures the trace into the queued job, so the
+  queue-wait and dispatch spans land on the right request even though
+  the dispatcher runs in its own task;
+* the dispatch coroutine plants the batch's traces in
+  :data:`DISPATCH_TRACES` immediately before ``asyncio.to_thread``,
+  whose context copy carries them into the engine's worker thread;
+* the engine re-establishes :data:`CURRENT_TRACE` per job, so the
+  :class:`~repro.pipeline.Pipeline` runner can record one span per
+  pass without knowing anything about requests.
+
+Span taxonomy (see ``docs/observability.md``): the root ``request``
+span contains ``parse``, ``queue_wait``, ``dispatch`` and
+``serialize``; ``dispatch`` contains ``execute`` (a cache miss running
+the pipeline — with one child span per pipeline pass) or ``cache_hit``.
+
+The :class:`Tracer` keeps a bounded ring of recently finished traces
+(``GET /v1/trace/<id>`` serves them), so tracing memory is O(capacity)
+regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "CURRENT_SPAN",
+    "CURRENT_TRACE",
+    "DISPATCH_TRACES",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_trace",
+]
+
+#: The trace of the request being handled in this context, if any.
+CURRENT_TRACE: contextvars.ContextVar["Trace | None"] = (
+    contextvars.ContextVar("repro_obs_current_trace", default=None)
+)
+
+#: The span new child spans should attach under in this context.
+CURRENT_SPAN: contextvars.ContextVar["Span | None"] = (
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+)
+
+#: Per-batch ``(trace, parent_span)`` pairs, parallel to the jobs the
+#: service hands ``engine.run_batch``.  Set by the dispatch coroutine
+#: right before ``asyncio.to_thread`` so the context copy ships it
+#: into the worker thread; ``None`` entries mean "job not traced".
+DISPATCH_TRACES: contextvars.ContextVar[
+    "tuple[tuple[Trace, Span] | None, ...] | None"
+] = contextvars.ContextVar("repro_obs_dispatch_traces", default=None)
+
+_ids = itertools.count(1)
+
+
+def current_trace() -> "Trace | None":
+    """The trace of the calling context (``None`` when untraced)."""
+    return CURRENT_TRACE.get()
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    Attributes:
+        name: Operation name (``"parse"``, ``"dispatch"``,
+            ``"stage:build"`` …).
+        start: Offset from the trace start, in seconds.
+        duration: Wall time, in seconds (``None`` while open).
+        parent: The enclosing span, or ``None`` for a root span.
+        attributes: Free-form string/number annotations.
+    """
+
+    __slots__ = (
+        "name", "start", "duration", "parent", "attributes", "_trace"
+    )
+
+    def __init__(
+        self,
+        trace: "Trace",
+        name: str,
+        start: float,
+        parent: "Span | None" = None,
+        attributes: dict | None = None,
+    ):
+        self._trace = trace
+        self.name = name
+        self.start = start
+        self.duration: float | None = None
+        self.parent = parent
+        self.attributes = dict(attributes or {})
+
+    def finish(self, end: float | None = None) -> "Span":
+        """Close the span (idempotent); ``end`` is a perf_counter value."""
+        if self.duration is None:
+            reference = self._trace._origin
+            now = time.perf_counter() if end is None else end
+            self.duration = max(0.0, (now - reference) - self.start)
+        return self
+
+    def annotate(self, **attributes) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict:
+        body: dict[str, object] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": (
+                round(self.duration, 9)
+                if self.duration is not None else None
+            ),
+        }
+        if self.attributes:
+            body["attributes"] = dict(self.attributes)
+        return body
+
+    def __repr__(self) -> str:
+        state = (
+            f"{self.duration * 1e3:.2f}ms"
+            if self.duration is not None else "open"
+        )
+        return f"Span({self.name}, {state})"
+
+
+class Trace:
+    """The span ledger of one request.
+
+    Spans are appended from the event loop and from engine worker
+    threads; every mutation happens under the trace's own lock.
+    """
+
+    def __init__(self, request_id: str, transport: str = ""):
+        self.request_id = request_id
+        self.transport = transport
+        self.started_at = time.time()
+        self._origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self.error: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        name: str,
+        parent: Span | None = None,
+        *,
+        start: float | None = None,
+        **attributes,
+    ) -> Span:
+        """Open a span (caller must :meth:`Span.finish` it).
+
+        ``parent`` defaults to the context's :data:`CURRENT_SPAN` when
+        that span belongs to this trace.  ``start`` is an absolute
+        ``time.perf_counter()`` value (default: now).
+        """
+        if parent is None:
+            candidate = CURRENT_SPAN.get()
+            if candidate is not None and candidate._trace is self:
+                parent = candidate
+        at = time.perf_counter() if start is None else start
+        span = Span(
+            self, name, max(0.0, at - self._origin),
+            parent=parent, attributes=attributes,
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Span | None = None, **attributes):
+        """Context manager: open a span, make it the context's current
+        span, finish it on exit."""
+        opened = self.begin_span(name, parent=parent, **attributes)
+        token = CURRENT_SPAN.set(opened)
+        try:
+            yield opened
+        finally:
+            CURRENT_SPAN.reset(token)
+            opened.finish()
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        duration: float,
+        parent: Span | None = None,
+        **attributes,
+    ) -> Span:
+        """Record an already-measured span (offset + duration in
+        seconds relative to the trace start).  ``parent`` defaults to
+        the context's current span when it belongs to this trace."""
+        if parent is None:
+            candidate = CURRENT_SPAN.get()
+            if candidate is not None and candidate._trace is self:
+                parent = candidate
+        span = Span(
+            self, name, max(0.0, start),
+            parent=parent, attributes=attributes,
+        )
+        span.duration = max(0.0, duration)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def offset(self, at: float | None = None) -> float:
+        """A ``perf_counter`` instant as an offset from the trace start."""
+        now = time.perf_counter() if at is None else at
+        return max(0.0, now - self._origin)
+
+    def set_error(self, code: str, message: str) -> None:
+        """Mark the whole request as failed (wire-level refusals)."""
+        self.error = {"code": code, "message": message}
+
+    # ------------------------------------------------------------------
+    # Read-back
+    # ------------------------------------------------------------------
+    def span_names(self) -> list[str]:
+        with self._lock:
+            return [span.name for span in self._spans]
+
+    def find(self, name: str) -> Span | None:
+        with self._lock:
+            for span in self._spans:
+                if span.name == name:
+                    return span
+        return None
+
+    def duration(self) -> float:
+        """Wall time covered so far (root span end, or last span end)."""
+        with self._lock:
+            spans = list(self._spans)
+        if not spans:
+            return 0.0
+        return max(
+            span.start + (span.duration or 0.0) for span in spans
+        )
+
+    def to_dict(self) -> dict:
+        """The whole trace as a JSON-ready nested span tree."""
+        with self._lock:
+            spans = list(self._spans)
+        nodes = [span.to_dict() for span in spans]
+        index = {id(span): node for span, node in zip(spans, nodes)}
+        roots: list[dict] = []
+        for span, node in zip(spans, nodes):
+            parent_node = (
+                index.get(id(span.parent))
+                if span.parent is not None else None
+            )
+            if parent_node is None:
+                roots.append(node)
+            else:
+                parent_node.setdefault("children", []).append(node)
+        body: dict[str, object] = {
+            "request_id": self.request_id,
+            "transport": self.transport,
+            "started_at": self.started_at,
+            "duration": round(self.duration(), 9),
+            "spans": roots,
+        }
+        if self.error is not None:
+            body["error"] = dict(self.error)
+        return body
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.request_id!r}, {len(self._spans)} spans)"
+        )
+
+
+class Tracer:
+    """Factory and bounded ring buffer of recent traces.
+
+    Args:
+        capacity: Traces retained for ``GET /v1/trace/<id>``; the
+            oldest is evicted when a new one arrives (>= 1).  A
+            request id seen again replaces its previous trace.
+        enabled: ``False`` makes :meth:`start` return ``None`` so the
+            stack runs untraced (the instrumentation points all
+            tolerate a ``None`` trace).
+    """
+
+    def __init__(self, capacity: int = 256, *, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError(
+                f"trace capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._traces: dict[str, Trace] = {}
+
+    def new_request_id(self) -> str:
+        """A process-unique generated request id."""
+        return f"req-{next(_ids):06d}"
+
+    def start(
+        self, request_id: object = None, transport: str = ""
+    ) -> Trace | None:
+        """Create (and retain) a trace for ``request_id``.
+
+        ``None``/empty ids get a generated one.  Returns ``None`` when
+        the tracer is disabled.
+        """
+        if not self.enabled:
+            return None
+        rid = (
+            str(request_id)
+            if request_id is not None and str(request_id) != ""
+            else self.new_request_id()
+        )
+        trace = Trace(rid, transport=transport)
+        with self._lock:
+            self._traces.pop(rid, None)
+            self._traces[rid] = trace
+            while len(self._traces) > self.capacity:
+                self._traces.pop(next(iter(self._traces)))
+        return trace
+
+    def get(self, request_id: object) -> Trace | None:
+        with self._lock:
+            return self._traces.get(str(request_id))
+
+    def ids(self) -> list[str]:
+        """Retained request ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    @contextmanager
+    def request(self, request_id: object = None, transport: str = ""):
+        """Wire-layer entry point: open the root ``request`` span and
+        install the trace in the calling context.
+
+        Yields the :class:`Trace` (or ``None`` when disabled); the
+        root span is finished and the context restored on exit.
+        """
+        trace = self.start(request_id, transport=transport)
+        if trace is None:
+            yield None
+            return
+        root = trace.begin_span("request")
+        trace_token = CURRENT_TRACE.set(trace)
+        span_token = CURRENT_SPAN.set(root)
+        try:
+            yield trace
+        finally:
+            CURRENT_SPAN.reset(span_token)
+            CURRENT_TRACE.reset(trace_token)
+            root.finish()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self._traces)}/{self.capacity} traces, "
+            f"{'enabled' if self.enabled else 'disabled'})"
+        )

@@ -21,6 +21,7 @@ from repro.core.preparation import PreparationResult
 from repro.core.report import SynthesisReport
 from repro.dd import metrics
 from repro.exceptions import PipelineError
+from repro.obs.tracing import current_trace
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.context import PipelineContext
 from repro.pipeline.passes import (
@@ -91,7 +92,13 @@ class Pipeline:
 
         Lets callers resume mid-flight contexts — e.g. re-running just
         the approximation stage per threshold on one built diagram.
+
+        When the calling context carries a request trace (the engine
+        establishes one per traced job), every pass is also recorded
+        as a ``stage:<name>`` span, so one slow request shows its
+        pipeline breakdown in the span tree.
         """
+        trace = current_trace()
         for stage in self.passes:
             start = time.perf_counter()
             result = stage.run(context)
@@ -103,6 +110,12 @@ class Pipeline:
                 )
             context = result
             context.record(stage.name, elapsed)
+            if trace is not None:
+                trace.add_span(
+                    f"stage:{stage.name}",
+                    start=trace.offset(start),
+                    duration=elapsed,
+                )
         return context
 
     def prepare(

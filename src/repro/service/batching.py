@@ -15,20 +15,38 @@ All coordination is plain ``asyncio``; nothing here touches threads.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 
 from repro.engine.jobs import PreparationJob
 from repro.exceptions import EngineError
+from repro.obs.tracing import Span, Trace, current_trace
 
 __all__ = ["BatchQueueStats", "MicroBatchQueue", "QueuedJob"]
 
 
 @dataclass(frozen=True)
 class QueuedJob:
-    """One enqueued request: the job plus the future its client awaits."""
+    """One enqueued request: the job plus the future its client awaits.
+
+    Attributes:
+        job: The submitted job.
+        future: Resolved with the job's outcome by the dispatcher.
+        trace: The request's :class:`~repro.obs.Trace` when the
+            submitting context was traced (captured at enqueue time,
+            so the dispatcher — a different task — can keep recording
+            spans for the right request).
+        queue_span: The open ``queue_wait`` span; the dispatcher
+            finishes it when the batch leaves the queue.
+        enqueued_at: ``time.perf_counter()`` at enqueue, for the
+            queue-wait histogram.
+    """
 
     job: PreparationJob
     future: asyncio.Future
+    trace: Trace | None = None
+    queue_span: Span | None = None
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -114,7 +132,18 @@ class MicroBatchQueue:
                 "micro-batch queue is closed; no new jobs accepted"
             )
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(QueuedJob(job=job, future=future))
+        trace = current_trace()
+        queue_span = (
+            trace.begin_span("queue_wait")
+            if trace is not None else None
+        )
+        self._queue.put_nowait(QueuedJob(
+            job=job,
+            future=future,
+            trace=trace,
+            queue_span=queue_span,
+            enqueued_at=time.perf_counter(),
+        ))
         self.stats.jobs_enqueued += 1
         return future
 

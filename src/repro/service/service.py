@@ -54,6 +54,9 @@ from repro.engine.jobs import PreparationJob
 from repro.pipeline.pipeline import Pipeline
 from repro.engine.results import BatchResult, JobOutcome
 from repro.exceptions import EngineError
+from repro.obs import log as obs_log
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, MetricsRegistry
+from repro.obs.tracing import DISPATCH_TRACES, Span, Trace
 from repro.service.batching import (
     BatchQueueStats,
     MicroBatchQueue,
@@ -62,6 +65,9 @@ from repro.service.batching import (
 from repro.service.sharding import ShardedCache
 
 __all__ = ["AsyncPreparationService", "ServiceStats"]
+
+
+_LOGGER = obs_log.get_logger("service")
 
 
 def _set_exception_if_pending(
@@ -161,6 +167,13 @@ class AsyncPreparationService:
             concurrently (each shard is guarded by its own dispatch
             lock); batches sharing a shard serialise on it, which
             keeps cache counters identical to serial dispatch.
+        metrics: A :class:`~repro.obs.MetricsRegistry` to publish
+            serving metrics into (queue-wait and micro-batch-size
+            histograms, per-error-type job-failure counts, uptime
+            and queue-depth gauges).  When the default engine is
+            built here it shares the registry; a caller-supplied
+            ``engine`` keeps whatever registry it was built with.
+            ``None`` leaves the service un-instrumented.
 
     The service must be running before ``submit`` is called: either
     ``await service.start()`` / ``await service.stop()`` explicitly,
@@ -180,6 +193,7 @@ class AsyncPreparationService:
         max_batch_size: int = 32,
         max_batch_delay: float = 0.005,
         max_concurrent_batches: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if (
             max_concurrent_batches is not None
@@ -211,9 +225,34 @@ class AsyncPreparationService:
                     capacity=cache_capacity, disk_dir=disk_dir
                 )
             engine = PreparationEngine(
-                cache=cache, executor=executor, pipeline=pipeline
+                cache=cache,
+                executor=executor,
+                pipeline=pipeline,
+                metrics=metrics,
             )
         self.engine = engine
+        self.metrics = metrics
+        self._queue_wait = None
+        self._batch_size = None
+        self._job_failures = None
+        if metrics is not None:
+            self._queue_wait = metrics.histogram(
+                "repro_queue_wait_seconds",
+                "Time a job spent in the micro-batch queue before "
+                "its batch was dispatched.",
+            )
+            self._batch_size = metrics.histogram(
+                "repro_batch_size",
+                "Jobs per dispatched micro-batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._job_failures = metrics.counter(
+                "repro_job_failures_total",
+                "Jobs that came back as failures, by error type.",
+                labels=("error",),
+            )
+            metrics.register_collector(self._collect_samples)
+        self._started_monotonic: float | None = None
         self._max_batch_size = max_batch_size
         self._max_batch_delay = max_batch_delay
         self._num_shard_locks = max(
@@ -249,6 +288,8 @@ class AsyncPreparationService:
         """Start the dispatch loop; idempotent while running."""
         if self.running:
             return self
+        if self._started_monotonic is None:
+            self._started_monotonic = time.monotonic()
         if self._queue is not None:
             self._retired_stats = self._retired_stats.merged(
                 self._queue.stats
@@ -343,6 +384,34 @@ class AsyncPreparationService:
             outcomes=tuple(outcomes),
             wall_time=time.perf_counter() - start,
         )
+
+    def uptime(self) -> float:
+        """Seconds since the service first started (0.0 before)."""
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    def queue_depth(self) -> int:
+        """Jobs accepted but not yet handed to a dispatch task."""
+        return self._queue.pending() if self._queue is not None else 0
+
+    def _collect_samples(self):
+        """Scrape-time samples of counters the service already keeps."""
+        stats = self.stats()
+        return [
+            ("repro_service_uptime_seconds", "gauge",
+             "Seconds since the service first started.",
+             self.uptime()),
+            ("repro_queue_depth", "gauge",
+             "Jobs waiting in the micro-batch queue right now.",
+             self.queue_depth()),
+            ("repro_batches_dispatched_total", "counter",
+             "Micro-batches shipped to the engine.",
+             stats.batches_dispatched),
+            ("repro_largest_batch", "gauge",
+             "Biggest micro-batch formed so far.",
+             stats.largest_batch),
+        ]
 
     def stats(self) -> ServiceStats:
         """Snapshot of serving-layer and engine counters."""
@@ -577,12 +646,56 @@ class AsyncPreparationService:
             for lock in reversed(acquired):
                 lock.release()
 
+    def _begin_dispatch(
+        self, batch: list[QueuedJob]
+    ) -> tuple[list["tuple[Trace, Span] | None"], list[Span]]:
+        """Close the batch's queue-wait spans, open its dispatch spans.
+
+        Returns the per-job ``(trace, dispatch_span)`` pairs (``None``
+        for untraced jobs) to plant in :data:`DISPATCH_TRACES`, plus
+        the opened spans so the caller can finish them.
+        """
+        now = time.perf_counter()
+        traces: list[tuple[Trace, Span] | None] = []
+        spans: list[Span] = []
+        for queued in batch:
+            if queued.queue_span is not None:
+                queued.queue_span.finish(now)
+            if self._queue_wait is not None and queued.enqueued_at:
+                self._queue_wait.observe(
+                    max(0.0, now - queued.enqueued_at)
+                )
+            if queued.trace is None:
+                traces.append(None)
+                continue
+            span = queued.trace.begin_span(
+                "dispatch",
+                parent=(
+                    queued.queue_span.parent
+                    if queued.queue_span is not None else None
+                ),
+                start=now,
+                batch_size=len(batch),
+            )
+            traces.append((queued.trace, span))
+            spans.append(span)
+        if self._batch_size is not None:
+            self._batch_size.observe(len(batch))
+        return traces, spans
+
     async def _dispatch(
         self,
         batch: list[QueuedJob],
         keys: list[str | None] | None = None,
     ) -> None:
         jobs = [queued.job for queued in batch]
+        traces, dispatch_spans = self._begin_dispatch(batch)
+        # Plant the per-job traces in this context: asyncio.to_thread
+        # copies it, carrying them into the engine's worker thread.
+        token = (
+            DISPATCH_TRACES.set(tuple(traces))
+            if dispatch_spans else None
+        )
         try:
             if keys is not None and self._engine_accepts_keys():
                 result = await asyncio.to_thread(
@@ -605,9 +718,25 @@ class AsyncPreparationService:
             # dispatcher has observed the death.
             _fail_batch_later(batch, error)
             raise
+        finally:
+            if token is not None:
+                DISPATCH_TRACES.reset(token)
+            for span in dispatch_spans:
+                span.finish()
+        failed = 0
         for queued, outcome in zip(batch, result.outcomes):
+            if not outcome.ok:
+                failed += 1
+                if self._job_failures is not None:
+                    self._job_failures.labels(outcome.error_type).inc()
             if not queued.future.done():
                 queued.future.set_result(outcome)
+        _LOGGER.debug(
+            "batch_dispatched",
+            jobs=len(batch),
+            failed=failed,
+            duration=round(result.wall_time, 6),
+        )
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"

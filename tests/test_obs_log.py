@@ -1,0 +1,123 @@
+"""Tests for :mod:`repro.obs.log`."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture
+def sink():
+    """Point the process-wide sink at a buffer; restore defaults after."""
+    buffer = io.StringIO()
+    log.configure("debug", json_mode=True, stream=buffer)
+    yield buffer
+    log.configure("info", json_mode=False, stream="stderr")
+
+
+def _records(buffer: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in buffer.getvalue().splitlines() if line
+    ]
+
+
+class TestJsonMode:
+    def test_record_shape(self, sink):
+        log.get_logger("net.http").info(
+            "http_request", request_id="r1", status=200,
+            duration_ms=12.4,
+        )
+        (record,) = _records(sink)
+        assert record["level"] == "info"
+        assert record["logger"] == "net.http"
+        assert record["event"] == "http_request"
+        assert record["request_id"] == "r1"
+        assert record["status"] == 200
+        assert record["duration_ms"] == 12.4
+        assert record["ts"].endswith("Z")
+
+    def test_one_compact_line_per_record(self, sink):
+        logger = log.get_logger("svc")
+        logger.info("first")
+        logger.info("second", nested={"a": [1, 2]})
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert ": " not in lines[1]        # compact separators
+
+    def test_reserved_keys_not_clobbered(self, sink):
+        log.get_logger("svc").info("evt", ts="fake", logger="fake")
+        (record,) = _records(sink)
+        assert record["ts"] != "fake"
+        assert record["logger"] == "svc"
+        assert record["event"] == "evt"
+
+    def test_unserialisable_values_fall_back_to_repr(self, sink):
+        log.get_logger("svc").info("evt", value=object())
+        (record,) = _records(sink)
+        assert isinstance(record["value"], str)
+
+
+class TestHumanMode:
+    def test_rendering(self):
+        buffer = io.StringIO()
+        log.configure("debug", json_mode=False, stream=buffer)
+        try:
+            log.get_logger("engine").warning(
+                "batch_failed", jobs=3, note="two words"
+            )
+        finally:
+            log.configure("info", stream="stderr")
+        line = buffer.getvalue()
+        assert "WARNING" in line
+        assert "engine batch_failed" in line
+        assert "jobs=3" in line
+        assert 'note="two words"' in line
+
+
+class TestLevels:
+    def test_below_threshold_suppressed(self, sink):
+        log.configure("warning")
+        logger = log.get_logger("svc")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warning("loud")
+        logger.error("loud")
+        assert [r["level"] for r in _records(sink)] == [
+            "warning", "error",
+        ]
+
+    def test_unknown_level_rejected(self, sink):
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.configure("verbose")
+        with pytest.raises(ValueError, match="unknown log level"):
+            log.get_logger("svc").log("verbose", "evt")
+
+
+class TestSink:
+    def test_set_stream_redirects(self, sink):
+        other = io.StringIO()
+        log.set_stream(other)
+        log.get_logger("svc").info("evt")
+        assert sink.getvalue() == ""
+        assert "evt" in other.getvalue()
+
+    def test_closed_stream_swallowed(self, sink):
+        closed = io.StringIO()
+        closed.close()
+        log.set_stream(closed)
+        log.get_logger("svc").info("evt")   # must not raise
+
+    def test_named_stream_resolved_at_emit_time(self, capsys):
+        log.configure("debug", json_mode=True, stream="stderr")
+        try:
+            # pytest's capsys has already swapped sys.stderr; lazy
+            # resolution means the record lands in the capture.
+            log.get_logger("svc").info("lazy_evt")
+        finally:
+            log.configure("info", json_mode=False, stream="stderr")
+        assert "lazy_evt" in capsys.readouterr().err

@@ -1,0 +1,282 @@
+"""Tests for :mod:`repro.obs.metrics`."""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    iter_prometheus_lines,
+    quantile_from_buckets,
+)
+
+#: One Prometheus text-format sample line: a metric name, an optional
+#: label set, and a value (integer, float, or +Inf).
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="([^"\\\n]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="([^"\\\n]|\\.)*")*\})?'
+    r' (\+Inf|-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$'
+)
+
+_COMMENT_LINE = re.compile(
+    r"^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|untyped))$"
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labelled_series(self):
+        counter = MetricsRegistry().counter(
+            "errors_total", labels=("code",)
+        )
+        counter.labels("bad_json").inc()
+        counter.labels("bad_json").inc()
+        counter.labels("too_large").inc()
+        assert counter.value("bad_json") == 2
+        assert counter.value("too_large") == 1
+        assert counter.value("unseen") == 0
+
+    def test_wrong_label_arity(self):
+        counter = MetricsRegistry().counter(
+            "errors_total", labels=("code",)
+        )
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+
+class TestHistogram:
+    def test_count_and_sum(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 2.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == pytest.approx(2.55)
+        assert snapshot["buckets"] == [1, 1, 1]
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are upper-inclusive (le = less-or-equal).
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 2.0)
+        )
+        histogram.observe(1.0)
+        assert histogram.snapshot()["buckets"] == [1, 0, 0]
+
+    def test_quantile(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 2.0, 4.0)
+        )
+        for _ in range(100):
+            histogram.observe(0.5)
+        # All mass in the first bucket: every quantile interpolates
+        # inside (0, 1].
+        assert 0.0 < histogram.quantile(0.5) <= 1.0
+        assert histogram.quantile(0.99) <= 1.0
+
+    def test_quantile_empty_is_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) is None
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestQuantileFromBuckets:
+    def test_linear_interpolation(self):
+        # 10 observations uniform in the (1, 2] bucket.
+        value = quantile_from_buckets((1.0, 2.0), [0, 10, 0], 0.5)
+        assert value == pytest.approx(1.5)
+
+    def test_overflow_bucket_clamps(self):
+        value = quantile_from_buckets((1.0, 2.0), [0, 0, 5], 0.99)
+        assert value == 2.0
+
+    def test_empty_is_none(self):
+        assert quantile_from_buckets((1.0,), [0, 0], 0.5) is None
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets((1.0,), [1, 0], 1.5)
+
+
+class TestRegistry:
+    def test_idempotent_factories(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help")
+        second = registry.counter("requests_total", "other help")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labels=("b",))
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("9bad")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad-name")
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h")
+        counter.inc()
+        histogram.observe(1.0)
+        assert counter.value() == 0
+        assert histogram.count() == 0
+
+    def test_collector_samples_in_snapshot_and_text(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: [
+            ("uptime_seconds", "gauge", "Uptime.", 12.5),
+        ])
+        snapshot = registry.snapshot()
+        assert snapshot["uptime_seconds"] == {
+            "type": "gauge", "value": 12.5,
+        }
+        text = registry.render_prometheus()
+        assert "uptime_seconds 12.5" in text.splitlines()
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(1)
+        snapshot = registry.snapshot()
+        assert snapshot["a_total"] == {"type": "counter", "value": 2}
+        assert snapshot["b"] == {"type": "gauge", "value": 1}
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        histogram = registry.histogram("h", buckets=(0.5,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+        assert histogram.count() == 4000
+
+
+class TestPrometheusExposition:
+    """Line-format guard: every rendered line must parse."""
+
+    def _populated_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "Requests.",
+            labels=("transport", "op"),
+        ).labels("http", "prepare").inc(3)
+        registry.counter(
+            "repro_errors_total", "Errors.", labels=("code",)
+        ).labels('with"quote\\and\nnewline').inc()
+        registry.gauge("repro_inflight_requests", "In flight.").set(2)
+        histogram = registry.histogram(
+            "repro_request_seconds", "Latency.",
+            buckets=LATENCY_BUCKETS,
+        )
+        for value in (0.0001, 0.003, 0.2, 30.0):
+            histogram.observe(value)
+        registry.histogram(
+            "repro_batch_size", "Batch sizes.",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(4)
+        registry.register_collector(lambda: [
+            ("repro_uptime_seconds", "gauge", "Uptime.", 1.25),
+        ])
+        return registry
+
+    def test_every_line_matches_the_format(self):
+        text = self._populated_registry().render_prometheus()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert _COMMENT_LINE.match(line), line
+            else:
+                assert _SAMPLE_LINE.match(line), line
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = self._populated_registry().render_prometheus()
+        buckets = [
+            line for line in iter_prometheus_lines(text)
+            if line.startswith("repro_request_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts)          # cumulative
+        assert buckets[-1].startswith(
+            'repro_request_seconds_bucket{le="+Inf"}'
+        )
+        assert counts[-1] == 4                   # total observations
+        assert "repro_request_seconds_sum" in text
+        assert "repro_request_seconds_count 4" in text
+
+    def test_help_and_type_precede_samples(self):
+        text = self._populated_registry().render_prometheus()
+        lines = text.splitlines()
+        index = lines.index(
+            "# HELP repro_inflight_requests In flight."
+        )
+        assert lines[index + 1] == (
+            "# TYPE repro_inflight_requests gauge"
+        )
+
+    def test_label_values_escaped(self):
+        text = self._populated_registry().render_prometheus()
+        assert 'code="with\\"quote\\\\and\\nnewline"' in text
+
+    def test_integral_values_render_without_decimal(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2.0)
+        assert "c_total 2\n" in registry.render_prometheus()
+
+    def test_inf_bound_not_duplicated(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, math.inf)).observe(0.5)
+        text = registry.render_prometheus()
+        assert text.count('le="+Inf"') == 1

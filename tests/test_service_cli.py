@@ -26,10 +26,12 @@ def test_serve_runs_concurrent_clients(spec_path, capsys):
     assert main([
         "serve", spec_path, "--clients", "8", "--check",
     ]) == 0
-    out = capsys.readouterr().out
+    captured = capsys.readouterr()
+    out = captured.out
     assert "8 clients x 3 jobs" in out
     assert "req/s" in out
-    assert "service stats:" in out
+    # The stats line goes through the structured logger (stderr).
+    assert "service_stats" in captured.err
     assert "shard hits:" in out
     assert "determinism check vs serial engine: OK" in out
 
@@ -189,7 +191,7 @@ class TestListenMode:
             output, _ = process.communicate(timeout=30)
         assert process.returncode == 0, output[-2000:]
         assert "drained cleanly" in output
-        assert "service stats:" in output
+        assert "service_stats" in output
 
     def test_tcp_listen_round_trip(self, spec_path):
         import json as json_module
