@@ -1,0 +1,562 @@
+"""The structure-of-arrays node store ("arena") for decision diagrams.
+
+A :class:`NodeArena` replaces per-node Python ``DDNode``/``Edge``
+objects with columnar arrays: a node is an ``int32`` id, and the DAG
+lives in
+
+* per-node columns — ``level`` (``int32``), edge ``offset``
+  (``int64``) and edge ``count`` (``int32``), and
+* per-edge columns — complex ``weights`` (``complex128``) and
+  ``successors`` (``int32`` node ids; 0 is the terminal).
+
+Id 0 is the shared terminal (level -1, no edges).  The unique table is
+a dict keyed on quantised ``(level, weights, successors)`` rows —
+weights snapped to the complex-table grid (tolerance 1e-12 by default)
+and packed with the successor ids into one ``int64`` row whose raw
+bytes are the key — instead of object identity, so equal sub-states
+interned level-wise merge without allocating a node object per tree
+block.  Columns double in capacity as the arena grows; growth copies
+the data, so outstanding :class:`NodeView` objects (which read through
+the arena, never into a stale buffer) stay valid.
+
+:class:`NodeView` is the thin object shim: it mirrors the
+:class:`~repro.dd.node.DDNode` read API (``level``, ``edges``,
+``weights``, ``nonzero_edges`` ...) and is memoised per id, so
+identity-keyed caches and ``is`` comparisons in the existing traversal
+code (synthesis, approximation, dot/io export) work unchanged on
+arena-backed diagrams.
+
+All array storage and math goes through an
+:class:`~repro.dd.array_backend.ArrayBackend` (NumPy by default), the
+drop-in seam for a future CuPy/GPU backend.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dd.array_backend import ArrayBackend, get_array_backend
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL
+from repro.exceptions import DecisionDiagramError
+
+__all__ = ["ArenaStats", "NodeArena", "NodeView"]
+
+#: Default uniquing tolerance of the quantised weight grid; matches
+#: :data:`repro.linalg.complex_table.DEFAULT_TOLERANCE`.
+DEFAULT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Storage accounting of one :class:`NodeArena`.
+
+    Attributes:
+        num_nodes: Interned non-terminal nodes.
+        num_edges: Stored edges (including structural-zero slots).
+        nbytes: Currently allocated column bytes.
+        peak_bytes: High-water mark of ``nbytes`` over the arena's
+            lifetime (capacity doubling never shrinks, so this is the
+            real footprint of the build).
+        bytes_per_node: ``peak_bytes / num_nodes`` (0.0 when empty).
+    """
+
+    num_nodes: int
+    num_edges: int
+    nbytes: int
+    peak_bytes: int
+    bytes_per_node: float
+
+
+def _restore_view(arena: "NodeArena", node_id: int) -> "NodeView":
+    """Pickle hook: re-enter the arena's view memo (keeps identity)."""
+    return arena.view(node_id)
+
+
+class NodeView:
+    """A :class:`~repro.dd.node.DDNode`-shaped window onto one arena id.
+
+    Views are memoised per ``(arena, id)`` — obtain them through
+    :meth:`NodeArena.view`, never by constructing directly — so
+    ``id(view)`` / ``is`` comparisons double as node identity exactly
+    as interned ``DDNode`` objects do.  The edge tuple is materialised
+    lazily on first access and cached (nodes are immutable once
+    interned); zero edges reuse the shared terminal, and non-zero
+    terminal edges point at the global :data:`~repro.dd.node.TERMINAL`
+    for maximum compatibility with object-path code.
+    """
+
+    __slots__ = ("arena", "node_id", "_edges", "__weakref__")
+
+    def __init__(self, arena: "NodeArena", node_id: int):
+        self.arena = arena
+        self.node_id = node_id
+        self._edges: tuple[Edge, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Structure (the DDNode read API)
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return int(self.arena._levels[self.node_id])
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.node_id == 0
+
+    @property
+    def dimension(self) -> int:
+        return int(self.arena._counts[self.node_id])
+
+    @property
+    def edges(self) -> tuple[Edge, ...]:
+        edges = self._edges
+        if edges is None:
+            arena = self.arena
+            weights, successors = arena._edge_rows(self.node_id)
+            zero = arena._zero_edge
+            edges = tuple(
+                zero
+                if weight == 0j
+                else Edge(
+                    weight,
+                    TERMINAL if successor == 0 else arena.view(successor),
+                )
+                for weight, successor in zip(weights, successors)
+            )
+            self._edges = edges
+        return edges
+
+    @property
+    def weights(self) -> tuple[complex, ...]:
+        return tuple(edge.weight for edge in self.edges)
+
+    def successor(self, level_value: int) -> Edge:
+        return self.edges[level_value]
+
+    def nonzero_edges(self) -> Iterator[tuple[int, Edge]]:
+        for digit, edge in enumerate(self.edges):
+            if not edge.is_zero:
+                yield digit, edge
+
+    def num_nonzero_edges(self) -> int:
+        return sum(1 for _ in self.nonzero_edges())
+
+    def unique_nonzero_child(self):
+        """Mirror of :meth:`repro.dd.node.DDNode.unique_nonzero_child`."""
+        child = None
+        for _, edge in self.nonzero_edges():
+            if child is None:
+                child = edge.node
+            elif child is not edge.node:
+                return None
+        return child
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_invariants(self, tolerance: float = 1e-9) -> None:
+        """Assert the canonical normalisation invariants.
+
+        Raises:
+            DecisionDiagramError: If an invariant is violated.
+        """
+        if self.is_terminal:
+            return
+        total = math.fsum(abs(w) ** 2 for w in self.weights)
+        if abs(total - 1.0) > tolerance:
+            raise DecisionDiagramError(
+                f"node at level {self.level}: squared weights sum to "
+                f"{total}, expected 1"
+            )
+        for digit, edge in enumerate(self.edges):
+            if edge.is_zero and not edge.node.is_terminal:
+                raise DecisionDiagramError(
+                    f"zero edge {digit} at level {self.level} does not "
+                    "point to the terminal"
+                )
+        for _, edge in self.nonzero_edges():
+            first = edge.weight
+            if abs(first.imag) > tolerance or first.real <= 0:
+                raise DecisionDiagramError(
+                    f"first non-zero weight {first} at level "
+                    f"{self.level} is not real positive"
+                )
+            break
+
+    def __reduce__(self):
+        return (_restore_view, (self.arena, self.node_id))
+
+    def __repr__(self) -> str:
+        if self.is_terminal:
+            return "NodeView(TERMINAL)"
+        return (
+            f"NodeView(id={self.node_id}, level={self.level}, "
+            f"dimension={self.dimension})"
+        )
+
+
+class NodeArena:
+    """Columnar storage plus quantised-row unique table for DD nodes.
+
+    Args:
+        tolerance: Uniquing grid of the weight quantisation.  Two
+            interned rows merge when every weight lands on the same
+            grid cell and the successors match; matches the
+            complex-table tolerance of the object path.
+        array_backend: An :class:`~repro.dd.array_backend.ArrayBackend`
+            or registry name (``"numpy"``).
+        initial_nodes: Starting node-column capacity (grows by
+            doubling).
+        initial_edges: Starting edge-column capacity (grows by
+            doubling).
+
+    One arena can be shared across diagrams — like a
+    :class:`~repro.dd.unique_table.UniqueTable` — so equal sub-states
+    of different states share ids.  Arenas are picklable; the pickled
+    form ships the trimmed columns only (ids + columns, no per-node
+    objects) and rebuilds the unique-table dict lazily on the first
+    intern after unpickling.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = DEFAULT_TOLERANCE,
+        array_backend: str | ArrayBackend | None = None,
+        initial_nodes: int = 256,
+        initial_edges: int = 1024,
+    ):
+        if tolerance <= 0:
+            raise DecisionDiagramError(
+                f"tolerance must be positive, got {tolerance}"
+            )
+        self._tolerance = float(tolerance)
+        self._inv_tolerance = 1.0 / self._tolerance
+        self._backend = get_array_backend(array_backend)
+        xp = self._backend.xp
+        node_capacity = max(int(initial_nodes), 1)
+        edge_capacity = max(int(initial_edges), 1)
+        self._levels = xp.empty(node_capacity, dtype=np.int32)
+        self._offsets = xp.zeros(node_capacity, dtype=np.int64)
+        self._counts = xp.zeros(node_capacity, dtype=np.int32)
+        self._weights = xp.empty(edge_capacity, dtype=np.complex128)
+        self._successors = xp.empty(edge_capacity, dtype=np.int32)
+        self._levels[0] = -1  # id 0 is the terminal
+        self._num_nodes = 1
+        self._num_edges = 0
+        self._index: dict[bytes, int] | None = {}
+        self._views: dict[int, NodeView] = {}
+        self._zero_edge = Edge.zero()
+        self._peak_bytes = 0
+        self._note_allocation()
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _note_allocation(self) -> None:
+        self._peak_bytes = max(self._peak_bytes, self.nbytes)
+
+    def _grow(self, array, needed: int, fill=None):
+        capacity = array.shape[0]
+        while capacity < needed:
+            capacity *= 2
+        xp = self._backend.xp
+        if fill is None:
+            grown = xp.empty(capacity, dtype=array.dtype)
+        else:
+            grown = xp.full(capacity, fill, dtype=array.dtype)
+        grown[: array.shape[0]] = array
+        return grown
+
+    def _reserve(self, new_nodes: int, new_edges: int) -> None:
+        nodes_needed = self._num_nodes + new_nodes
+        if nodes_needed > self._levels.shape[0]:
+            self._levels = self._grow(self._levels, nodes_needed)
+            self._offsets = self._grow(self._offsets, nodes_needed, fill=0)
+            self._counts = self._grow(self._counts, nodes_needed, fill=0)
+        edges_needed = self._num_edges + new_edges
+        if edges_needed > self._weights.shape[0]:
+            self._weights = self._grow(self._weights, edges_needed)
+            self._successors = self._grow(self._successors, edges_needed)
+        self._note_allocation()
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def _key_matrix(self, level, weights, successors) -> np.ndarray:
+        """Quantised ``(level, weights, successors)`` key rows.
+
+        One ``int64`` row per node: the level, the real and imaginary
+        parts snapped to the tolerance grid, then the successor ids.
+        The raw row bytes are the unique-table keys.
+        """
+        weights = self._backend.to_numpy(weights)
+        successors = self._backend.to_numpy(successors)
+        rows, dimension = weights.shape
+        key = np.empty((rows, 3 * dimension + 1), dtype=np.int64)
+        key[:, 0] = level
+        key[:, 1 : dimension + 1] = np.rint(
+            weights.real * self._inv_tolerance
+        )
+        key[:, dimension + 1 : 2 * dimension + 1] = np.rint(
+            weights.imag * self._inv_tolerance
+        )
+        key[:, 2 * dimension + 1 :] = successors
+        return key
+
+    def _ensure_index(self) -> dict[bytes, int]:
+        """The unique-table dict, rebuilt from the columns if needed.
+
+        Unpickling drops the dict (the columns alone determine it:
+        stored weights are the exact values that were quantised at
+        intern time, so re-quantising reproduces the same keys) and
+        this rebuilds it on the next intern.
+        """
+        index = self._index
+        if index is not None:
+            return index
+        index = {}
+        counts = self._backend.to_numpy(self._counts[: self._num_nodes])
+        levels = self._backend.to_numpy(self._levels[: self._num_nodes])
+        offsets = self._backend.to_numpy(self._offsets[: self._num_nodes])
+        ids = np.arange(self._num_nodes)
+        for dimension in np.unique(counts[1:]).tolist():
+            selected = ids[1:][counts[1:] == dimension]
+            gather = offsets[selected][:, None] + np.arange(dimension)
+            key = np.empty(
+                (selected.size, 3 * dimension + 1), dtype=np.int64
+            )
+            key[:, 0] = levels[selected]
+            weights = self._backend.to_numpy(self._weights)[gather]
+            key[:, 1 : dimension + 1] = np.rint(
+                weights.real * self._inv_tolerance
+            )
+            key[:, dimension + 1 : 2 * dimension + 1] = np.rint(
+                weights.imag * self._inv_tolerance
+            )
+            key[:, 2 * dimension + 1 :] = self._backend.to_numpy(
+                self._successors
+            )[gather]
+            row_nbytes = key.shape[1] * key.itemsize
+            key_bytes = key.tobytes()
+            position = 0
+            for node_id in selected.tolist():
+                index[key_bytes[position : position + row_nbytes]] = (
+                    node_id
+                )
+                position += row_nbytes
+        self._index = index
+        return index
+
+    def intern_level(self, level: int, weights, successors) -> np.ndarray:
+        """Intern one level's node rows in bulk; return their ids.
+
+        Args:
+            level: Level of every row.
+            weights: ``(rows, dimension)`` complex weights, already
+                canonically normalised; structural zeros must be exact
+                ``0j``.
+            successors: ``(rows, dimension)`` successor ids (0 where
+                the weight is zero or the child is the terminal).
+
+        Returns:
+            ``int32`` array of ``rows`` node ids.  Duplicate rows —
+            within the batch or against previously interned nodes —
+            receive the same id; only fresh rows are appended to the
+            columns (bulk copies, no per-node Python allocation).
+        """
+        xp = self._backend.xp
+        weights = xp.asarray(weights, dtype=np.complex128)
+        successors = xp.asarray(successors, dtype=np.int32)
+        if weights.shape != successors.shape or weights.ndim != 2:
+            raise DecisionDiagramError(
+                "intern_level needs matching (rows, dimension) weight "
+                f"and successor matrices, got {weights.shape} and "
+                f"{successors.shape}"
+            )
+        rows, dimension = weights.shape
+        key = self._key_matrix(level, weights, successors)
+        key_bytes = key.tobytes()
+        row_nbytes = key.shape[1] * key.itemsize
+
+        index = self._ensure_index()
+        index_get = index.get
+        ids = np.empty(rows, dtype=np.int32)
+        fresh: list[int] = []
+        fresh_append = fresh.append
+        next_id = self._num_nodes
+        position = 0
+        for row in range(rows):
+            row_key = key_bytes[position : position + row_nbytes]
+            position += row_nbytes
+            node_id = index_get(row_key)
+            if node_id is None:
+                node_id = next_id
+                next_id += 1
+                index[row_key] = node_id
+                fresh_append(row)
+            ids[row] = node_id
+
+        if fresh:
+            count = len(fresh)
+            self._reserve(count, count * dimension)
+            xp = self._backend.xp
+            rows_index = xp.asarray(fresh, dtype=np.intp)
+            start = self._num_nodes
+            edge_start = self._num_edges
+            self._levels[start : start + count] = level
+            self._counts[start : start + count] = dimension
+            self._offsets[start : start + count] = (
+                edge_start + dimension * xp.arange(count, dtype=np.int64)
+            )
+            self._weights[
+                edge_start : edge_start + count * dimension
+            ] = weights[rows_index].ravel()
+            self._successors[
+                edge_start : edge_start + count * dimension
+            ] = successors[rows_index].ravel()
+            self._num_nodes = start + count
+            self._num_edges = edge_start + count * dimension
+        return ids
+
+    def intern(self, level: int, weights, successors) -> int:
+        """Intern a single node row; return its id (scalar helper)."""
+        xp = self._backend.xp
+        ids = self.intern_level(
+            level,
+            xp.asarray(weights, dtype=np.complex128)[None, :],
+            xp.asarray(successors, dtype=np.int32)[None, :],
+        )
+        return int(ids[0])
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend holding the columns."""
+        return self._backend
+
+    @property
+    def tolerance(self) -> float:
+        """The uniquing grid of the weight quantisation."""
+        return self._tolerance
+
+    @property
+    def num_nodes(self) -> int:
+        """Interned non-terminal nodes."""
+        return self._num_nodes - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Stored edges (including structural-zero slots)."""
+        return self._num_edges
+
+    @property
+    def nbytes(self) -> int:
+        """Currently allocated column bytes (capacity, not fill)."""
+        return int(
+            self._levels.nbytes
+            + self._offsets.nbytes
+            + self._counts.nbytes
+            + self._weights.nbytes
+            + self._successors.nbytes
+        )
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of :attr:`nbytes` over the arena lifetime."""
+        return self._peak_bytes
+
+    def stats(self) -> ArenaStats:
+        """Snapshot of the storage accounting."""
+        nodes = self.num_nodes
+        return ArenaStats(
+            num_nodes=nodes,
+            num_edges=self._num_edges,
+            nbytes=self.nbytes,
+            peak_bytes=self._peak_bytes,
+            bytes_per_node=(
+                self._peak_bytes / nodes if nodes else 0.0
+            ),
+        )
+
+    def _check_id(self, node_id: int) -> int:
+        node_id = int(node_id)
+        if not 0 <= node_id < self._num_nodes:
+            raise DecisionDiagramError(
+                f"node id {node_id} out of range "
+                f"(arena holds {self._num_nodes} ids)"
+            )
+        return node_id
+
+    def node_level(self, node_id: int) -> int:
+        """Level of ``node_id`` (-1 for the terminal)."""
+        return int(self._levels[self._check_id(node_id)])
+
+    def _edge_rows(self, node_id: int):
+        """Host-side ``(weights, successors)`` lists of one node."""
+        offset = int(self._offsets[node_id])
+        count = int(self._counts[node_id])
+        weights = self._backend.to_numpy(
+            self._weights[offset : offset + count]
+        ).tolist()
+        successors = self._backend.to_numpy(
+            self._successors[offset : offset + count]
+        ).tolist()
+        return weights, successors
+
+    def view(self, node_id: int) -> NodeView:
+        """The memoised :class:`NodeView` of ``node_id``."""
+        node_id = self._check_id(node_id)
+        found = self._views.get(node_id)
+        if found is None:
+            found = NodeView(self, node_id)
+            self._views[node_id] = found
+        return found
+
+    # ------------------------------------------------------------------
+    # Pickling (compact: ids + trimmed columns, no object graphs)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        to_numpy = self._backend.to_numpy
+        return {
+            "tolerance": self._tolerance,
+            "array_backend": self._backend.name,
+            "levels": to_numpy(self._levels[: self._num_nodes]).copy(),
+            "offsets": to_numpy(self._offsets[: self._num_nodes]).copy(),
+            "counts": to_numpy(self._counts[: self._num_nodes]).copy(),
+            "weights": to_numpy(self._weights[: self._num_edges]).copy(),
+            "successors": to_numpy(
+                self._successors[: self._num_edges]
+            ).copy(),
+            "peak_bytes": self._peak_bytes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._tolerance = float(state["tolerance"])
+        self._inv_tolerance = 1.0 / self._tolerance
+        self._backend = get_array_backend(state["array_backend"])
+        asarray = self._backend.asarray
+        self._levels = asarray(state["levels"], dtype=np.int32)
+        self._offsets = asarray(state["offsets"], dtype=np.int64)
+        self._counts = asarray(state["counts"], dtype=np.int32)
+        self._weights = asarray(state["weights"], dtype=np.complex128)
+        self._successors = asarray(state["successors"], dtype=np.int32)
+        self._num_nodes = int(self._levels.shape[0])
+        self._num_edges = int(self._weights.shape[0])
+        self._index = None  # rebuilt lazily on the next intern
+        self._views = {}
+        self._zero_edge = Edge.zero()
+        self._peak_bytes = int(state["peak_bytes"])
+        self._note_allocation()
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeArena(nodes={self.num_nodes}, edges={self._num_edges}, "
+            f"backend={self._backend.name!r})"
+        )

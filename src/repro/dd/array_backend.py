@@ -1,0 +1,158 @@
+"""Pluggable array backends for the arena node store.
+
+The :class:`~repro.dd.arena.NodeArena` keeps the decision diagram in
+columnar arrays (levels, edge weights, successor ids).  All array
+allocation and math goes through an :class:`ArrayBackend`, so a GPU
+backend (CuPy exposes the NumPy API surface) can drop in without
+touching :mod:`repro.dd` — register it under a name and select it when
+constructing the arena.
+
+Two orthogonal knobs live here:
+
+* the **node-store backend** (``"object"`` heap nodes vs. ``"arena"``
+  columnar store), selected per build via
+  :attr:`repro.pipeline.PipelineConfig.dd_backend` or the
+  ``REPRO_DD_BACKEND`` environment variable, and
+* the **array backend** (which array library holds the arena columns),
+  selected per :class:`~repro.dd.arena.NodeArena`; only ``"numpy"``
+  ships today.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import DecisionDiagramError
+
+__all__ = [
+    "DD_BACKENDS",
+    "ArrayBackend",
+    "NumpyBackend",
+    "available_array_backends",
+    "default_dd_backend",
+    "get_array_backend",
+    "register_array_backend",
+]
+
+#: Legal node-store backends of :func:`repro.dd.builder.build_dd`.
+DD_BACKENDS = ("object", "arena")
+
+#: Environment variable that selects the default node-store backend.
+DD_BACKEND_ENV = "REPRO_DD_BACKEND"
+
+
+def default_dd_backend() -> str:
+    """The node-store backend used when a caller does not pick one.
+
+    Reads ``REPRO_DD_BACKEND`` (``"object"`` when unset or empty), so
+    a CI job can force the whole suite through either storage path.
+
+    Raises:
+        DecisionDiagramError: If the variable names an unknown backend.
+    """
+    value = os.environ.get(DD_BACKEND_ENV, "").strip().lower()
+    if not value:
+        return "object"
+    if value not in DD_BACKENDS:
+        raise DecisionDiagramError(
+            f"{DD_BACKEND_ENV}={value!r} is not a node-store backend; "
+            f"expected one of {DD_BACKENDS}"
+        )
+    return value
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Array library behind a :class:`~repro.dd.arena.NodeArena`.
+
+    Attributes:
+        name: Registry name of the backend (``"numpy"``).
+        xp: The array namespace (NumPy-compatible: ``empty``,
+            ``zeros``, ``rint``, fancy indexing, reductions).
+    """
+
+    name: str
+    xp: object
+
+    def asarray(self, values, dtype=None):
+        """Coerce ``values`` into this backend's array type."""
+        ...
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Materialise ``array`` on the host as a NumPy array.
+
+        The arena calls this before byte-level operations (unique-table
+        keys, serialisation), which must happen in host memory.
+        """
+        ...
+
+
+class NumpyBackend:
+    """The default (and reference) array backend."""
+
+    name = "numpy"
+    xp = np
+
+    def asarray(self, values, dtype=None):
+        return np.asarray(values, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def __repr__(self) -> str:
+        return "NumpyBackend()"
+
+
+_ARRAY_BACKENDS: dict[str, ArrayBackend] = {"numpy": NumpyBackend()}
+
+
+def register_array_backend(backend: ArrayBackend) -> None:
+    """Register ``backend`` under ``backend.name``.
+
+    This is the drop-in seam for a CuPy/GPU backend: implement the
+    :class:`ArrayBackend` surface over ``cupy`` and register it here;
+    every arena constructed with that name then lives on the device.
+
+    Raises:
+        DecisionDiagramError: If the backend is missing the protocol
+            surface.
+    """
+    if not isinstance(backend, ArrayBackend) or not isinstance(
+        getattr(backend, "name", None), str
+    ):
+        raise DecisionDiagramError(
+            f"{backend!r} does not implement the ArrayBackend protocol "
+            "(a 'name' string, an 'xp' namespace, asarray, to_numpy)"
+        )
+    _ARRAY_BACKENDS[backend.name] = backend
+
+
+def available_array_backends() -> tuple[str, ...]:
+    """Names of the registered array backends."""
+    return tuple(sorted(_ARRAY_BACKENDS))
+
+
+def get_array_backend(backend: str | ArrayBackend | None) -> ArrayBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Raises:
+        DecisionDiagramError: If the name is not registered.
+    """
+    if backend is None:
+        return _ARRAY_BACKENDS["numpy"]
+    if isinstance(backend, str):
+        found = _ARRAY_BACKENDS.get(backend)
+        if found is None:
+            raise DecisionDiagramError(
+                f"unknown array backend {backend!r}; "
+                f"registered: {available_array_backends()}"
+            )
+        return found
+    if not isinstance(backend, ArrayBackend):
+        raise DecisionDiagramError(
+            f"{backend!r} does not implement the ArrayBackend protocol"
+        )
+    return backend

@@ -8,31 +8,42 @@ scheme — L2 norm extraction plus making the first non-zero weight real
 positive — yields canonical nodes, so the unique table merges all
 identical sub-states and the diagram is maximally reduced.
 
-Two construction kernels are provided:
+Three construction kernels are provided:
 
-* :func:`build_dd` — the production kernel.  It runs one iterative,
-  level-by-level bottom-up pass: the amplitude array is reshaped to
-  ``(num_blocks, d_level)``, block norms and pivot phases are computed
-  with vectorised NumPy reductions, and blocks are deduplicated through
-  quantised-weight keys *before* being interned, so the per-node Python
-  cost is paid once per distinct node instead of once per tree leaf.
+* :func:`build_dd` with ``backend="object"`` — the vectorised
+  level-by-level kernel over heap ``DDNode``/``Edge`` objects: the
+  amplitude array is reshaped to ``(num_blocks, d_level)``, block
+  norms and pivot phases are computed with vectorised NumPy
+  reductions, and blocks are deduplicated through quantised-weight
+  keys *before* being interned, so the per-node Python cost is paid
+  once per distinct node instead of once per tree leaf.
+* :func:`build_dd` with ``backend="arena"`` — the same level-wise
+  normalisation written directly into a
+  :class:`~repro.dd.arena.NodeArena`: nodes are ``int32`` ids in
+  columnar arrays, interning is a bytes-key dict probe per row plus
+  bulk column appends, and no per-node Python object is allocated at
+  build time.  The resulting diagram reads through memoised
+  :class:`~repro.dd.arena.NodeView` shims, so the object API keeps
+  working.
 * :func:`build_dd_reference` — the original per-amplitude recursive
   kernel, kept as the executable specification.  The equivalence tests
-  in ``tests/test_hotpaths.py`` assert that both kernels produce the
-  same diagram (DAG size, root weight, amplitudes) on random
-  mixed-radix states.
+  in ``tests/test_hotpaths.py`` and ``tests/test_dd_arena.py`` assert
+  that all kernels produce the same diagram (DAG size, root weight,
+  per-node weights, amplitudes) on random mixed-radix states.
 
-Both kernels canonicalise every interned edge weight through the
-table's shared complex table, so the quantised-key deduplication is
-purely an optimisation (:func:`normalize_edges` stays as the scalar
-reference for the normalisation semantics).  One caveat: the kernels
-insert weights into the complex table in different orders (level-major
-vs. depth-first), so for adversarial states whose distinct weights sit
-*within the uniquing tolerance of each other* (~1e-12), near-boundary
-values may chain to different canonical representatives and the two
-diagrams can differ by a node.  Any state whose distinct weights are
-separated by more than the tolerance — i.e. everything outside
-deliberately constructed collisions — produces identical diagrams.
+The object kernels canonicalise every interned edge weight through the
+table's shared complex table; the arena kernel instead relies on the
+quantised ``(level, weights, successors)`` row keys of the arena's
+unique table (same 1e-12 grid) and stores the raw normalised weights.
+One caveat, shared by all fast kernels: weights are uniqued at a
+tolerance (~1e-12), so for adversarial states whose distinct weights
+sit *within the uniquing tolerance of each other*, near-boundary
+values may land in different grid cells (or chain to different
+canonical representatives) and the diagrams can differ by a node.
+Any state whose distinct weights are separated by more than the
+tolerance — i.e. everything outside deliberately constructed
+collisions — produces identical diagrams (:func:`normalize_edges`
+stays as the scalar reference for the normalisation semantics).
 """
 
 from __future__ import annotations
@@ -41,15 +52,19 @@ import math
 
 import numpy as np
 
+from repro.dd.arena import NodeArena
+from repro.dd.array_backend import DD_BACKENDS, default_dd_backend
 from repro.dd.diagram import DecisionDiagram
 from repro.dd.edge import WEIGHT_ZERO_CUTOFF, Edge
 from repro.dd.node import TERMINAL, DDNode
 from repro.dd.unique_table import UniqueTable
-from repro.exceptions import StateError
+from repro.exceptions import DecisionDiagramError, StateError
 from repro.registers.register import as_register
 from repro.states.statevector import StateVector
 
 __all__ = ["build_dd", "build_dd_reference", "normalize_edges"]
+
+_CUTOFF_SQ = WEIGHT_ZERO_CUTOFF * WEIGHT_ZERO_CUTOFF
 
 
 def normalize_edges(
@@ -83,22 +98,75 @@ def normalize_edges(
     return Edge(factor, node)
 
 
+def _normalize_level(
+    block: np.ndarray,
+    block_ids: np.ndarray,
+    magnitude_sq: np.ndarray,
+    norms: np.ndarray,
+):
+    """Vectorised canonical normalisation of one level's live blocks.
+
+    The array program equivalent of :func:`normalize_edges` for a
+    ``(num_live, dimension)`` block matrix: extract per-row norms and
+    pivot phases, divide, and zero out children below the structural
+    cutoff.  Returns ``(factor, normalized, kept_ids, keep)`` where
+    ``factor`` is each row's in-edge weight, ``normalized`` the
+    canonical weights (exact ``0j`` where dropped), ``kept_ids`` the
+    successor ids (0 where dropped) and ``keep`` the survivor mask.
+    Shared by the object and arena kernels so the two storage paths
+    cannot drift in normalisation semantics.
+    """
+    # Phase of the first non-zero child, exactly as in normalize_edges
+    # (rows whose children are all below the cutoff keep phase 1).
+    nonzero_child = magnitude_sq > _CUTOFF_SQ
+    first = np.argmax(nonzero_child, axis=1)[:, None]
+    has_pivot = np.take_along_axis(nonzero_child, first, axis=1)
+    pivot = np.take_along_axis(block, first, axis=1)[:, 0]
+    pivot_mag = np.abs(pivot)
+    safe_pivot_mag = np.where(pivot_mag > 0.0, pivot_mag, 1.0)
+    phase = np.where(has_pivot[:, 0], pivot / safe_pivot_mag, 1.0)
+    factor = norms * phase
+
+    # Children are zeroed when the raw weight is below the cutoff
+    # (normalize_edges) or the normalised one is (get_node's
+    # Edge.zero() canonicalisation).
+    normalized = block / factor[:, None]
+    keep = nonzero_child & (
+        normalized.real**2 + normalized.imag**2 > _CUTOFF_SQ
+    )
+    normalized = np.where(keep, normalized, 0.0)
+    kept_ids = np.where(keep, block_ids, 0)
+    return factor, normalized, kept_ids, keep
+
+
 def build_dd(
     state: StateVector,
-    table: UniqueTable | None = None,
+    table: UniqueTable | NodeArena | None = None,
+    *,
+    backend: str | None = None,
+    arena: NodeArena | None = None,
 ) -> DecisionDiagram:
     """Build the canonical decision diagram of a state vector.
 
-    This is the vectorised level-wise kernel; see the module docstring
-    for the construction strategy and :func:`build_dd_reference` for
-    the scalar specification it is tested against.
+    Two storage backends implement the same level-wise vectorised
+    construction; see the module docstring for the strategy and
+    :func:`build_dd_reference` for the scalar specification both are
+    tested against.
 
     Args:
         state: The state to represent (any norm; the root edge weight
             absorbs the global norm and phase).
-        table: Optional unique table to intern nodes into; sharing a
-            table across diagrams lets equal sub-states of different
-            diagrams share nodes.
+        table: Optional node store to intern into — a
+            :class:`UniqueTable` (object backend) or a
+            :class:`~repro.dd.arena.NodeArena` (arena backend);
+            sharing a store across diagrams lets equal sub-states of
+            different diagrams share nodes.
+        backend: ``"object"`` (heap nodes) or ``"arena"`` (columnar
+            store).  ``None`` infers it from ``table``/``arena`` when
+            given, else falls back to the ``REPRO_DD_BACKEND``
+            environment variable (``"object"`` when unset).
+        arena: Explicit arena for the arena backend (alternative to
+            passing it as ``table``).
 
     Returns:
         The decision diagram; ``dd.to_statevector()`` reproduces the
@@ -106,18 +174,54 @@ def build_dd(
 
     Raises:
         StateError: If the state vector is entirely zero.
+        DecisionDiagramError: On an unknown backend or a store that
+            does not match the requested backend.
     """
-    if table is None:
-        table = UniqueTable()
+    if isinstance(table, NodeArena) and arena is None:
+        table, arena = None, table
+    if backend is None:
+        if arena is not None:
+            backend = "arena"
+        elif table is not None:
+            backend = "object"
+        else:
+            backend = default_dd_backend()
+    if backend not in DD_BACKENDS:
+        raise DecisionDiagramError(
+            f"unknown node-store backend {backend!r}; "
+            f"expected one of {DD_BACKENDS}"
+        )
+    if backend == "arena":
+        if table is not None:
+            raise DecisionDiagramError(
+                "the arena backend interns into a NodeArena; "
+                "passing a UniqueTable is ambiguous"
+            )
+        return _build_dd_arena(
+            state, arena if arena is not None else NodeArena()
+        )
+    if arena is not None:
+        raise DecisionDiagramError(
+            "the object backend interns into a UniqueTable; "
+            "passing a NodeArena is ambiguous"
+        )
+    return _build_dd_object(
+        state, table if table is not None else UniqueTable()
+    )
+
+
+def _build_dd_object(
+    state: StateVector, table: UniqueTable
+) -> DecisionDiagram:
+    """The vectorised level-wise kernel over heap node objects."""
     register = as_register(state.register)
     dims = register.dims
-    cutoff_sq = WEIGHT_ZERO_CUTOFF * WEIGHT_ZERO_CUTOFF
 
     # Upward-flowing per-block edge state: ``weights[b]`` is the edge
     # weight of block ``b`` and ``node_ids[b]`` indexes ``child_nodes``
     # (0 is the terminal; zero-weight blocks always carry id 0).
     weights = np.array(state.amplitudes, dtype=np.complex128, copy=True)
-    weights[weights.real**2 + weights.imag**2 <= cutoff_sq] = 0.0
+    weights[weights.real**2 + weights.imag**2 <= _CUTOFF_SQ] = 0.0
     node_ids = np.zeros(weights.shape[0], dtype=np.intp)
     child_nodes: list[DDNode] = [TERMINAL]
 
@@ -143,29 +247,9 @@ def build_dd(
             norms = norms[live_rows]
         num_live = block.shape[0]
 
-        # Phase of the first non-zero child, exactly as in
-        # normalize_edges (rows whose children are all below the
-        # cutoff keep phase 1).
-        nonzero_child = magnitude_sq > cutoff_sq
-        first = np.argmax(nonzero_child, axis=1)[:, None]
-        has_pivot = np.take_along_axis(nonzero_child, first, axis=1)
-        pivot = np.take_along_axis(block, first, axis=1)[:, 0]
-        pivot_mag = np.abs(pivot)
-        safe_pivot_mag = np.where(pivot_mag > 0.0, pivot_mag, 1.0)
-        phase = np.where(
-            has_pivot[:, 0], pivot / safe_pivot_mag, 1.0
+        factor, normalized, kept_ids, keep = _normalize_level(
+            block, block_ids, magnitude_sq, norms
         )
-        factor = norms * phase
-
-        # Children are zeroed when the raw weight is below the cutoff
-        # (normalize_edges) or the normalised one is (get_node's
-        # Edge.zero() canonicalisation).
-        normalized = block / factor[:, None]
-        keep = nonzero_child & (
-            normalized.real**2 + normalized.imag**2 > cutoff_sq
-        )
-        normalized = np.where(keep, normalized, 0.0)
-        kept_ids = np.where(keep, block_ids, 0)
 
         # Canonicalise every kept weight of the level in one batch so
         # the interning loop below can skip the per-edge complex-table
@@ -239,6 +323,62 @@ def build_dd(
     return DecisionDiagram(root, register, table)
 
 
+def _build_dd_arena(
+    state: StateVector, arena: NodeArena
+) -> DecisionDiagram:
+    """The level-wise kernel writing directly into a node arena.
+
+    Identical normalisation flow to the object kernel (shared through
+    :func:`_normalize_level`), but the per-level interning is
+    :meth:`~repro.dd.arena.NodeArena.intern_level` — a bytes-key dict
+    probe per row plus bulk column appends — so no ``DDNode``/``Edge``
+    object and no complex-table probe happens during construction.
+    """
+    register = as_register(state.register)
+    dims = register.dims
+
+    weights = np.array(state.amplitudes, dtype=np.complex128, copy=True)
+    weights[weights.real**2 + weights.imag**2 <= _CUTOFF_SQ] = 0.0
+    node_ids = np.zeros(weights.shape[0], dtype=np.int32)
+
+    for level in range(len(dims) - 1, -1, -1):
+        dimension = dims[level]
+        block = weights.reshape(-1, dimension)
+        block_ids = node_ids.reshape(-1, dimension)
+        num_blocks = block.shape[0]
+
+        magnitude_sq = block.real**2 + block.imag**2
+        norms = np.sqrt(magnitude_sq.sum(axis=1))
+        live = norms > WEIGHT_ZERO_CUTOFF
+        live_rows = np.flatnonzero(live)
+        all_live = live_rows.size == num_blocks
+        if not all_live:
+            block = block[live_rows]
+            block_ids = block_ids[live_rows]
+            magnitude_sq = magnitude_sq[live_rows]
+            norms = norms[live_rows]
+
+        factor, normalized, kept_ids, _ = _normalize_level(
+            block, block_ids, magnitude_sq, norms
+        )
+        ids = arena.intern_level(level, normalized, kept_ids)
+
+        if all_live:
+            weights = factor
+            node_ids = ids
+        else:
+            weights = np.zeros(num_blocks, dtype=np.complex128)
+            weights[live_rows] = factor
+            node_ids = np.zeros(num_blocks, dtype=np.int32)
+            node_ids[live_rows] = ids
+
+    root_weight = complex(weights[0])
+    if abs(root_weight) <= WEIGHT_ZERO_CUTOFF:
+        raise StateError("cannot build a decision diagram of the zero state")
+    root = Edge(root_weight, arena.view(int(node_ids[0])))
+    return DecisionDiagram(root, register, arena)
+
+
 def build_dd_reference(
     state: StateVector,
     table: UniqueTable | None = None,
@@ -247,7 +387,7 @@ def build_dd_reference(
 
     Splits the amplitude array top-down, one Python call per tree node,
     normalising each node through :func:`normalize_edges`.  Retained as
-    the executable specification the vectorised kernel is benchmarked
+    the executable specification the vectorised kernels are benchmarked
     and property-tested against; prefer :func:`build_dd` everywhere
     else.
     """

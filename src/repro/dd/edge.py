@@ -61,6 +61,11 @@ class Edge:
             return Edge.zero()
         return Edge(self.weight * factor, self.node)
 
+    def __reduce__(self):
+        # Immutability (__setattr__ raises) breaks the default slot
+        # pickling; rebuild through the constructor instead.
+        return (Edge, (self.weight, self.node))
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Edge):
             return self.weight == other.weight and self.node is other.node

@@ -132,6 +132,12 @@ class DDNode:
     # ------------------------------------------------------------------
     # Representation
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        # Immutability (__setattr__ raises) breaks the default slot
+        # pickling; rebuild through _make_node, which also maps the
+        # terminal back onto the shared TERMINAL singleton.
+        return (_make_node, (self.level, self.edges))
+
     def __repr__(self) -> str:
         if self.is_terminal:
             return "TERMINAL"
@@ -140,6 +146,13 @@ class DDNode:
 
 #: The unique terminal node shared by all decision diagrams.
 TERMINAL = DDNode(level=-1, edges=())
+
+
+def _make_node(level: int, edges: tuple[Edge, ...]) -> DDNode:
+    """Pickle hook: reconstruct a node, keeping TERMINAL unique."""
+    if level < 0 and not edges:
+        return TERMINAL
+    return DDNode(level, edges)
 
 
 def is_effectively_zero(weight: complex) -> bool:

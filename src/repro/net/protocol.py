@@ -61,7 +61,17 @@ __all__ = [
 #: instead of being half-understood.
 PROTOCOL_VERSION = 1
 
-_TIMING_REPORT_FIELDS = ("synthesis_time", "build_time", "verify_time")
+#: Report keys zeroed by :func:`comparable_wire_outcome`: wall times
+#: plus the ``dd_*`` storage-accounting columns, which depend on the
+#: node-store backend rather than on the synthesis result.
+_TIMING_REPORT_FIELDS = (
+    "synthesis_time",
+    "build_time",
+    "verify_time",
+    "dd_nodes",
+    "dd_peak_arena_bytes",
+    "dd_bytes_per_node",
+)
 
 #: Operations a stream request may name.  The HTTP transport maps its
 #: routes onto the same set (``POST /v1/prepare`` → ``prepare`` …);

@@ -109,7 +109,9 @@ class BuildPass(Pass):
             raise PipelineError(
                 "BuildPass needs a coerced target; run CoercePass first"
             )
-        context.exact_diagram = build_dd(context.target)
+        context.exact_diagram = build_dd(
+            context.target, backend=context.config.dd_backend
+        )
         context.diagram = context.exact_diagram
         return context
 

@@ -253,6 +253,11 @@ def finalize(context: PipelineContext) -> PreparationResult:
         )
     circuit_stats = statistics(context.circuit)
     diagram_stats = context.diagram.collect_stats()
+    exact_stats = (
+        diagram_stats
+        if context.exact_diagram is context.diagram
+        else context.exact_diagram.collect_stats()
+    )
     report = SynthesisReport(
         dims=context.target.dims,
         tree_nodes=metrics.decomposition_tree_size(context.target.dims),
@@ -277,6 +282,13 @@ def finalize(context: PipelineContext) -> PreparationResult:
         verify_time=(
             context.stage_seconds("verify")
             if context.fidelity is not None
+            else 0.0
+        ),
+        dd_nodes=exact_stats.num_nodes,
+        dd_peak_arena_bytes=exact_stats.peak_arena_bytes,
+        dd_bytes_per_node=(
+            exact_stats.peak_arena_bytes / exact_stats.num_nodes
+            if exact_stats.num_nodes
             else 0.0
         ),
     )

@@ -1,0 +1,494 @@
+"""Tests for the arena node store and the pluggable array backend.
+
+The load-bearing guarantee is node-for-node equivalence: a diagram
+built into a :class:`NodeArena` must be structurally identical —
+levels, edge weights, sharing — to the object-path build and to the
+scalar ``build_dd_reference``, across the scenario grid (mixed
+dimensions, sparse and dense amplitudes, seeded random states).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dd import (
+    DD_BACKENDS,
+    ArrayBackend,
+    NodeArena,
+    NodeView,
+    NumpyBackend,
+    available_array_backends,
+    build_dd,
+    build_dd_reference,
+    default_dd_backend,
+    get_array_backend,
+    register_array_backend,
+)
+from repro.dd import metrics
+from repro.dd.array_backend import DD_BACKEND_ENV
+from repro.dd.unique_table import UniqueTable
+from repro.exceptions import DecisionDiagramError, PipelineConfigError
+from repro.pipeline import PipelineConfig
+from repro.states.library import ghz_state, w_state
+from repro.states.random_states import random_sparse_state, random_state
+from repro.states.statevector import StateVector
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=4), min_size=1, max_size=4
+).map(tuple)
+
+
+@st.composite
+def dims_and_state(draw):
+    """A register plus a random normalised state over it."""
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    sparse = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(dims))
+    amplitudes = rng.normal(size=size) + 1j * rng.normal(size=size)
+    if sparse and size > 2:
+        kill = rng.choice(size, size=size // 2, replace=False)
+        amplitudes[kill] = 0.0
+        if not np.any(amplitudes):
+            amplitudes[0] = 1.0
+    amplitudes = amplitudes / np.linalg.norm(amplitudes)
+    return StateVector(amplitudes, dims)
+
+
+def scenario_states():
+    """The scenario grid: mixed dims, sparse/dense, seeded random."""
+    rng = np.random.default_rng(424242)
+    mixed = (2, 3, 2, 2, 3, 2)
+    return [
+        ("ghz-qubit-6", ghz_state((2,) * 6)),
+        ("ghz-mixed", ghz_state((3, 2, 4, 2))),
+        ("w-mixed", w_state(mixed)),
+        ("dense-random-mixed", random_state(mixed, rng=rng)),
+        ("dense-random-qutrit", random_state((3,) * 5, rng=rng)),
+        (
+            "sparse-random-mixed",
+            random_sparse_state(mixed, num_terms=9, rng=rng),
+        ),
+        ("basis-state", StateVector([0, 0, 1, 0, 0, 0], (2, 3))),
+        ("single-qudit", random_state((5,), rng=rng)),
+    ]
+
+
+def assert_same_diagram(actual, expected, atol=1e-12):
+    """Lockstep walk: same levels, weights, and sharing structure."""
+    assert np.isclose(
+        actual.root.weight, expected.root.weight, atol=atol
+    )
+    pairs = {}
+
+    def walk(a, b):
+        if id(a) in pairs:
+            # Sharing must line up: one actual node maps to exactly
+            # one expected node, so the DAGs are isomorphic.
+            assert pairs[id(a)] is b
+            return
+        pairs[id(a)] = b
+        assert a.level == b.level
+        assert a.dimension == b.dimension
+        for edge_a, edge_b in zip(a.edges, b.edges):
+            assert np.isclose(edge_a.weight, edge_b.weight, atol=atol)
+            assert edge_a.is_zero == edge_b.is_zero
+            assert edge_a.node.is_terminal == edge_b.node.is_terminal
+            if not edge_a.is_zero and not edge_a.node.is_terminal:
+                walk(edge_a.node, edge_b.node)
+
+    walk(actual.root.node, expected.root.node)
+
+
+class TestArenaEquivalence:
+    @pytest.mark.parametrize(
+        "name,state",
+        scenario_states(),
+        ids=[name for name, _ in scenario_states()],
+    )
+    def test_matches_reference_node_for_node(self, name, state):
+        arena_dd = build_dd(state, backend="arena")
+        reference = build_dd_reference(state)
+        assert_same_diagram(arena_dd, reference)
+
+    @pytest.mark.parametrize(
+        "name,state",
+        scenario_states(),
+        ids=[name for name, _ in scenario_states()],
+    )
+    def test_stats_match_object_path(self, name, state):
+        arena_dd = build_dd(state, backend="arena")
+        object_dd = build_dd(state, backend="object")
+        arena_stats = arena_dd.collect_stats()
+        object_stats = object_dd.collect_stats()
+        assert arena_stats.num_nodes == object_stats.num_nodes
+        assert arena_stats.num_edges == object_stats.num_edges
+        assert (
+            arena_stats.distinct_complex == object_stats.distinct_complex
+        )
+        assert (
+            arena_stats.nodes_per_level == object_stats.nodes_per_level
+        )
+        # The arena reports its footprint; the object path has none.
+        assert arena_stats.peak_arena_bytes > 0
+        assert object_stats.peak_arena_bytes == 0
+        # Single-query forms agree with the one-pass collection.
+        assert arena_dd.num_nodes() == arena_stats.num_nodes
+        assert arena_dd.num_edges() == arena_stats.num_edges
+        assert (
+            arena_dd.distinct_complex_values()
+            == arena_stats.distinct_complex
+        )
+        assert arena_dd.nodes_per_level() == arena_stats.nodes_per_level
+
+    @pytest.mark.parametrize(
+        "name,state",
+        scenario_states(),
+        ids=[name for name, _ in scenario_states()],
+    )
+    def test_metrics_match_object_path(self, name, state):
+        arena_dd = build_dd(state, backend="arena")
+        object_dd = build_dd(state, backend="object")
+        for metric in (
+            metrics.visited_tree_size,
+            metrics.synthesis_operation_count,
+            metrics.path_expanded_node_count,
+        ):
+            assert metric(arena_dd) == metric(object_dd)
+
+    @given(dims_and_state())
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, state):
+        arena_dd = build_dd(state, backend="arena")
+        assert_same_diagram(arena_dd, build_dd_reference(state))
+
+    @given(dims_and_state())
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trips_state(self, state):
+        arena_dd = build_dd(state, backend="arena")
+        assert arena_dd.to_statevector().isclose(state, tolerance=1e-9)
+
+    @given(dims_and_state())
+    @settings(max_examples=30, deadline=None)
+    def test_property_views_satisfy_invariants(self, state):
+        arena_dd = build_dd(state, backend="arena")
+        for node in arena_dd.nodes():
+            node.check_invariants()
+
+    def test_rebuilding_into_same_arena_shares_nodes(self):
+        state = random_state((2, 3, 2), rng=np.random.default_rng(5))
+        arena = NodeArena()
+        first = build_dd(state, arena=arena)
+        second = build_dd(state, arena=arena)
+        assert first.root.node is second.root.node
+
+    def test_registers_do_not_alias_across_levels(self):
+        # Two registers whose *last* levels look identical must not
+        # merge nodes from different levels: the level participates
+        # in the unique key.
+        arena = NodeArena()
+        ghz2 = build_dd(ghz_state((2, 2)), arena=arena)
+        ghz3 = build_dd(ghz_state((2, 2, 2)), arena=arena)
+        assert ghz2.root.node.level == ghz3.root.node.level == 0
+        assert ghz2.root.node is not ghz3.root.node
+
+
+class TestArenaGrowth:
+    def test_store_doubles_without_invalidating_views(self):
+        # Start the arena tiny so interning forces several column
+        # reallocations, and keep NodeViews from every build alive
+        # across the growth.
+        arena = NodeArena(initial_nodes=2, initial_edges=2)
+        rng = np.random.default_rng(11)
+        dims = (2, 3, 2, 2)
+        held = []
+        for _ in range(6):
+            state = random_state(dims, rng=rng)
+            dd = build_dd(state, arena=arena)
+            held.append((state, dd, list(dd.nodes())))
+        assert arena.num_nodes > 2  # the store actually grew
+        assert arena.peak_bytes >= arena.nbytes
+        for state, dd, nodes in held:
+            # Views taken before the growth still read the right
+            # columns afterwards.
+            for node in nodes:
+                node.check_invariants()
+                assert node is arena.view(node.node_id)
+            assert dd.to_statevector().isclose(state, tolerance=1e-9)
+
+    def test_view_identity_is_memoized(self):
+        state = ghz_state((2, 2, 2))
+        dd = build_dd(state, backend="arena")
+        arena = dd.arena
+        root_id = dd.root.node.node_id
+        assert arena.view(root_id) is dd.root.node
+
+    def test_stats_accounting(self):
+        dd = build_dd(ghz_state((3, 3)), backend="arena")
+        stats = dd.arena.stats()
+        assert stats.num_nodes == dd.num_nodes()
+        assert stats.num_edges >= dd.num_edges()
+        assert stats.nbytes > 0
+        assert stats.peak_bytes >= stats.nbytes
+        assert stats.bytes_per_node > 0
+
+
+class TestPickling:
+    def test_arena_diagram_round_trip(self):
+        state = random_state(
+            (2, 3, 2, 2), rng=np.random.default_rng(3)
+        )
+        dd = build_dd(state, backend="arena")
+        clone = pickle.loads(pickle.dumps(dd))
+        assert clone.arena is not None
+        assert isinstance(clone.root.node, NodeView)
+        assert_same_diagram(clone, dd)
+        assert clone.to_statevector().isclose(state, tolerance=1e-9)
+        stats, original = clone.collect_stats(), dd.collect_stats()
+        assert stats.num_nodes == original.num_nodes
+        assert stats.num_edges == original.num_edges
+        assert stats.distinct_complex == original.distinct_complex
+        assert stats.nodes_per_level == original.nodes_per_level
+        # The pickled form ships the columns trimmed to size, so the
+        # clone's live allocation is at most the original's, while
+        # the high-water mark is carried through.
+        assert stats.arena_bytes <= original.arena_bytes
+        assert stats.peak_arena_bytes == original.peak_arena_bytes
+
+    def test_object_diagram_round_trip(self):
+        state = random_state(
+            (2, 3, 2), rng=np.random.default_rng(4)
+        )
+        dd = build_dd(state, backend="object")
+        clone = pickle.loads(pickle.dumps(dd))
+        assert clone.arena is None
+        assert_same_diagram(clone, dd, atol=0)
+
+    def test_arena_pickle_is_columnar_not_object_graph(self):
+        # The compact form ships flat columns; it must not blow up
+        # into one pickled object per node the way the object graph
+        # would.
+        state = random_state(
+            (2, 2, 2, 2, 2, 2, 2, 2),
+            rng=np.random.default_rng(12),
+        )
+        arena_payload = len(pickle.dumps(build_dd(state, backend="arena")))
+        object_payload = len(pickle.dumps(build_dd(state, backend="object")))
+        assert arena_payload < object_payload
+
+    def test_views_unpickle_into_one_shared_arena(self):
+        dd = build_dd(ghz_state((2, 2, 2)), backend="arena")
+        nodes = list(dd.nodes())
+        clones = pickle.loads(pickle.dumps((dd, nodes)))
+        cloned_dd, cloned_nodes = clones
+        arena = cloned_dd.arena
+        for view in cloned_nodes:
+            assert view.arena is arena
+            assert view is arena.view(view.node_id)
+
+    def test_unpickled_arena_keeps_interning(self):
+        state = random_state((2, 3, 2), rng=np.random.default_rng(6))
+        dd = build_dd(state, backend="arena")
+        clone = pickle.loads(pickle.dumps(dd))
+        # The rebuilt index must dedup against the shipped rows: a
+        # rebuild of the same state into the restored arena lands on
+        # the same ids, not on fresh copies.
+        rebuilt = build_dd(state, arena=clone.arena)
+        assert rebuilt.root.node is clone.root.node
+
+    def test_parallel_executor_round_trip(self):
+        # Satellite 1: arena-backed reports must survive the process
+        # pool — results are pickled in the workers and unpickled
+        # here — and agree with the serial run.
+        from repro.engine import (
+            ParallelExecutor,
+            PreparationEngine,
+            PreparationJob,
+            SynthesisOptions,
+            comparable_outcome,
+        )
+
+        jobs = [
+            PreparationJob(
+                dims=(2, 3, 2),
+                family="random",
+                params={"rng": seed},
+                options=SynthesisOptions(dd_backend="arena"),
+            )
+            for seed in (1, 2, 3)
+        ]
+        parallel = PreparationEngine(
+            executor=ParallelExecutor(max_workers=2, chunk_size=1)
+        )
+        serial = PreparationEngine(executor="serial")
+        parallel_outcomes = parallel.run_batch(jobs).outcomes
+        serial_outcomes = serial.run_batch(jobs).outcomes
+        for outcome in parallel_outcomes:
+            assert outcome.ok, outcome
+            assert outcome.report.dd_nodes > 0
+            assert outcome.report.dd_peak_arena_bytes > 0
+        assert [
+            comparable_outcome(o) for o in parallel_outcomes
+        ] == [comparable_outcome(o) for o in serial_outcomes]
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        state = ghz_state((2, 2))
+        with pytest.raises(DecisionDiagramError):
+            build_dd(state, backend="gpu")
+
+    def test_store_and_backend_must_agree(self):
+        state = ghz_state((2, 2))
+        with pytest.raises(DecisionDiagramError):
+            build_dd(state, table=UniqueTable(), backend="arena")
+        with pytest.raises(DecisionDiagramError):
+            build_dd(state, arena=NodeArena(), backend="object")
+        with pytest.raises(DecisionDiagramError):
+            build_dd(state, table=UniqueTable(), arena=NodeArena())
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv(DD_BACKEND_ENV, raising=False)
+        assert default_dd_backend() == "object"
+        monkeypatch.setenv(DD_BACKEND_ENV, "arena")
+        assert default_dd_backend() == "arena"
+        state = ghz_state((2, 2))
+        assert build_dd(state).arena is not None
+        monkeypatch.setenv(DD_BACKEND_ENV, "quantum")
+        with pytest.raises(DecisionDiagramError):
+            default_dd_backend()
+
+    def test_config_field_validation(self):
+        assert PipelineConfig().dd_backend in DD_BACKENDS
+        assert (
+            PipelineConfig(dd_backend="arena").dd_backend == "arena"
+        )
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(dd_backend="gpu")
+
+    def test_config_default_reads_env(self, monkeypatch):
+        monkeypatch.setenv(DD_BACKEND_ENV, "arena")
+        assert PipelineConfig().dd_backend == "arena"
+        monkeypatch.delenv(DD_BACKEND_ENV, raising=False)
+        assert PipelineConfig().dd_backend == "object"
+
+    def test_backends_never_share_cache_keys(self):
+        # The backend is part of the config's canonical form, so
+        # arena-built and object-built results cannot alias in the
+        # engine/service caches.
+        from repro.engine import content_key
+
+        state = ghz_state((2, 2))
+        object_key = content_key(
+            state, PipelineConfig(dd_backend="object")
+        )
+        arena_key = content_key(
+            state, PipelineConfig(dd_backend="arena")
+        )
+        assert object_key != arena_key
+
+    def test_config_json_round_trip(self):
+        config = PipelineConfig(dd_backend="arena")
+        assert PipelineConfig.from_json(config.to_json()) == config
+
+    def test_pipeline_results_agree_across_backends(self):
+        from repro.engine import comparable_report
+        from repro.pipeline import run_pipeline
+
+        state = random_state(
+            (2, 3, 2, 2), rng=np.random.default_rng(9)
+        )
+        object_result = run_pipeline(
+            state, config=PipelineConfig(dd_backend="object")
+        )
+        arena_result = run_pipeline(
+            state, config=PipelineConfig(dd_backend="arena")
+        )
+        assert comparable_report(
+            object_result.report
+        ) == comparable_report(arena_result.report)
+        assert arena_result.report.dd_peak_arena_bytes > 0
+        assert arena_result.report.dd_bytes_per_node > 0
+        assert object_result.report.dd_peak_arena_bytes == 0
+
+
+class TestArrayBackendRegistry:
+    def test_numpy_is_registered(self):
+        assert "numpy" in available_array_backends()
+        backend = get_array_backend(None)
+        assert isinstance(backend, NumpyBackend)
+        assert get_array_backend("numpy") is backend
+        assert get_array_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DecisionDiagramError):
+            get_array_backend("cupy-not-installed")
+
+    def test_malformed_backend_rejected(self):
+        with pytest.raises(DecisionDiagramError):
+            register_array_backend(object())
+
+    def test_custom_backend_round_trips(self):
+        class TracingBackend:
+            name = "tracing-test"
+            xp = np
+
+            def __init__(self):
+                self.asarray_calls = 0
+
+            def asarray(self, values, dtype=None):
+                self.asarray_calls += 1
+                return np.asarray(values, dtype=dtype)
+
+            def to_numpy(self, array):
+                return np.asarray(array)
+
+        backend = TracingBackend()
+        assert isinstance(backend, ArrayBackend)
+        register_array_backend(backend)
+        try:
+            assert "tracing-test" in available_array_backends()
+            arena = NodeArena(array_backend="tracing-test")
+            state = ghz_state((2, 2, 2))
+            dd = build_dd(state, arena=arena)
+            assert dd.to_statevector().isclose(state, tolerance=1e-9)
+            clone = pickle.loads(pickle.dumps(dd))
+            assert clone.arena.backend is backend
+        finally:
+            from repro.dd.array_backend import _ARRAY_BACKENDS
+
+            _ARRAY_BACKENDS.pop("tracing-test", None)
+
+
+class TestEngineGauges:
+    def test_repro_dd_gauges_exposed(self):
+        from repro.engine import PreparationEngine, PreparationJob
+        from repro.engine.jobs import SynthesisOptions
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        engine = PreparationEngine(metrics=registry)
+        job = PreparationJob(
+            dims=(2, 3, 2),
+            family="ghz",
+            options=SynthesisOptions(dd_backend="arena"),
+        )
+        outcome = engine.submit(job)
+        assert outcome.ok
+        rendered = registry.render_prometheus()
+        assert "repro_dd_nodes" in rendered
+        assert "repro_dd_peak_arena_bytes" in rendered
+        assert "repro_dd_bytes_per_node" in rendered
+        nodes_line = [
+            line
+            for line in rendered.splitlines()
+            if line.startswith("repro_dd_nodes ")
+        ]
+        assert nodes_line
+        assert float(nodes_line[0].split()[-1]) == float(
+            outcome.report.dd_nodes
+        )
