@@ -1,0 +1,250 @@
+"""Cluster serving benchmark: throughput scaling across shard fleets.
+
+Not a paper experiment — this measures the distributed front end
+(`repro.cluster`) on duplicate-heavy preparation traffic, the
+workload the cluster exists for: many distinct states, each requested
+several times.  For each fleet size (1, 2, 4 shard-server
+subprocesses) it spawns the fleet with :class:`ShardSupervisor`,
+replays the same workload through one
+:class:`ClusterPreparationService`, and reports requests/second plus
+the speedup over the single-shard fleet.  Synthesis parallelises
+across shard processes while every duplicate stays a cache hit on its
+owning shard, so throughput should scale with the fleet.
+
+The run doubles as an acceptance check (``--check``, on by default):
+
+* the 4-shard outcomes are identical (keys and full synthesis
+  reports) to one in-process ``PreparationEngine.run_batch``,
+* fleet-aggregated cache counters equal the single-process replay,
+* speedup >= 1.6x at 2 shards and >= 2.5x at 4.
+
+Shard servers are separate processes, so the speedup floors are only
+meaningful when the host can actually run them in parallel: a floor
+is enforced only when the CPU affinity mask offers at least as many
+cores as the fleet has shards.  Skipped floors are reported loudly
+and recorded in the JSON (``floor_enforced``) — a single-core runner
+measures overhead, not scaling.
+
+Writes ``BENCH_cluster.json`` (override with ``-o``); run under
+pytest (``pytest benchmarks/bench_cluster.py -s``) or directly
+(``python benchmarks/bench_cluster.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterPreparationService,
+    ShardSupervisor,
+)
+from repro.engine import (
+    PreparationEngine,
+    PreparationJob,
+    comparable_report,
+)
+
+FLEET_SIZES = (1, 2, 4)
+DISTINCT_STATES = 144
+REPEATS = 4
+MIN_SPEEDUP = {2: 1.6, 4: 2.5}
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def make_workload() -> list[PreparationJob]:
+    """Duplicate-heavy traffic: each distinct state requested 4x."""
+    distinct = [
+        PreparationJob(
+            dims=(4, 4, 4), family="random", params={"rng": seed}
+        )
+        for seed in range(DISTINCT_STATES)
+    ]
+    workload = distinct * REPEATS
+    random.Random(20240605).shuffle(workload)
+    return workload
+
+
+async def _replay(config: ClusterConfig, workload):
+    service = ClusterPreparationService(config=config)
+    async with service:
+        start = time.perf_counter()
+        result = await service.run_batch(workload)
+        elapsed = time.perf_counter() - start
+        stats = await service.wire_stats()
+    return result, elapsed, stats
+
+
+def _measure_fleet(num_shards: int, workload) -> dict:
+    supervisor = ShardSupervisor(num_shards, replicas=2)
+    with supervisor:
+        # Circuits stay on the shards: routing and caching are what
+        # scale, and QDASM bodies would only measure the wire.
+        config = ClusterConfig(
+            shards=supervisor.addresses,
+            replicas=2,
+            fetch_circuits=False,
+        )
+        result, elapsed, stats = asyncio.run(
+            _replay(config, workload)
+        )
+    failures = sum(1 for o in result.outcomes if not o.ok)
+    return {
+        "num_shards": num_shards,
+        "requests": len(workload),
+        "failures": failures,
+        "seconds": round(elapsed, 6),
+        "requests_per_second": round(len(workload) / elapsed, 3),
+        "engine": stats["engine"],
+        "outcomes": result,
+    }
+
+
+def run_benchmark(check: bool = True) -> dict:
+    workload = make_workload()
+    measurements = {}
+    for num_shards in FLEET_SIZES:
+        measurements[num_shards] = _measure_fleet(num_shards, workload)
+        row = measurements[num_shards]
+        print(
+            f"[cluster/{num_shards} shard(s)] "
+            f"{row['requests']} requests in {row['seconds']:.3f}s = "
+            f"{row['requests_per_second']:.0f} req/s"
+        )
+
+    cores = usable_cores()
+    base = measurements[1]["requests_per_second"]
+    fleets = []
+    for num_shards in FLEET_SIZES:
+        row = measurements[num_shards]
+        speedup = row["requests_per_second"] / base
+        floor = MIN_SPEEDUP.get(num_shards)
+        enforced = floor is not None and cores >= num_shards
+        suffix = ""
+        if floor is not None:
+            suffix = f" (floor {floor:.1f}x"
+            if not enforced:
+                suffix += (
+                    f", NOT enforced: {cores} core(s) cannot run "
+                    f"{num_shards} shard processes in parallel"
+                )
+            suffix += ")"
+        print(
+            f"[cluster/scaling] {num_shards} shard(s): "
+            f"{speedup:.2f}x over single-shard fleet{suffix}"
+        )
+        fleets.append({
+            key: value
+            for key, value in row.items()
+            if key != "outcomes"
+        } | {
+            "speedup": round(speedup, 3),
+            "floor": floor,
+            "floor_enforced": enforced,
+        })
+
+    if check:
+        _check(measurements, workload, cores)
+
+    return {
+        "workload": {
+            "distinct_states": DISTINCT_STATES,
+            "repeats": REPEATS,
+            "requests": len(workload),
+            "dims": [4, 4, 4],
+            "family": "random",
+        },
+        "cores": cores,
+        "fleets": fleets,
+    }
+
+
+def _check(measurements: dict, workload, cores: int) -> None:
+    for row in measurements.values():
+        assert row["failures"] == 0, (
+            f"{row['failures']} failed requests at "
+            f"{row['num_shards']} shard(s)"
+        )
+
+    # Outcome identity: the 4-shard fleet answers exactly what one
+    # in-process engine does.  Perf runs skip circuit bodies
+    # (fetch_circuits=False), so compare keys and full synthesis
+    # reports; byte-level circuit equality is covered by
+    # tests/test_cluster_service.py.
+    def comparable(outcome):
+        if not outcome.ok:
+            return (False, outcome.key, outcome.error_type)
+        return (True, outcome.key, comparable_report(outcome.report))
+
+    engine = PreparationEngine()
+    reference = engine.run_batch(workload)
+    expected = [comparable(o) for o in reference.outcomes]
+    served = [
+        comparable(o) for o in measurements[4]["outcomes"].outcomes
+    ]
+    assert served == expected, "cluster outcomes diverge from engine"
+
+    # Cache transparency: fleet-aggregated counters equal the
+    # single-process replay — sharding is observationally invisible.
+    for row in measurements.values():
+        assert row["engine"]["cache_hits"] == (
+            engine.stats().cache_hits
+        ), f"cache hits diverge at {row['num_shards']} shard(s)"
+        assert row["engine"]["cache_misses"] == (
+            engine.stats().cache_misses
+        ), f"cache misses diverge at {row['num_shards']} shard(s)"
+
+    base = measurements[1]["requests_per_second"]
+    for num_shards, floor in MIN_SPEEDUP.items():
+        if cores < num_shards:
+            continue  # reported (loudly) by run_benchmark already
+        speedup = (
+            measurements[num_shards]["requests_per_second"] / base
+        )
+        assert speedup >= floor, (
+            f"{num_shards}-shard fleet reached only {speedup:.2f}x "
+            f"over single-shard (floor {floor:.1f}x)"
+        )
+
+
+def test_cluster_throughput_scales_with_fleet():
+    run_benchmark(check=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_cluster.json", metavar="PATH",
+        help="where to write the JSON results "
+             "(default: BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="record measurements without enforcing the scaling "
+             "floors (for profiling on loaded machines)",
+    )
+    options = parser.parse_args(argv)
+    payload = run_benchmark(check=not options.no_check)
+    with open(options.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {options.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@ Commands:
   async sharded serving layer (``python -m repro serve spec.json
   --clients 32``), or serve real sockets with ``--listen HOST:PORT``
   (HTTP/1.1; add ``--tcp`` for the newline-delimited-JSON stream
-  protocol — see ``serve --help`` and ``docs/serving.md``).
+  protocol; add ``--cluster cluster.json`` to route to a remote shard
+  fleet — see ``serve --help`` and ``docs/serving.md``),
+* ``cluster`` — spawn and monitor a local shard fleet
+  (``python -m repro cluster supervise --shards 3``) or check one
+  (``cluster status cluster.json``).
 """
 
 from __future__ import annotations
@@ -294,6 +298,18 @@ def _serve_parser() -> argparse.ArgumentParser:
              "protocol instead of HTTP",
     )
     parser.add_argument(
+        "--cluster", default=None, metavar="CLUSTER.json",
+        help="with --listen: serve as a cluster front end routing to "
+             "the remote shard fleet described by this config (see "
+             "docs/serving.md, Cluster mode)",
+    )
+    parser.add_argument(
+        "--shard-id", default=None, metavar="ID",
+        help="with --listen: run as the named shard of a cluster "
+             "(labels logs and the startup line; the supervisor "
+             "passes this)",
+    )
+    parser.add_argument(
         "--max-request-bytes", type=int, default=1_000_000, metavar="N",
         help="request body / line size limit in network mode "
              "(default: 1000000)",
@@ -426,9 +442,14 @@ async def _serve_network(
         await service.stop()
         raise
     protocol_name = "tcp" if options.tcp else "http"
+    role = ""
+    if getattr(options, "cluster", None):
+        role = " as cluster front end"
+    elif getattr(options, "shard_id", None):
+        role = f" as shard {options.shard_id}"
     print(
-        f"listening on {server.host}:{server.port} ({protocol_name}); "
-        f"SIGTERM drains and exits",
+        f"listening on {server.host}:{server.port} "
+        f"({protocol_name}){role}; SIGTERM drains and exits",
         flush=True,
     )
     stop_requested = asyncio.Event()
@@ -454,7 +475,11 @@ async def _serve_network(
 
 def _run_listen(options) -> int:
     from repro.engine import ParallelExecutor, load_batch_spec
-    from repro.exceptions import EngineError, PipelineConfigError
+    from repro.exceptions import (
+        ClusterError,
+        EngineError,
+        PipelineConfigError,
+    )
     from repro.obs import MetricsRegistry, Tracer
     from repro.service import AsyncPreparationService
 
@@ -465,22 +490,35 @@ def _run_listen(options) -> int:
             if options.spec is not None
             else []
         )
-        executor = (
-            ParallelExecutor(max_workers=options.workers)
-            if options.workers is not None
-            else None
-        )
         registry = MetricsRegistry()
         tracer = Tracer(capacity=options.trace_capacity)
-        service = AsyncPreparationService(
-            num_shards=options.shards,
-            cache_capacity=options.cache_capacity,
-            disk_dir=options.cache_dir,
-            executor=executor,
-            max_batch_size=options.batch_size,
-            max_batch_delay=options.batch_delay_ms / 1000.0,
-            metrics=registry,
-        )
+        if options.cluster is not None:
+            from repro.cluster import (
+                ClusterConfig,
+                ClusterPreparationService,
+            )
+
+            service = ClusterPreparationService(
+                config=ClusterConfig.load(options.cluster),
+                max_batch_size=options.batch_size,
+                max_batch_delay=options.batch_delay_ms / 1000.0,
+                metrics=registry,
+            )
+        else:
+            executor = (
+                ParallelExecutor(max_workers=options.workers)
+                if options.workers is not None
+                else None
+            )
+            service = AsyncPreparationService(
+                num_shards=options.shards,
+                cache_capacity=options.cache_capacity,
+                disk_dir=options.cache_dir,
+                executor=executor,
+                max_batch_size=options.batch_size,
+                max_batch_delay=options.batch_delay_ms / 1000.0,
+                metrics=registry,
+            )
         requests_served = asyncio.run(
             _serve_network(
                 service, options, jobs, defaults,
@@ -488,7 +526,8 @@ def _run_listen(options) -> int:
             )
         )
     except (
-        EngineError, PipelineConfigError, ValueError, OSError,
+        ClusterError, EngineError, PipelineConfigError, ValueError,
+        OSError,
     ) as error:
         # OSError covers unbindable addresses (port in use,
         # privileged port, bad interface) — a clean exit, not a
@@ -521,6 +560,16 @@ def _run_serve(arguments: list[str]) -> int:
     obs_log.configure(options.log_level, json_mode=options.log_json)
     if options.tcp and options.listen is None:
         print("error: --tcp requires --listen", file=sys.stderr)
+        return 2
+    if options.cluster is not None and options.listen is None:
+        print("error: --cluster requires --listen", file=sys.stderr)
+        return 2
+    if options.cluster is not None and options.shard_id is not None:
+        print(
+            "error: --cluster (front end) and --shard-id (shard "
+            "server) are mutually exclusive",
+            file=sys.stderr,
+        )
         return 2
     if options.listen is not None:
         return _run_listen(options)
@@ -633,6 +682,236 @@ def _run_serve(arguments: list[str]) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description=(
+            "Run or inspect a local shard fleet (see docs/serving.md, "
+            "Cluster mode)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="cluster_command")
+    supervise = commands.add_parser(
+        "supervise",
+        help="spawn N shard servers (and optionally a front end), "
+             "monitor them until SIGTERM, then drain the fleet",
+    )
+    supervise.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shard-server subprocesses (default: 3)",
+    )
+    supervise.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="interface the shards bind (default: 127.0.0.1)",
+    )
+    supervise.add_argument(
+        "--base-port", type=int, default=0, metavar="PORT",
+        help="first shard port, shard i gets PORT+i "
+             "(default: 0 = pick free ephemeral ports)",
+    )
+    supervise.add_argument(
+        "--front", default=None, metavar="HOST:PORT",
+        help="also spawn a cluster front end on this address",
+    )
+    supervise.add_argument(
+        "--front-tcp", action="store_true",
+        help="front end speaks the NDJSON stream protocol instead "
+             "of HTTP",
+    )
+    supervise.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="failover-chain length per key (default: 2)",
+    )
+    supervise.add_argument(
+        "--config-out", default=None, metavar="CLUSTER.json",
+        help="write the fleet's cluster config here (required with "
+             "--front; default with --front: alongside nothing, so "
+             "pass one)",
+    )
+    supervise.add_argument(
+        "--restart-limit", type=int, default=3, metavar="N",
+        help="restarts allowed per crashed child (default: 3)",
+    )
+    supervise.add_argument(
+        "--startup-timeout", type=float, default=30.0,
+        metavar="SECONDS",
+        help="seconds to wait for each child to listen (default: 30)",
+    )
+    supervise.add_argument(
+        "--shard-arg", action="append", default=[], metavar="ARG",
+        help="extra argument forwarded to every shard's serve "
+             "command (repeatable)",
+    )
+    status = commands.add_parser(
+        "status",
+        help="ping every shard of a cluster config and print health",
+    )
+    status.add_argument(
+        "config", metavar="CLUSTER.json",
+        help="cluster config describing the fleet",
+    )
+    status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of text",
+    )
+    return parser
+
+
+def _run_cluster_supervise(options) -> int:
+    import signal
+
+    from repro.cluster import ShardSupervisor
+    from repro.exceptions import ClusterError
+
+    if options.front is not None and options.config_out is None:
+        print(
+            "error: --front needs --config-out (the front-end "
+            "subprocess reads the topology from that file)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        supervisor = ShardSupervisor(
+            options.shards,
+            host=options.host,
+            base_port=options.base_port,
+            front=options.front,
+            front_tcp=options.front_tcp,
+            shard_args=options.shard_arg,
+            replicas=options.replicas,
+            config_path=options.config_out,
+            restart_limit=options.restart_limit,
+            startup_timeout=options.startup_timeout,
+        )
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stop_requested = False
+
+    def _request_stop(signal_number, frame):
+        nonlocal stop_requested
+        stop_requested = True
+
+    previous_handlers = {
+        signal_number: signal.signal(signal_number, _request_stop)
+        for signal_number in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        supervisor.start()
+        if options.config_out is not None and options.front is None:
+            supervisor.write_config()
+        for address in supervisor.addresses:
+            print(
+                f"shard {address.shard_id} listening on "
+                f"{address.addr} (tcp)",
+                flush=True,
+            )
+        if options.front is not None:
+            print(
+                f"front end listening on {options.front} "
+                f"({'tcp' if options.front_tcp else 'http'})",
+                flush=True,
+            )
+        if options.config_out is not None:
+            print(
+                f"cluster config written to {options.config_out}",
+                flush=True,
+            )
+        print(
+            f"supervising {options.shards} shard(s); "
+            f"SIGTERM drains the fleet",
+            flush=True,
+        )
+        import time as _time
+
+        while not stop_requested:
+            revived = supervisor.poll()
+            if revived:
+                print(
+                    f"restarted {revived} crashed child(ren)",
+                    flush=True,
+                )
+            _time.sleep(0.2)
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        supervisor.terminate(timeout=10.0)
+        return 2
+    finally:
+        for signal_number, handler in previous_handlers.items():
+            signal.signal(signal_number, handler)
+    print("shutting down: draining the fleet", flush=True)
+    clean = supervisor.terminate()
+    if clean:
+        print("fleet drained cleanly", flush=True)
+        return 0
+    print("fleet shutdown forced after timeout", file=sys.stderr)
+    return 1
+
+
+def _run_cluster_status(options) -> int:
+    from repro.cluster import ClusterConfig
+    from repro.exceptions import ClusterError
+    from repro.net import ClientError, SyncReproClient
+
+    try:
+        config = ClusterConfig.load(options.config)
+    except ClusterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = []
+    for shard in config.shards:
+        row: dict[str, object] = {
+            "id": shard.shard_id, "addr": shard.addr,
+        }
+        try:
+            with SyncReproClient(
+                shard.host, shard.port, transport="tcp",
+                timeout=config.health_timeout,
+                connect_timeout=config.connect_timeout,
+            ) as client:
+                client.ping()
+                stats = client.stats()
+            row["healthy"] = True
+            row["requests"] = stats.get("requests")
+            engine = stats.get("engine", {})
+            row["cache_hits"] = engine.get("cache_hits")
+        except ClientError as error:
+            row["healthy"] = False
+            row["error"] = str(error)
+        rows.append(row)
+    healthy = sum(1 for row in rows if row["healthy"])
+    if options.as_json:
+        print(json.dumps({
+            "num_shards": len(rows),
+            "healthy": healthy,
+            "shards": rows,
+        }, indent=2))
+    else:
+        for row in rows:
+            if row["healthy"]:
+                print(
+                    f"{row['id']} {row['addr']} healthy "
+                    f"requests={row['requests']} "
+                    f"cache_hits={row['cache_hits']}"
+                )
+            else:
+                print(
+                    f"{row['id']} {row['addr']} DOWN ({row['error']})"
+                )
+        print(f"{healthy}/{len(rows)} shard(s) healthy")
+    return 0 if healthy == len(rows) else 1
+
+
+def _run_cluster(arguments: list[str]) -> int:
+    options = _cluster_parser().parse_args(arguments)
+    if options.cluster_command == "supervise":
+        return _run_cluster_supervise(options)
+    if options.cluster_command == "status":
+        return _run_cluster_status(options)
+    _cluster_parser().print_help(sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if not arguments or arguments[0] in {"-h", "--help"}:
@@ -651,6 +930,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_batch(rest)
     if command == "serve":
         return _run_serve(rest)
+    if command == "cluster":
+        return _run_cluster(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__, file=sys.stderr)
     return 2

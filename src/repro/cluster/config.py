@@ -1,0 +1,241 @@
+"""Cluster topology configuration (``cluster.json``).
+
+One JSON document describes a shard fleet::
+
+    {
+      "shards": [
+        {"id": "shard-00", "addr": "127.0.0.1:9101"},
+        {"id": "shard-01", "addr": "127.0.0.1:9102"},
+        {"id": "shard-02", "addr": "127.0.0.1:9103"}
+      ],
+      "replicas": 2,
+      "points_per_node": 1024,
+      "connect_timeout": 2.0,
+      "request_timeout": 120.0,
+      "health_interval": 2.0,
+      "health_timeout": 2.0,
+      "fetch_circuits": true
+    }
+
+``shards`` is the only required key.  ``replicas`` is each key's
+failover-chain length (owner + ``replicas - 1`` fallbacks); the rest
+tune the client timeouts and health cadence.  The same document drives
+``python -m repro serve --cluster`` (the front end) and ``python -m
+repro cluster status``; ``python -m repro cluster supervise`` writes
+one for the fleet it spawns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ClusterConfigError
+from .backends import RemoteShard
+from .placement import ShardPlacement
+from .ring import DEFAULT_POINTS_PER_NODE
+
+__all__ = ["ClusterConfig", "ShardAddress"]
+
+
+def _parse_addr(addr: str, where: str) -> tuple[str, int]:
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host:
+        raise ClusterConfigError(
+            f"{where}: addr must be 'host:port', got {addr!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterConfigError(
+            f"{where}: port must be an integer, got {port_text!r}"
+        )
+    if not 0 < port < 65536:
+        raise ClusterConfigError(
+            f"{where}: port out of range: {port}"
+        )
+    return host, port
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """One shard server's identity and location."""
+
+    shard_id: str
+    host: str
+    port: int
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def to_dict(self) -> dict:
+        return {"id": self.shard_id, "addr": self.addr}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Validated form of a ``cluster.json`` document."""
+
+    shards: tuple[ShardAddress, ...]
+    replicas: int = 2
+    points_per_node: int = DEFAULT_POINTS_PER_NODE
+    connect_timeout: float = 2.0
+    request_timeout: float = 120.0
+    health_interval: float = 2.0
+    health_timeout: float = 2.0
+    fetch_circuits: bool = True
+    extra: dict = field(default_factory=dict, compare=False)
+
+    _FLOAT_FIELDS = (
+        "connect_timeout",
+        "request_timeout",
+        "health_interval",
+        "health_timeout",
+    )
+
+    def __post_init__(self):
+        if not self.shards:
+            raise ClusterConfigError(
+                "cluster config needs at least one shard"
+            )
+        ids = [shard.shard_id for shard in self.shards]
+        if len(set(ids)) != len(ids):
+            raise ClusterConfigError(
+                f"duplicate shard ids in cluster config: {ids}"
+            )
+        if self.replicas < 1:
+            raise ClusterConfigError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.points_per_node < 1:
+            raise ClusterConfigError(
+                f"points_per_node must be >= 1, "
+                f"got {self.points_per_node}"
+            )
+        for name in self._FLOAT_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ClusterConfigError(
+                    f"{name} must be a positive number, got {value!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: object) -> "ClusterConfig":
+        if not isinstance(payload, dict):
+            raise ClusterConfigError(
+                f"cluster config must be a JSON object, got {payload!r}"
+            )
+        raw_shards = payload.get("shards")
+        if not isinstance(raw_shards, list) or not raw_shards:
+            raise ClusterConfigError(
+                "cluster config needs a non-empty 'shards' array"
+            )
+        shards = []
+        for position, raw in enumerate(raw_shards):
+            where = f"shards[{position}]"
+            if not isinstance(raw, dict):
+                raise ClusterConfigError(
+                    f"{where}: each shard must be an object, got {raw!r}"
+                )
+            addr = raw.get("addr")
+            if not isinstance(addr, str):
+                raise ClusterConfigError(
+                    f"{where}: needs an 'addr' string (host:port)"
+                )
+            host, port = _parse_addr(addr, where)
+            shard_id = raw.get("id", f"shard-{position:02d}")
+            if not isinstance(shard_id, str) or not shard_id:
+                raise ClusterConfigError(
+                    f"{where}: 'id' must be a non-empty string"
+                )
+            shards.append(ShardAddress(shard_id, host, port))
+        known = {
+            "shards", "replicas", "points_per_node", "connect_timeout",
+            "request_timeout", "health_interval", "health_timeout",
+            "fetch_circuits",
+        }
+        kwargs = {
+            name: payload[name]
+            for name in known - {"shards"}
+            if name in payload
+        }
+        if "fetch_circuits" in kwargs and not isinstance(
+            kwargs["fetch_circuits"], bool
+        ):
+            raise ClusterConfigError(
+                "'fetch_circuits' must be a boolean"
+            )
+        if "replicas" in kwargs and not isinstance(
+            kwargs["replicas"], int
+        ):
+            raise ClusterConfigError("'replicas' must be an integer")
+        if "points_per_node" in kwargs and not isinstance(
+            kwargs["points_per_node"], int
+        ):
+            raise ClusterConfigError(
+                "'points_per_node' must be an integer"
+            )
+        extra = {
+            name: value
+            for name, value in payload.items()
+            if name not in known
+        }
+        return cls(shards=tuple(shards), extra=extra, **kwargs)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ClusterConfig":
+        """Read and validate a ``cluster.json`` file."""
+        try:
+            text = Path(path).read_text()
+        except OSError as error:
+            raise ClusterConfigError(
+                f"cannot read cluster config {path!s}: {error}"
+            )
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ClusterConfigError(
+                f"cluster config {path!s} is not valid JSON: {error}"
+            )
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": [shard.to_dict() for shard in self.shards],
+            "replicas": self.replicas,
+            "points_per_node": self.points_per_node,
+            "connect_timeout": self.connect_timeout,
+            "request_timeout": self.request_timeout,
+            "health_interval": self.health_interval,
+            "health_timeout": self.health_timeout,
+            "fetch_circuits": self.fetch_circuits,
+        }
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def to_placement(self) -> ShardPlacement:
+        """Build the remote-shard placement this config describes."""
+        return ShardPlacement(
+            (
+                RemoteShard(
+                    shard.shard_id,
+                    shard.host,
+                    shard.port,
+                    request_timeout=self.request_timeout,
+                    connect_timeout=self.connect_timeout,
+                    health_timeout=self.health_timeout,
+                    fetch_circuits=self.fetch_circuits,
+                )
+                for shard in self.shards
+            ),
+            strategy="ring",
+            replicas=self.replicas,
+            points_per_node=self.points_per_node,
+        )

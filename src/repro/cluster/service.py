@@ -1,0 +1,493 @@
+"""Cluster front end: micro-batching router over remote shard servers.
+
+:class:`ClusterPreparationService` is an
+:class:`~repro.service.AsyncPreparationService` whose execution seam
+(``_execute_batch``) fans micro-batches out to
+:class:`~repro.cluster.RemoteShard` backends instead of running the
+in-process engine.  Everything above the seam — the micro-batch
+queue, slot accounting, per-shard dispatch locks, tracing spans,
+stats counters — is the plain service, unchanged.
+
+Routing is by content key on a consistent-hash ring, so duplicate
+requests (the common case for DD preparation workloads) always land
+on the shard that already holds their circuit.  Key derivation costs
+a state resolution, so the front end keeps a small LRU from canonical
+job payloads to keys — duplicate-heavy traffic routes at dict-lookup
+cost.  The cached key is used *only* for routing: each shard computes
+its own content keys from the payload it receives, so an unseeded
+random job colocating with a payload-identical sibling still
+synthesises independently.
+
+Failover: each key has a preference chain (owner plus
+``replicas - 1`` distinct ring successors).  A shard that refuses the
+connection, times out, or is draining fails the *group* over to the
+next candidate; a request whose whole chain is down comes back as a
+structured per-job failure (``shard_unavailable``) — never a hang,
+never a silent drop.  A background health loop probes every shard so
+traffic prefers healthy replicas and recovered shards rejoin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+
+from ..engine.cache import CircuitCache
+from ..engine.engine import EngineStats, PreparationEngine
+from ..engine.jobs import PreparationJob
+from ..engine.results import BatchResult, JobFailure, JobOutcome
+from ..exceptions import ClusterConfigError
+from ..net.client import ClientError
+from ..obs import log as obs_log
+from ..obs.metrics import MetricsRegistry
+from ..service.batching import QueuedJob
+from ..service.service import AsyncPreparationService
+from .backends import FAILOVER_CODES, RemoteShard
+from .config import ClusterConfig
+from .placement import ShardPlacement
+
+__all__ = ["ClusterPreparationService"]
+
+_LOGGER = obs_log.get_logger("cluster")
+
+#: Bound on the canonical-payload → content-key routing LRU.
+_ROUTING_CACHE_SIZE = 4096
+
+
+class ClusterPreparationService(AsyncPreparationService):
+    """Micro-batching front end routing to a remote shard fleet.
+
+    Args:
+        placement: A fully remote :class:`ShardPlacement`, or ``None``
+            to build one from ``config``.
+        config: The :class:`~repro.cluster.ClusterConfig` to
+            materialise when ``placement`` is not given (exactly one
+            of the two is required).
+        max_batch_size / max_batch_delay: Micro-batching knobs, as on
+            the base service.
+        max_concurrent_batches: In-flight micro-batch bound.  Defaults
+            to ``max(4, 2 * num_shards)`` — remote dispatch is
+            latency-bound, so the front end keeps more batches in
+            flight than the local default of one per shard.
+        metrics: Registry for the ``repro_cluster_*`` instruments (and
+            the base service's serving metrics).
+    """
+
+    def __init__(
+        self,
+        placement: ShardPlacement | None = None,
+        *,
+        config: ClusterConfig | None = None,
+        max_batch_size: int = 32,
+        max_batch_delay: float = 0.005,
+        max_concurrent_batches: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if (placement is None) == (config is None):
+            raise ClusterConfigError(
+                "give exactly one of 'placement' or 'config'"
+            )
+        if placement is None:
+            placement = config.to_placement()
+        if placement.is_local:
+            raise ClusterConfigError(
+                "a cluster front end needs remote shards; for local "
+                "fleets use AsyncPreparationService with a "
+                "ShardedCache"
+            )
+        self.config = config
+        self._health_interval = (
+            config.health_interval if config is not None else 2.0
+        )
+        # The front-end engine exists only to derive content keys for
+        # routing (cache misses resolve the state once); capacity 0
+        # keeps it from shadow-caching circuits the shards own.
+        engine = PreparationEngine(cache=CircuitCache(capacity=0))
+        super().__init__(
+            engine,
+            max_batch_size=max_batch_size,
+            max_batch_delay=max_batch_delay,
+            max_concurrent_batches=(
+                max_concurrent_batches
+                if max_concurrent_batches is not None
+                else max(4, 2 * placement.num_shards)
+            ),
+            metrics=metrics,
+            placement=placement,
+        )
+        self._routing_cache: OrderedDict[str, str] = OrderedDict()
+        self._routing_lock = threading.Lock()
+        self._health_task: asyncio.Task | None = None
+        self._failover_count = 0
+        self._shard_requests = None
+        self._shard_seconds = None
+        self._shard_failovers = None
+        self._shard_healthy = None
+        if metrics is not None:
+            self._shard_requests = metrics.counter(
+                "repro_cluster_requests_total",
+                "Micro-batch groups shipped to each shard.",
+                labels=("shard",),
+            )
+            self._shard_seconds = metrics.histogram(
+                "repro_cluster_request_seconds",
+                "Wall time of one shard round trip (whole group).",
+                labels=("shard",),
+            )
+            self._shard_failovers = metrics.counter(
+                "repro_cluster_failovers_total",
+                "Groups moved off a shard (by the shard failed away "
+                "from).",
+                labels=("shard",),
+            )
+            self._shard_healthy = metrics.gauge(
+                "repro_cluster_shard_healthy",
+                "1 when the shard's last probe or request succeeded.",
+                labels=("shard",),
+            )
+            metrics.register_collector(self._collect_cluster_samples)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ClusterPreparationService":
+        await super().start()
+        if self._health_task is None or self._health_task.done():
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop()
+            )
+        return self
+
+    async def stop(self) -> None:
+        try:
+            await super().stop()
+        finally:
+            task, self._health_task = self._health_task, None
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            # Clients reconnect on demand, so closing here is safe
+            # even if the service is started again.
+            await self.placement.aclose()
+
+    async def _health_loop(self) -> None:
+        """Probe every shard each interval; keep the gauges honest."""
+        while True:
+            for backend in self.placement.remote_backends():
+                healthy = await backend.check_health()
+                if self._shard_healthy is not None:
+                    self._shard_healthy.set(
+                        1.0 if healthy else 0.0, backend.shard_id
+                    )
+            await asyncio.sleep(self._health_interval)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _routing_key(self, job: PreparationJob) -> str | None:
+        """Content key of ``job`` for placement, via the payload LRU.
+
+        The canonical payload (label excluded — labels never affect
+        the computation) keys the LRU; misses resolve the state and
+        derive the true content key.  Only routing consumes this key,
+        so payload-identical unseeded random jobs sharing one entry is
+        sound: they colocate, and the shard still keys each
+        independently.
+        """
+        payload = {
+            name: value
+            for name, value in job.describe().items()
+            if name != "label"
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), default=str
+        )
+        with self._routing_lock:
+            key = self._routing_cache.get(canonical)
+            if key is not None:
+                self._routing_cache.move_to_end(canonical)
+                return key
+        try:
+            key = self.engine.job_key(job)
+        except Exception:  # noqa: BLE001 - shard reports the failure
+            return None
+        with self._routing_lock:
+            self._routing_cache[canonical] = key
+            self._routing_cache.move_to_end(canonical)
+            while len(self._routing_cache) > _ROUTING_CACHE_SIZE:
+                self._routing_cache.popitem(last=False)
+        return key
+
+    def _route_batch(
+        self, jobs: list[PreparationJob]
+    ) -> tuple[set[int], list[str | None] | None]:
+        if self.placement.num_shards <= 1:
+            return {0}, None
+        shards: set[int] = set()
+        keys: list[str | None] = []
+        for job in jobs:
+            key = self._routing_key(job)
+            keys.append(key)
+            if key is not None:
+                shards.add(self.placement.shard_index(key))
+        return shards, keys
+
+    # ------------------------------------------------------------------
+    # Dispatch (overrides the whole-batch locking of the base class:
+    # each shard group holds only its own shard's lock, so groups of
+    # different micro-batches pipeline per shard)
+    # ------------------------------------------------------------------
+    async def _dispatch_sharded(self, batch: list[QueuedJob]) -> None:
+        try:
+            jobs = [queued.job for queued in batch]
+            _, keys = await asyncio.to_thread(self._route_batch, jobs)
+            traces, spans = self._begin_dispatch(batch)
+            started = time.perf_counter()
+            try:
+                groups = self._group_batch(batch, keys)
+                await asyncio.gather(
+                    *(
+                        self._dispatch_group(chain, positions, batch)
+                        for chain, positions in groups
+                    )
+                )
+            finally:
+                for span in spans:
+                    span.finish()
+            _LOGGER.debug(
+                "cluster_batch_dispatched",
+                jobs=len(batch),
+                groups=len(groups),
+                duration=round(time.perf_counter() - started, 6),
+            )
+        except BaseException as error:  # noqa: BLE001 - fan out to waiters
+            if isinstance(error, Exception):
+                for queued in batch:
+                    if not queued.future.done():
+                        queued.future.set_exception(error)
+            else:
+                from ..service.service import _fail_batch_later
+
+                _fail_batch_later(batch, error)
+                raise
+
+    def _group_batch(
+        self,
+        batch: list[QueuedJob],
+        keys: list[str | None] | None,
+    ) -> list[tuple[tuple[int, ...], list[int]]]:
+        """Split a batch into per-owner groups with failover chains.
+
+        Returns ``(chain, positions)`` pairs: the shard-index
+        preference chain the group will try in order, and the batch
+        positions it carries.  Jobs whose key could not be derived go
+        to the key-space origin (any shard reproduces the failure
+        identically).
+        """
+        if keys is None:
+            chain = self.placement.preference("") or (0,)
+            return [(tuple(chain), list(range(len(batch))))]
+        groups: dict[int, tuple[tuple[int, ...], list[int]]] = {}
+        for position, key in enumerate(keys):
+            chain = tuple(self.placement.preference(key or ""))
+            owner = chain[0]
+            if owner not in groups:
+                groups[owner] = (chain, [])
+            groups[owner][1].append(position)
+        return list(groups.values())
+
+    async def _dispatch_group(
+        self,
+        chain: tuple[int, ...],
+        positions: list[int],
+        batch: list[QueuedJob],
+    ) -> None:
+        """Run one shard group, failing over along its chain."""
+        jobs = [batch[position].job for position in positions]
+        last_error: ClientError | None = None
+        for attempt, index in enumerate(chain):
+            backend = self.placement.backend(index)
+            assert isinstance(backend, RemoteShard)
+            if not backend.healthy and attempt < len(chain) - 1:
+                # Known-bad shard and a replica remains: skip straight
+                # to it.  The last candidate is always tried — a probe
+                # may simply not have noticed the shard recovering.
+                self._note_failover(backend)
+                continue
+            lock = self._shard_locks[index]
+            async with lock:
+                started = time.perf_counter()
+                try:
+                    outcomes = await backend.run_jobs(jobs)
+                except ClientError as error:
+                    if error.code not in FAILOVER_CODES:
+                        # Semantic refusal: every replica would repeat
+                        # it.  Surface per job, shard stays in rotation.
+                        self._deliver(
+                            positions,
+                            batch,
+                            [
+                                JobFailure(
+                                    job=job,
+                                    key=None,
+                                    error_type="ClientError",
+                                    message=(
+                                        f"shard {backend.shard_id} "
+                                        f"refused the request "
+                                        f"({error.code}): {error}"
+                                    ),
+                                )
+                                for job in jobs
+                            ],
+                        )
+                        return
+                    last_error = error
+                    self._note_failover(backend)
+                    if self._shard_healthy is not None:
+                        self._shard_healthy.set(
+                            0.0, backend.shard_id
+                        )
+                    continue
+            if self._shard_requests is not None:
+                self._shard_requests.labels(backend.shard_id).inc()
+                self._shard_seconds.labels(backend.shard_id).observe(
+                    time.perf_counter() - started
+                )
+            if self._shard_healthy is not None:
+                self._shard_healthy.set(1.0, backend.shard_id)
+            self._deliver(positions, batch, outcomes)
+            return
+        # Chain exhausted: structured failure, never a hang.
+        message = (
+            f"no shard available for this request (tried "
+            f"{[self.placement.backend(i).shard_id for i in chain]})"
+        )
+        if last_error is not None:
+            message += f"; last error: {last_error}"
+        self._deliver(
+            positions,
+            batch,
+            [
+                JobFailure(
+                    job=job,
+                    key=None,
+                    error_type="ShardUnavailableError",
+                    message=message,
+                )
+                for job in jobs
+            ],
+        )
+
+    def _note_failover(self, backend: RemoteShard) -> None:
+        self._failover_count += 1
+        if self._shard_failovers is not None:
+            self._shard_failovers.labels(backend.shard_id).inc()
+        _LOGGER.warning(
+            "shard_failover", shard=backend.shard_id,
+            addr=backend.addr,
+        )
+
+    def _deliver(
+        self,
+        positions: list[int],
+        batch: list[QueuedJob],
+        outcomes: list[JobOutcome],
+    ) -> None:
+        for position, outcome in zip(positions, outcomes):
+            if not outcome.ok and self._job_failures is not None:
+                self._job_failures.labels(outcome.error_type).inc()
+            future = batch[position].future
+            if not future.done():
+                future.set_result(outcome)
+
+    async def _execute_batch(self, jobs, keys) -> BatchResult:
+        # Unreachable: _dispatch_sharded is overridden wholesale and
+        # never calls _dispatch/_execute_batch.  Implemented anyway so
+        # a future base-class change fails loudly instead of silently
+        # running cluster traffic on the keying engine.
+        raise ClusterConfigError(
+            "cluster batches are dispatched per shard group, not "
+            "through the local engine"
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet-wide observability
+    # ------------------------------------------------------------------
+    def shard_health(self) -> list[dict]:
+        """Per-shard health rows for ``/healthz`` cluster detail."""
+        return self.placement.describe()
+
+    def _collect_cluster_samples(self):
+        rows = self.placement.describe()
+        return [
+            ("repro_cluster_shards", "gauge",
+             "Shards in the placement.", len(rows)),
+            ("repro_cluster_shards_healthy", "gauge",
+             "Shards whose last probe or request succeeded.",
+             sum(1 for row in rows if row["healthy"])),
+        ]
+
+    async def wire_stats(self) -> dict:
+        """Fleet-aggregated stats for ``/v1/stats`` and the TCP op.
+
+        The front end's own queue counters stay top-level; ``engine``
+        becomes the field-wise sum of every reachable shard's engine
+        counters (the front-end keying engine never executes jobs);
+        ``cluster`` carries the per-shard breakdown.
+        """
+        backends = self.placement.remote_backends()
+        snapshots = await asyncio.gather(
+            *(backend.fetch_stats() for backend in backends),
+            return_exceptions=True,
+        )
+        engine_total = {
+            spec: 0 for spec in EngineStats.__dataclass_fields__
+        }
+        shard_rows = []
+        for backend, snapshot in zip(backends, snapshots):
+            row = backend.describe()
+            if isinstance(snapshot, BaseException):
+                if not isinstance(snapshot, ClientError):
+                    raise snapshot
+                row["reachable"] = False
+                row["error"] = str(snapshot)
+            else:
+                row["reachable"] = True
+                row["requests"] = snapshot.get("requests")
+                row["batches_dispatched"] = snapshot.get(
+                    "batches_dispatched"
+                )
+                engine = snapshot.get("engine", {})
+                row["engine"] = engine
+                for name in engine_total:
+                    value = engine.get(name)
+                    if isinstance(value, (int, float)):
+                        engine_total[name] += value
+            shard_rows.append(row)
+        payload = self.stats().to_dict()
+        payload["engine"] = engine_total
+        payload["cluster"] = {
+            "num_shards": len(backends),
+            "healthy": sum(
+                1 for row in shard_rows if row["healthy"]
+            ),
+            "failovers": self._failover_count,
+            "strategy": self.placement.strategy,
+            "replicas": self.placement.replicas,
+            "shards": shard_rows,
+        }
+        return payload
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"ClusterPreparationService({state}, "
+            f"shards={self.placement.num_shards}, "
+            f"strategy={self.placement.strategy!r})"
+        )

@@ -35,7 +35,9 @@ class JobSuccess:
         job: The job that produced this result.
         key: Content key of (target state, options) — the cache
             address of this circuit.
-        circuit: The preparation circuit.
+        circuit: The preparation circuit.  ``None`` only for outcomes
+            relayed from a remote cluster shard without circuit
+            transfer (``fetch_circuits=False``).
         report: Metrics of the synthesis run.  For cache hits this is
             the report recorded when the entry was first computed.
         cache_hit: Whether the circuit came from the cache.
@@ -48,7 +50,7 @@ class JobSuccess:
 
     job: PreparationJob
     key: str
-    circuit: Circuit
+    circuit: Circuit | None
     report: SynthesisReport
     cache_hit: bool = False
     elapsed: float = 0.0

@@ -24,6 +24,9 @@ __all__ = [
     "PipelineConfigError",
     "EngineError",
     "JobSpecError",
+    "ClusterError",
+    "ClusterConfigError",
+    "ShardUnavailableError",
 ]
 
 
@@ -112,4 +115,35 @@ class JobSpecError(EngineError, ValueError):
 
     Raised when constructing a :class:`repro.engine.PreparationJob`
     from invalid arguments or when parsing a batch-spec JSON document.
+    """
+
+
+class ClusterError(ReproError):
+    """The distributed serving layer hit an unrecoverable condition.
+
+    Covers cluster-level problems — a malformed placement, a fleet
+    operation that cannot proceed — as distinct from per-shard request
+    failures, which surface as :class:`ShardUnavailableError` or as
+    structured :class:`repro.engine.JobFailure` outcomes.
+    """
+
+
+class ClusterConfigError(ClusterError, ValueError):
+    """A cluster topology description is invalid.
+
+    Raised for malformed ``cluster.json`` documents and for
+    inconsistent :class:`repro.cluster.ShardPlacement` construction
+    (duplicate shard ids, mixed local/remote backends, bad replica
+    counts).
+    """
+
+
+class ShardUnavailableError(ClusterError):
+    """No shard of a key's replica chain could serve a request.
+
+    Raised (and captured as a per-job failure with wire code
+    ``shard_unavailable``) when the owning shard and every configured
+    failover replica refused the connection, timed out, or were
+    draining.  The request was *not* silently dropped — this error is
+    the structured alternative to a hang.
     """

@@ -81,6 +81,11 @@ class ReproClient:
         transport: ``"http"`` (request/response on one keep-alive
             connection) or ``"tcp"`` (pipelined NDJSON stream).
         timeout: Per-request timeout in seconds (``None`` disables).
+        connect_timeout: Separate bound on connection establishment.
+            ``None`` (the default) preserves the historical behavior —
+            connecting is covered only by the per-request ``timeout``.
+            Cluster health checks set this low so a black-holed shard
+            fails fast without capping long synthesis requests.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class ReproClient:
         *,
         transport: str = "http",
         timeout: float | None = 30.0,
+        connect_timeout: float | None = None,
     ):
         if transport not in ("http", "tcp"):
             raise ClientError(
@@ -100,6 +106,7 @@ class ReproClient:
         self.port = port
         self.transport = transport
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._connect_lock = asyncio.Lock()
@@ -124,8 +131,17 @@ class ReproClient:
             if self.connected:
                 return self
             try:
-                self._reader, self._writer = (
-                    await asyncio.open_connection(self.host, self.port)
+                opening = asyncio.open_connection(self.host, self.port)
+                if self.connect_timeout is not None:
+                    opening = asyncio.wait_for(
+                        opening, self.connect_timeout
+                    )
+                self._reader, self._writer = await opening
+            except asyncio.TimeoutError:
+                raise ClientError(
+                    "transport",
+                    f"connect to {self.host}:{self.port} timed out "
+                    f"after {self.connect_timeout}s",
                 )
             except OSError as error:
                 raise ClientError(

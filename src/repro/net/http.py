@@ -400,7 +400,7 @@ class HttpServer(StreamServer):
                 f"{request.path} takes {method}, not {request.method}",
             )
         if op == "health":
-            return 200, result_envelope({
+            health = {
                 "status": "ok",
                 "accepting": self.service.running,
                 # Unstable extras (see docs/observability.md): shape
@@ -410,7 +410,14 @@ class HttpServer(StreamServer):
                 ),
                 "inflight_requests": self.inflight_requests,
                 "v": PROTOCOL_VERSION,
-            }), None
+            }
+            # Cluster front ends expose per-shard detail; the plain
+            # service has no shard_health and keeps the historical
+            # shape byte-for-byte.
+            shard_health = getattr(self.service, "shard_health", None)
+            if callable(shard_health):
+                health["shards"] = shard_health()
+            return 200, result_envelope(health), None
         if op == "metrics":
             return self._respond_metrics()
         if not self.service.running:

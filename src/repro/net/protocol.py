@@ -36,8 +36,9 @@ import re
 from collections.abc import Mapping
 
 from repro.circuit import qasm
+from repro.core.report import SynthesisReport
 from repro.engine.jobs import PreparationJob
-from repro.engine.results import JobOutcome
+from repro.engine.results import JobFailure, JobOutcome, JobSuccess
 from repro.engine.spec import job_from_dict, jobs_from_spec
 from repro.exceptions import ReproError
 
@@ -50,6 +51,7 @@ __all__ = [
     "error_code",
     "error_envelope",
     "execute_request",
+    "outcome_from_wire",
     "outcome_to_wire",
     "parse_batch_payload",
     "parse_prepare_payload",
@@ -279,7 +281,10 @@ def outcome_to_wire(
         wire["cache_hit"] = outcome.cache_hit
         wire["elapsed"] = outcome.elapsed
         wire["stage_timings"] = outcome.stage_timings_dict()
-        if include_circuit:
+        # A success relayed from a remote shard may travel without its
+        # circuit (cluster mode, fetch_circuits=False); only serialise
+        # what we actually hold.
+        if include_circuit and outcome.circuit is not None:
             wire["circuit"] = qasm.dumps(outcome.circuit)
     else:
         wire["error"] = {
@@ -288,6 +293,85 @@ def outcome_to_wire(
             "message": outcome.message,
         }
     return wire
+
+
+def outcome_from_wire(
+    wire: Mapping[str, object], job: PreparationJob
+) -> JobOutcome:
+    """Rebuild an engine outcome from its wire form.
+
+    The inverse of :func:`outcome_to_wire`, used by cluster front ends
+    to relay a remote shard's answer as a first-class
+    :class:`~repro.engine.JobSuccess` / ``JobFailure``.  ``job`` is the
+    caller's original job object (the wire carries only its label and
+    dims).  Unknown report fields from a newer peer are ignored; a
+    missing ``circuit`` key yields ``circuit=None``.
+
+    Raises:
+        WireError: ``bad_response`` when the outcome object is
+            structurally unusable.
+    """
+    ok = wire.get("ok")
+    key = wire.get("key")
+    if not isinstance(ok, bool) or not (key is None or isinstance(key, str)):
+        raise WireError(
+            "bad_response", f"malformed wire outcome: {dict(wire)!r}"
+        )
+    if not ok:
+        error = wire.get("error")
+        if not isinstance(error, Mapping):
+            raise WireError(
+                "bad_response", "failure outcome lacks an 'error' object"
+            )
+        return JobFailure(
+            job=job,
+            key=key,
+            error_type=str(error.get("type", "ReproError")),
+            message=str(error.get("message", "")),
+            elapsed=float(wire.get("elapsed", 0.0)),
+        )
+    raw_report = wire.get("report")
+    if key is None or not isinstance(raw_report, Mapping):
+        raise WireError(
+            "bad_response", "success outcome lacks 'key' or 'report'"
+        )
+    known = {field.name for field in dataclasses.fields(SynthesisReport)}
+    report_fields = {
+        name: value for name, value in raw_report.items() if name in known
+    }
+    try:
+        report_fields["dims"] = tuple(report_fields["dims"])
+        report = SynthesisReport(**report_fields)
+    except (KeyError, TypeError) as error:
+        raise WireError(
+            "bad_response", f"unusable wire report: {error}"
+        )
+    circuit_text = wire.get("circuit")
+    circuit = None
+    if circuit_text is not None:
+        try:
+            circuit = qasm.loads(str(circuit_text))
+        except ReproError as error:
+            raise WireError(
+                "bad_response", f"unparseable wire circuit: {error}"
+            )
+    stage_timings = wire.get("stage_timings") or {}
+    if not isinstance(stage_timings, Mapping):
+        raise WireError(
+            "bad_response", "'stage_timings' must be an object"
+        )
+    return JobSuccess(
+        job=job,
+        key=key,
+        circuit=circuit,
+        report=report,
+        cache_hit=bool(wire.get("cache_hit", False)),
+        elapsed=float(wire.get("elapsed", 0.0)),
+        stage_timings=tuple(
+            (str(stage), float(seconds))
+            for stage, seconds in stage_timings.items()
+        ),
+    )
 
 
 def comparable_wire_outcome(wire: Mapping[str, object]) -> dict:
@@ -341,6 +425,14 @@ async def execute_request(
     if op == "ping":
         return {"pong": True, "v": PROTOCOL_VERSION}
     if op == "stats":
+        # Cluster front ends aggregate fresh stats across the fleet
+        # via an async hook; plain services answer synchronously.
+        wire_stats = getattr(service, "wire_stats", None)
+        if wire_stats is not None:
+            try:
+                return await wire_stats()
+            except ReproError as error:
+                raise WireError.from_exception(error)
         return service.stats().to_dict()
     if op == "metrics":
         if registry is None:

@@ -47,6 +47,7 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.cluster.placement import ShardPlacement
 from repro.engine.cache import CircuitCache
 from repro.engine.engine import EngineStats, PreparationEngine
 from repro.engine.executor import ExecutionBackend
@@ -174,6 +175,10 @@ class AsyncPreparationService:
             built here it shares the registry; a caller-supplied
             ``engine`` keeps whatever registry it was built with.
             ``None`` leaves the service un-instrumented.
+        placement: Explicit :class:`~repro.cluster.ShardPlacement` to
+            route on instead of the one implied by the engine's cache.
+            Used by the cluster front end, whose shards are remote;
+            plain deployments leave this ``None``.
 
     The service must be running before ``submit`` is called: either
     ``await service.start()`` / ``await service.stop()`` explicitly,
@@ -194,6 +199,7 @@ class AsyncPreparationService:
         max_batch_delay: float = 0.005,
         max_concurrent_batches: int | None = None,
         metrics: MetricsRegistry | None = None,
+        placement: ShardPlacement | None = None,
     ):
         if (
             max_concurrent_batches is not None
@@ -255,9 +261,17 @@ class AsyncPreparationService:
         self._started_monotonic: float | None = None
         self._max_batch_size = max_batch_size
         self._max_batch_delay = max_batch_delay
-        self._num_shard_locks = max(
-            1, getattr(self.engine.cache, "num_shards", 1)
-        )
+        # All routing decisions go through the placement — the cache
+        # is only its most common source.  ``ShardedCache`` *is* a
+        # placement; plain and duck-typed caches get adapted; cluster
+        # services inject an explicit (remote) placement instead.
+        if placement is None:
+            placement = ShardPlacement.over_cache(self.engine.cache)
+            self._placement_source = self.engine.cache
+        else:
+            self._placement_source = None
+        self.placement = placement
+        self._num_shard_locks = max(1, self.placement.num_shards)
         self._max_concurrent_batches = (
             max_concurrent_batches
             if max_concurrent_batches is not None
@@ -592,7 +606,7 @@ class AsyncPreparationService:
         internally), only counter determinism is guaranteed for
         deterministic jobs.
         """
-        cache = self.engine.cache
+        placement = self._routing_placement()
         if self._num_shard_locks <= 1:
             return {0}, None
         shards: set[int] = set()
@@ -610,8 +624,26 @@ class AsyncPreparationService:
                 keys.append(None)
                 continue
             keys.append(key)
-            shards.add(cache.shard_index(key))
+            shards.add(placement.shard_index(key))
         return shards, keys
+
+    def _routing_placement(self) -> ShardPlacement:
+        """The placement routing decisions use right now.
+
+        Tests (and adventurous callers) may swap ``engine.cache`` on a
+        live service; re-derive the placement when that happens so
+        routing follows the cache, as it did before the placement
+        refactor.  Injected placements are never re-derived.
+        """
+        if (
+            self._placement_source is not None
+            and self._placement_source is not self.engine.cache
+        ):
+            self.placement = ShardPlacement.over_cache(
+                self.engine.cache
+            )
+            self._placement_source = self.engine.cache
+        return self.placement
 
     async def _dispatch_sharded(self, batch: list[QueuedJob]) -> None:
         """Run one micro-batch under the locks of the shards it touches."""
@@ -645,6 +677,26 @@ class AsyncPreparationService:
             # skips this finally) cannot leak it.
             for lock in reversed(acquired):
                 lock.release()
+
+    async def _execute_batch(
+        self,
+        jobs: list[PreparationJob],
+        keys: list[str | None] | None,
+    ) -> BatchResult:
+        """Run one routed micro-batch; the execution seam.
+
+        The base service executes on the in-process engine (on an
+        executor thread, keeping the loop free);
+        :class:`~repro.cluster.ClusterPreparationService` overrides
+        this to fan the batch out to remote shard servers.  ``keys``
+        are the content keys ``_route_batch`` computed (``None`` when
+        routing was skipped), positionally matching ``jobs``.
+        """
+        if keys is not None and self._engine_accepts_keys():
+            return await asyncio.to_thread(
+                self.engine.run_batch, jobs, keys=keys
+            )
+        return await asyncio.to_thread(self.engine.run_batch, jobs)
 
     def _begin_dispatch(
         self, batch: list[QueuedJob]
@@ -697,14 +749,7 @@ class AsyncPreparationService:
             if dispatch_spans else None
         )
         try:
-            if keys is not None and self._engine_accepts_keys():
-                result = await asyncio.to_thread(
-                    self.engine.run_batch, jobs, keys=keys
-                )
-            else:
-                result = await asyncio.to_thread(
-                    self.engine.run_batch, jobs
-                )
+            result = await self._execute_batch(jobs, keys)
         except BaseException as error:  # noqa: BLE001 - fan out to waiters
             if isinstance(error, Exception):
                 for queued in batch:

@@ -18,20 +18,25 @@ micro-batches on per-shard dispatch locks), and its own disk
 directory (``disk_dir/shard-00`` …), so shards can later move to
 separate processes or machines without re-keying anything.
 
-The class mirrors the ``CircuitCache`` surface the
-:class:`~repro.engine.PreparationEngine` uses (``get`` / ``peek`` /
-``put`` / ``clear`` / ``stats`` / ``__len__`` / ``__contains__``), so
-it drops into ``PreparationEngine(cache=ShardedCache(...))``.
+Since the cluster refactor this class *is* a
+:class:`~repro.cluster.ShardPlacement` — the fully local, modulo-
+strategy case of the same abstraction that places
+:class:`~repro.cluster.RemoteShard` fleets on a consistent-hash ring.
+The placement base class provides the routing and the whole
+``CircuitCache`` surface (``get`` / ``peek`` / ``put`` / ``clear`` /
+``stats`` / ``__len__`` / ``__contains__``), so it drops into
+``PreparationEngine(cache=ShardedCache(...))`` exactly as before.
 """
 
 from __future__ import annotations
 
-import hashlib
 import os
-from dataclasses import replace
 from pathlib import Path
 
-from repro.engine.cache import CacheEntry, CacheStats, CircuitCache
+from repro.cluster.backends import LocalShard
+from repro.cluster.placement import ShardPlacement
+from repro.cluster.ring import modulo_index
+from repro.engine.cache import CircuitCache
 from repro.exceptions import EngineError
 
 __all__ = ["ShardedCache", "shard_index"]
@@ -44,11 +49,10 @@ def shard_index(key: str, num_shards: int) -> int:
     built-in ``hash``), and uniform for arbitrary string keys — the
     engine's hex SHA-256 content keys in particular.
     """
-    digest = hashlib.sha256(key.encode()).digest()
-    return int.from_bytes(digest[:8], "big") % num_shards
+    return modulo_index(key, num_shards)
 
 
-class ShardedCache:
+class ShardedCache(ShardPlacement):
     """N independent ``CircuitCache`` shards behind one cache surface.
 
     Args:
@@ -85,25 +89,33 @@ class ShardedCache:
         self._capacity = capacity
         self._disk_dir = Path(disk_dir) if disk_dir is not None else None
         base, remainder = divmod(capacity, num_shards)
-        self.shards: tuple[CircuitCache, ...] = tuple(
-            CircuitCache(
-                capacity=(
-                    max(1, base + (1 if index < remainder else 0))
-                    if capacity > 0
-                    else 0
-                ),
-                disk_dir=(
-                    self._disk_dir / f"shard-{index:02d}"
-                    if self._disk_dir is not None
-                    else None
-                ),
-            )
-            for index in range(num_shards)
+        super().__init__(
+            (
+                LocalShard(
+                    f"shard-{index:02d}",
+                    CircuitCache(
+                        capacity=(
+                            max(1, base + (1 if index < remainder else 0))
+                            if capacity > 0
+                            else 0
+                        ),
+                        disk_dir=(
+                            self._disk_dir / f"shard-{index:02d}"
+                            if self._disk_dir is not None
+                            else None
+                        ),
+                    ),
+                )
+                for index in range(num_shards)
+            ),
+            strategy="modulo",
+            replicas=1,
         )
 
     @property
-    def num_shards(self) -> int:
-        return len(self.shards)
+    def shards(self) -> tuple[CircuitCache, ...]:
+        """The underlying cache shards, in routing order."""
+        return tuple(backend.cache for backend in self.backends)
 
     @property
     def capacity(self) -> int:
@@ -113,55 +125,8 @@ class ShardedCache:
     def disk_dir(self) -> Path | None:
         return self._disk_dir
 
-    @property
-    def stats(self) -> CacheStats:
-        """Aggregated counters: the field-wise sum over all shards."""
-        total = CacheStats()
-        for shard in self.shards:
-            total = total.merged(shard.stats)
-        return total
-
-    def shard_stats(self) -> tuple[CacheStats, ...]:
-        """Per-shard counter snapshots, in shard order."""
-        return tuple(replace(shard.stats) for shard in self.shards)
-
-    # ------------------------------------------------------------------
-    # Routing
-    # ------------------------------------------------------------------
-    def shard_index(self, key: str) -> int:
-        return shard_index(key, len(self.shards))
-
-    def shard_for(self, key: str) -> CircuitCache:
-        """The shard that owns ``key``."""
-        return self.shards[self.shard_index(key)]
-
-    # ------------------------------------------------------------------
-    # CircuitCache surface (delegated to the owning shard)
-    # ------------------------------------------------------------------
-    def get(self, key: str) -> CacheEntry | None:
-        return self.shard_for(key).get(key)
-
-    def peek(self, key: str) -> CacheEntry | None:
-        return self.shard_for(key).peek(key)
-
-    def get_if_present(self, key: str) -> CacheEntry | None:
-        return self.shard_for(key).get_if_present(key)
-
-    def put(self, entry: CacheEntry) -> None:
-        self.shard_for(entry.key).put(entry)
-
-    def clear(self) -> None:
-        for shard in self.shards:
-            shard.clear()
-
-    def __len__(self) -> int:
-        return sum(len(shard) for shard in self.shards)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self.shard_for(key)
-
     def __repr__(self) -> str:
         return (
-            f"ShardedCache(num_shards={len(self.shards)}, "
+            f"ShardedCache(num_shards={len(self.backends)}, "
             f"capacity={self._capacity}, entries={len(self)})"
         )

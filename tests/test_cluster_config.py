@@ -1,0 +1,123 @@
+"""Tests for ``cluster.json`` parsing (`repro.cluster.config`)."""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterConfig, RemoteShard, ShardAddress
+from repro.exceptions import ClusterConfigError
+
+VALID = {
+    "shards": [
+        {"id": "alpha", "addr": "127.0.0.1:9101"},
+        {"id": "beta", "addr": "127.0.0.1:9102"},
+        {"id": "gamma", "addr": "10.0.0.7:9000"},
+    ],
+    "replicas": 2,
+    "connect_timeout": 1.5,
+    "request_timeout": 60.0,
+    "fetch_circuits": False,
+}
+
+
+class TestFromDict:
+    def test_round_trips_every_field(self):
+        config = ClusterConfig.from_dict(VALID)
+        assert [s.shard_id for s in config.shards] == [
+            "alpha", "beta", "gamma",
+        ]
+        assert config.shards[2] == ShardAddress("gamma", "10.0.0.7", 9000)
+        assert config.shards[0].addr == "127.0.0.1:9101"
+        assert config.replicas == 2
+        assert config.connect_timeout == 1.5
+        assert config.request_timeout == 60.0
+        assert config.fetch_circuits is False
+        rebuilt = ClusterConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_defaults_apply(self):
+        config = ClusterConfig.from_dict(
+            {"shards": [{"addr": "localhost:9101"}]}
+        )
+        assert config.shards[0].shard_id == "shard-00"
+        assert config.replicas == 2
+        assert config.fetch_circuits is True
+        assert config.health_interval > 0
+
+    def test_unknown_keys_preserved_in_extra(self):
+        payload = dict(VALID, comment="staging fleet", region="eu")
+        config = ClusterConfig.from_dict(payload)
+        assert config.extra == {
+            "comment": "staging fleet", "region": "eu",
+        }
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"shards": []},
+            {"shards": "not-a-list"},
+            {"shards": ["not-an-object"]},
+            {"shards": [{"id": "a"}]},  # addr missing
+            {"shards": [{"addr": "no-port"}]},
+            {"shards": [{"addr": ":9100"}]},  # host missing
+            {"shards": [{"addr": "h:not-a-port"}]},
+            {"shards": [{"addr": "h:70000"}]},
+            {
+                "shards": [
+                    {"id": "dup", "addr": "h:1"},
+                    {"id": "dup", "addr": "h:2"},
+                ]
+            },
+            {"shards": [{"addr": "h:1", "id": ""}]},
+            dict(VALID, replicas=0),
+            dict(VALID, replicas="two"),
+            dict(VALID, points_per_node=0),
+            dict(VALID, connect_timeout=-1),
+            dict(VALID, request_timeout="fast"),
+            dict(VALID, fetch_circuits="yes"),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutation):
+        payload = dict(VALID)
+        payload.update(mutation)
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig.from_dict(payload)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig.from_dict(["shards"])
+
+
+class TestLoad:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(VALID))
+        assert ClusterConfig.load(path) == ClusterConfig.from_dict(VALID)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ClusterConfigError, match="cannot read"):
+            ClusterConfig.load(tmp_path / "absent.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text("{not json")
+        with pytest.raises(ClusterConfigError, match="not valid JSON"):
+            ClusterConfig.load(path)
+
+
+class TestToPlacement:
+    def test_builds_remote_ring_placement(self):
+        config = ClusterConfig.from_dict(VALID)
+        placement = config.to_placement()
+        assert placement.num_shards == 3
+        assert not placement.is_local
+        assert placement.strategy == "ring"
+        assert placement.replicas == 2
+        for backend, shard in zip(placement.backends, config.shards):
+            assert isinstance(backend, RemoteShard)
+            assert backend.shard_id == shard.shard_id
+            assert backend.addr == shard.addr
+        # Client knobs propagate from the document.
+        assert placement.backends[0].client.connect_timeout == 1.5
+        assert placement.backends[0].client.timeout == 60.0
+        assert placement.backends[0].fetch_circuits is False

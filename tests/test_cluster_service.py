@@ -1,0 +1,301 @@
+"""Integration tests for cluster serving (`repro.cluster.service`).
+
+These spin up real shard-server subprocesses through
+:class:`ShardSupervisor` and drive them through
+:class:`ClusterPreparationService`, checking the acceptance contract
+of the cluster front end:
+
+* outcomes are identical to a single in-process engine run, and the
+  fleet-aggregated cache counters match the single-process replay,
+* killing a shard mid-batch loses zero requests — every future
+  resolves with a success (failover) or a structured per-job failure,
+* ``/healthz`` grows per-shard detail in cluster mode while the plain
+  service keeps its historical shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterPreparationService,
+    ShardPlacement,
+    ShardSupervisor,
+)
+from repro.engine import (
+    PreparationEngine,
+    PreparationJob,
+    comparable_outcome,
+)
+from repro.engine.cache import CircuitCache
+from repro.exceptions import ClusterConfigError
+from repro.net import HttpServer, ReproClient
+from repro.service import AsyncPreparationService
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+# Duplicate-heavy, like real preparation traffic: 4 distinct states,
+# each requested 6 times.
+DISTINCT = [
+    PreparationJob(dims=(3, 6, 2), family="ghz"),
+    PreparationJob(dims=(2, 2, 2), family="w"),
+    PreparationJob(dims=(3, 3), family="random", params={"rng": 7}),
+    PreparationJob(dims=(2, 3), family="random", params={"rng": 11}),
+]
+WORKLOAD = DISTINCT * 6
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def fleet():
+    supervisor = ShardSupervisor(3, replicas=2)
+    supervisor.start()
+    yield supervisor
+    supervisor.terminate(timeout=15.0)
+
+
+class TestConstruction:
+    def test_exactly_one_of_placement_or_config(self, tmp_path):
+        with pytest.raises(ClusterConfigError, match="exactly one"):
+            ClusterPreparationService()
+
+    def test_rejects_local_placement(self):
+        from repro.cluster import LocalShard
+
+        placement = ShardPlacement(
+            [LocalShard("shard-00", CircuitCache(capacity=4))]
+        )
+        with pytest.raises(ClusterConfigError, match="remote"):
+            ClusterPreparationService(placement)
+
+
+class TestOutcomesAndStats:
+    def test_matches_in_process_engine_and_aggregates_cache(
+        self, fleet
+    ):
+        async def scenario():
+            service = ClusterPreparationService(
+                config=fleet.cluster_config()
+            )
+            async with service:
+                result = await service.run_batch(WORKLOAD)
+                stats = await service.wire_stats()
+                health = service.shard_health()
+            return result, stats, health
+
+        result, stats, health = run(scenario())
+
+        # Outcome identity with one in-process engine.
+        assert not result.failures
+        engine = PreparationEngine()
+        reference = engine.run_batch(WORKLOAD)
+        assert [
+            comparable_outcome(o) for o in result.outcomes
+        ] == [comparable_outcome(o) for o in reference.outcomes]
+
+        # Fleet-aggregated engine counters equal the single-process
+        # replay: same keys, same dedup, just spread over 3 shards.
+        assert stats["engine"]["cache_hits"] == engine.stats().cache_hits
+        assert (
+            stats["engine"]["cache_misses"]
+            == engine.stats().cache_misses
+        )
+        assert stats["engine"]["jobs_submitted"] == len(WORKLOAD)
+
+        # The cluster breakdown names every shard, all reachable.
+        cluster = stats["cluster"]
+        assert cluster["num_shards"] == 3
+        assert cluster["healthy"] == 3
+        assert cluster["strategy"] == "ring"
+        assert [row["id"] for row in cluster["shards"]] == [
+            "shard-00", "shard-01", "shard-02",
+        ]
+        assert all(row["reachable"] for row in cluster["shards"])
+
+        # Health rows in placement order, all healthy.
+        assert [row["id"] for row in health] == [
+            "shard-00", "shard-01", "shard-02",
+        ]
+        assert all(row["healthy"] for row in health)
+
+    def test_duplicates_colocate_on_one_shard(self, fleet):
+        # The ring must send payload-identical jobs to one shard, or
+        # the fleet would synthesise (and cache) the state N times.
+        async def scenario():
+            service = ClusterPreparationService(
+                config=fleet.cluster_config()
+            )
+            async with service:
+                await service.run_batch(WORKLOAD)
+                return await service.wire_stats()
+
+        stats = run(scenario())
+        per_shard_misses = [
+            row["engine"]["cache_misses"]
+            for row in stats["cluster"]["shards"]
+        ]
+        assert sum(per_shard_misses) == len(DISTINCT)
+
+
+class TestShardLossMidBatch:
+    def test_zero_lost_requests_when_a_shard_dies(self, fleet):
+        # Enough distinct jobs that every shard owns some, slow
+        # enough that the kill lands mid-flight.
+        jobs = [
+            PreparationJob(
+                dims=(3, 3, 2), family="random", params={"rng": seed}
+            )
+            for seed in range(48)
+        ]
+
+        async def scenario():
+            service = ClusterPreparationService(
+                config=fleet.cluster_config()
+            )
+            async with service:
+                batch = asyncio.ensure_future(service.run_batch(jobs))
+                await asyncio.sleep(0.05)
+                fleet._children[0].process.send_signal(signal.SIGKILL)
+                # The acceptance bound: resolve every request, never
+                # hang.  60s is far above one batch's synthesis time.
+                result = await asyncio.wait_for(batch, timeout=60.0)
+                # The kill may land after shard-00's groups already
+                # finished; then only the active probe notices.  Wait
+                # out a few health intervals.
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while asyncio.get_running_loop().time() < deadline:
+                    health = service.shard_health()
+                    if not health[0]["healthy"]:
+                        break
+                    await asyncio.sleep(0.25)
+            return result, health
+
+        result, health = run(scenario())
+
+        # Zero lost: one resolved outcome per submitted job, each a
+        # success (failover took it) or a structured failure.
+        assert len(result.outcomes) == len(jobs)
+        for outcome in result.outcomes:
+            if not outcome.ok:
+                assert outcome.error_type in (
+                    "ShardUnavailableError", "ClientError",
+                )
+                assert outcome.message
+        # replicas=2 means a single shard loss is fully absorbed
+        # unless both chain entries were the victim — impossible with
+        # distinct ring successors — so everything should in fact
+        # succeed once the client notices the dead socket.
+        assert not result.failures
+
+        by_id = {row["id"]: row for row in health}
+        assert by_id["shard-00"]["healthy"] is False
+
+    def test_failover_before_batch_and_recovery_rows(self, fleet):
+        # Kill a shard *before* traffic: its keys route straight to
+        # replicas, and wire_stats reports it unreachable.
+        fleet._children[1].process.send_signal(signal.SIGKILL)
+        fleet._children[1].process.wait()
+
+        async def scenario():
+            service = ClusterPreparationService(
+                config=fleet.cluster_config()
+            )
+            async with service:
+                result = await service.run_batch(WORKLOAD)
+                stats = await service.wire_stats()
+            return result, stats
+
+        result, stats = run(scenario())
+        assert not result.failures
+        reference = PreparationEngine().run_batch(WORKLOAD)
+        assert [
+            comparable_outcome(o) for o in result.outcomes
+        ] == [comparable_outcome(o) for o in reference.outcomes]
+        rows = {
+            row["id"]: row for row in stats["cluster"]["shards"]
+        }
+        assert rows["shard-01"]["reachable"] is False
+        assert stats["cluster"]["healthy"] == 2
+
+
+class TestHealthzDetail:
+    def test_cluster_healthz_lists_shards(self, fleet):
+        async def scenario():
+            service = ClusterPreparationService(
+                config=fleet.cluster_config()
+            )
+            await service.start()
+            try:
+                async with HttpServer(service) as server:
+                    async with ReproClient(
+                        "127.0.0.1", server.port
+                    ) as client:
+                        return await client.ping()
+            finally:
+                await service.stop()
+
+        health = run(scenario())
+        assert health["status"] == "ok"
+        assert [row["id"] for row in health["shards"]] == [
+            "shard-00", "shard-01", "shard-02",
+        ]
+        for row in health["shards"]:
+            assert set(row) == {"id", "addr", "healthy", "inflight"}
+
+    def test_plain_healthz_keeps_historical_shape(self):
+        async def scenario():
+            service = AsyncPreparationService()
+            await service.start()
+            try:
+                async with HttpServer(service) as server:
+                    async with ReproClient(
+                        "127.0.0.1", server.port
+                    ) as client:
+                        return await client.ping()
+            finally:
+                await service.stop()
+
+        health = run(scenario())
+        assert "shards" not in health
+        assert set(health) == {
+            "status", "accepting", "uptime_seconds",
+            "inflight_requests", "v",
+        }
+
+
+class TestConnectTimeout:
+    def test_default_is_unbounded_as_before(self):
+        client = ReproClient("127.0.0.1", 1)
+        assert client.connect_timeout is None
+
+    def test_connect_timeout_fails_fast_with_transport_error(self):
+        from repro.net import ClientError
+
+        # TEST-NET-1 (RFC 5737) is never routable: the connect either
+        # hangs (timeout fires) or the network refuses it outright —
+        # both must surface as a fast transport ClientError.
+        async def scenario():
+            client = ReproClient(
+                "192.0.2.1", 9, transport="tcp",
+                connect_timeout=0.5,
+            )
+            try:
+                with pytest.raises(ClientError) as info:
+                    await asyncio.wait_for(client.ping(), timeout=10.0)
+            finally:
+                await client.aclose()
+            return info.value
+
+        started = time.monotonic()
+        error = run(scenario())
+        assert error.code == "transport"
+        assert time.monotonic() - started < 10.0

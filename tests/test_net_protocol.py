@@ -17,6 +17,7 @@ from repro.net.protocol import (
     error_code,
     error_envelope,
     execute_request,
+    outcome_from_wire,
     outcome_to_wire,
     parse_batch_payload,
     parse_prepare_payload,
@@ -249,3 +250,74 @@ class TestExecuteRequest:
         assert result["outcomes"][0]["ok"] is True
         assert result["outcomes"][1]["ok"] is False
         assert "code" in result["outcomes"][1]["error"]
+
+
+class TestOutcomeFromWire:
+    """Round-tripping outcomes through the wire (cluster relay path)."""
+
+    @pytest.fixture(scope="class")
+    def job(self):
+        return PreparationJob(dims=(3, 6, 2), family="ghz")
+
+    @pytest.fixture(scope="class")
+    def outcome(self, job):
+        return PreparationEngine().submit(job)
+
+    def test_success_round_trip_with_circuit(self, job, outcome):
+        wire = outcome_to_wire(outcome, include_circuit=True)
+        rebuilt = outcome_from_wire(
+            json.loads(json.dumps(wire)), job
+        )
+        assert rebuilt.ok
+        assert rebuilt.key == outcome.key
+        assert rebuilt.job is job
+        assert rebuilt.report == outcome.report
+        assert len(rebuilt.circuit) == len(outcome.circuit)
+        assert comparable_outcome(rebuilt) == comparable_outcome(outcome)
+
+    def test_success_without_circuit_yields_none(self, job, outcome):
+        rebuilt = outcome_from_wire(outcome_to_wire(outcome), job)
+        assert rebuilt.ok
+        assert rebuilt.circuit is None
+        assert rebuilt.report == outcome.report
+
+    def test_failure_round_trip(self):
+        job = PreparationJob(
+            dims=(2, 2), family="dicke", params={"excitations": 7}
+        )
+        outcome = PreparationEngine().submit(job)
+        assert not outcome.ok
+        rebuilt = outcome_from_wire(outcome_to_wire(outcome), job)
+        assert not rebuilt.ok
+        assert rebuilt.error_type == outcome.error_type
+        assert rebuilt.message == outcome.message
+
+    def test_unknown_report_fields_from_newer_peer_ignored(
+        self, job, outcome
+    ):
+        wire = outcome_to_wire(outcome)
+        wire["report"] = dict(
+            wire["report"], invented_in_v99="whatever"
+        )
+        rebuilt = outcome_from_wire(wire, job)
+        assert rebuilt.report == outcome.report
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"ok": "yes"},                      # ok not a bool
+            {"key": 7},                         # key not a string
+            {"report": None},                   # success without report
+            {"report": {"wrong": "shape"}},     # unusable report
+            {"circuit": "not qdasm"},           # unparseable circuit
+            {"stage_timings": "fast"},          # timings not an object
+        ],
+    )
+    def test_malformed_wire_is_bad_response(
+        self, job, outcome, mutation
+    ):
+        wire = outcome_to_wire(outcome, include_circuit=True)
+        wire.update(mutation)
+        with pytest.raises(WireError) as info:
+            outcome_from_wire(wire, job)
+        assert info.value.code == "bad_response"
