@@ -33,6 +33,10 @@ class Circuit:
         self._register = as_register(register)
         self._gates: list[Gate] = []
         self._global_phase = 0.0
+        # Number of leading gates known valid for this register;
+        # append keeps it current, so ensure_validated() is O(1) for
+        # circuits built through the public API.
+        self._validated_operations = 0
 
     # ------------------------------------------------------------------
     # Properties
@@ -82,6 +86,30 @@ class Circuit:
         """
         gate.validate(self.dims)
         self._gates.append(gate)
+        if self._validated_operations == len(self._gates) - 1:
+            self._validated_operations = len(self._gates)
+
+    def ensure_validated(self) -> None:
+        """Guarantee every gate has been validated for this register.
+
+        :meth:`append` validates each gate on entry, so this is a
+        counter comparison for circuits built through the public API;
+        simulation kernels call it once per circuit instead of paying
+        ``gate.validate`` per gate per run.  Gates that joined the
+        list without passing through ``append`` are validated here in
+        one pass (the container's only mutators are ``append`` and
+        ``extend``, so this is a defensive path).
+
+        Raises:
+            CircuitError: If an unvalidated gate does not fit.
+        """
+        if self._validated_operations == len(self._gates):
+            return
+        dims = self.dims
+        start = min(self._validated_operations, len(self._gates))
+        for gate in self._gates[start:]:
+            gate.validate(dims)
+        self._validated_operations = len(self._gates)
 
     def extend(self, gates: Iterable[Gate]) -> None:
         """Append multiple gates in order."""

@@ -193,6 +193,11 @@ class VerifyPass(Pass):
     produced state is projected onto the ancilla-``|0>`` subspace
     before comparison (the counter construction returns the ancilla
     clean, so no amplitude is lost).
+
+    Simulation runs through the fused, level-batched kernel unless
+    ``config.fused_verify`` is ``False`` (or the circuit is not
+    fusable, in which case the per-gate kernel takes over
+    automatically).
     """
 
     name = "verify"
@@ -207,10 +212,13 @@ class VerifyPass(Pass):
             )
         target = context.target
         circuit = context.circuit
+        fused = context.config.fused_verify
         if tuple(circuit.dims) == tuple(target.dims):
-            context.fidelity = verify_preparation(circuit, target)
+            context.fidelity = verify_preparation(
+                circuit, target, fused=fused
+            )
             return context
-        produced = prepared_state(circuit)
+        produced = prepared_state(circuit, fused=fused)
         if (
             tuple(produced.dims[: len(target.dims)]) != tuple(target.dims)
             or produced.register.size % target.register.size != 0

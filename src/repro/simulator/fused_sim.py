@@ -1,0 +1,604 @@
+"""Fused, level-batched circuit execution for verification.
+
+The per-gate kernel (:func:`repro.simulator.statevector_sim.simulate_inplace`)
+pays one Python iteration — slice, moveaxis, matmul — per gate.  The
+circuits this library verifies are synthesised from decision diagrams,
+so their gates are highly structured: every DD node contributes a run
+of ``d - 1`` Givens rotations plus one phase rotation sharing a single
+``(target, controls)`` pair, and sibling nodes at one level pin the
+same control qudits to *different* levels, i.e. they address disjoint
+subspaces of the state.  This module compiles that structure away in
+two stages:
+
+1. **Fuse** — consecutive gates with identical ``(target, controls)``
+   fold into one ``d x d`` local matrix (a :class:`FusedSegment`),
+   collapsing each node ladder into a single application.
+2. **Batch** — segments whose control patterns are pairwise disjoint
+   (they conflict on at least one control qudit) commute, so a sound
+   list scheduler regroups them: segments sharing a
+   ``(target, control-qudit-set)`` key and distinct level patterns
+   land in one :class:`BatchedGroup`, executed as a single batched
+   ``matmul`` over the gathered subspace slices instead of one Python
+   iteration per DD node.
+
+The result is a :class:`FusionPlan` — a circuit-independent-of-state
+artefact that can be cached (:class:`FusionPlanCache`) and replayed
+against many buffers.  Execution is written against the NumPy API
+surface through the :class:`~repro.dd.array_backend.ArrayBackend`
+seam, so a CuPy backend runs the same plan on device.
+
+Scheduling is *conservative*: two segments are reordered only when
+their control patterns provably address disjoint subspaces.  Any
+circuit therefore executes correctly — an arbitrary gate soup simply
+degenerates to one group per segment, and circuits containing objects
+outside the :class:`~repro.circuit.gate.Gate` contract are rejected at
+compile time so callers can fall back to the per-gate kernel.
+"""
+
+from __future__ import annotations
+
+import cmath
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.controls import Control
+from repro.circuit.gate import Gate
+from repro.dd.array_backend import ArrayBackend, get_array_backend
+from repro.exceptions import SimulationError
+from repro.simulator.statevector_sim import GateMatrixCache
+
+__all__ = [
+    "FUSED_VERIFY_ENV",
+    "BatchedGroup",
+    "FusedSegment",
+    "FusionPlan",
+    "FusionPlanCache",
+    "compile_plan",
+    "default_fused_verify",
+    "execute_plan",
+    "run_fused_inplace",
+    "shared_matrix_cache",
+    "shared_plan_cache",
+    "simulate_fused",
+]
+
+#: Environment variable gating the fused verification default;
+#: ``0`` / ``false`` / ``no`` / ``off`` force the per-gate kernel
+#: everywhere a caller does not pick explicitly (CI runs the tier-1
+#: suite once this way so the fallback path stays green).
+FUSED_VERIFY_ENV = "REPRO_FUSED_VERIFY"
+
+_FALSE_VALUES = frozenset({"0", "false", "no", "off"})
+
+#: The scheduler walks at most this many groups backwards looking for
+#: a batch to join.  Synthesised circuits need a walk no deeper than
+#: the register width (the groups behind a segment are the already
+#: merged deeper-level batches); the cap keeps pathological gate soups
+#: from turning compilation quadratic.
+_MAX_SCHEDULING_SCAN = 96
+
+
+def default_fused_verify() -> bool:
+    """Whether fused execution is the default for this process.
+
+    Reads :data:`FUSED_VERIFY_ENV`; unset or empty means enabled.
+    """
+    value = os.environ.get(FUSED_VERIFY_ENV, "").strip().lower()
+    return value not in _FALSE_VALUES if value else True
+
+
+# ----------------------------------------------------------------------
+# Plan data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FusedSegment:
+    """A maximal run of gates sharing one ``(target, controls)`` pair.
+
+    Attributes:
+        target: Target qudit of every fused gate.
+        controls: The shared control conditions (sorted by qudit).
+        matrix: Product of the run's local matrices in application
+            order (``m_k @ ... @ m_1``).
+        gate_count: Number of source gates folded into this segment.
+    """
+
+    target: int
+    controls: tuple[Control, ...]
+    matrix: np.ndarray
+    gate_count: int
+
+
+@dataclass(frozen=True)
+class BatchedGroup:
+    """Execution form of one batch of disjoint-subspace segments.
+
+    The amplitude tensor is permuted so the control qudits lead and
+    the target follows; each member then owns one row of the
+    ``(control_space, d, rest)`` block, selected by its flattened
+    control assignment.  One batched ``matmul`` applies every member.
+
+    Attributes:
+        target: Target qudit shared by all members.
+        control_qudits: The pinned qudits (sorted), identical across
+            members; the members' level assignments are pairwise
+            distinct, which is what makes their subspaces disjoint.
+        perm / inverse_perm: Axis permutation to/from the grouped
+            layout ``control_qudits + (target,) + rest``.
+        transposed_shape: Tensor shape after ``perm``.
+        block_shape: ``(control_space, d, rest)`` working shape.
+        indices: Flattened control assignment of each member,
+            shape ``(k,)``.
+        matrices: Stacked member matrices, shape ``(k, d, d)``.
+        contiguous: True when ``perm`` is the identity, i.e. the
+            working block is a view of the caller's buffer and the
+            write-back copy can be skipped.
+        gate_count: Source gates covered by this group.
+    """
+
+    target: int
+    control_qudits: tuple[int, ...]
+    perm: tuple[int, ...]
+    inverse_perm: tuple[int, ...]
+    transposed_shape: tuple[int, ...]
+    block_shape: tuple[int, int, int]
+    indices: np.ndarray
+    matrices: np.ndarray
+    contiguous: bool
+    gate_count: int
+
+    @property
+    def num_segments(self) -> int:
+        """Number of fused segments batched into this group."""
+        return int(self.indices.shape[0])
+
+
+@dataclass(frozen=True)
+class FusionPlan:
+    """A compiled circuit: batched groups plus the global phase.
+
+    Attributes:
+        dims: Register dimensions the plan was compiled for.
+        size: Total amplitude count (``prod(dims)``).
+        global_phase: The circuit's global phase at compile time.
+        groups: The batched groups in execution order.
+        num_gates: Source gates covered by the plan.
+        num_segments: Fused segments before batching.
+    """
+
+    dims: tuple[int, ...]
+    size: int
+    global_phase: float
+    groups: tuple[BatchedGroup, ...]
+    num_gates: int
+    num_segments: int
+
+    @property
+    def num_groups(self) -> int:
+        """Number of batched applications one execution performs."""
+        return len(self.groups)
+
+
+# ----------------------------------------------------------------------
+# Stage 1: fuse consecutive same-pattern gates
+# ----------------------------------------------------------------------
+def _fuse_segments(
+    circuit: Circuit, matrix_cache: GateMatrixCache
+) -> list[FusedSegment]:
+    dims = circuit.dims
+    segments: list[FusedSegment] = []
+    target = -1
+    controls: tuple[Control, ...] = ()
+    matrix: np.ndarray | None = None
+    count = 0
+    for gate in circuit.gates:
+        if not isinstance(gate, Gate):
+            raise SimulationError(
+                f"cannot fuse {gate!r}: not a single-target Gate"
+            )
+        dimension = dims[gate.target]
+        local = matrix_cache.matrix(gate, dimension)
+        if local.shape != (dimension, dimension):
+            raise SimulationError(
+                f"cannot fuse {gate!r}: local matrix of shape "
+                f"{local.shape} does not act on dimension {dimension}"
+            )
+        if (
+            matrix is not None
+            and gate.target == target
+            and gate.controls == controls
+        ):
+            matrix = local @ matrix
+            count += 1
+            continue
+        if matrix is not None:
+            segments.append(
+                FusedSegment(target, controls, matrix, count)
+            )
+        target, controls, matrix, count = (
+            gate.target, gate.controls, local, 1
+        )
+    if matrix is not None:
+        segments.append(FusedSegment(target, controls, matrix, count))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Stage 2: sound list scheduling into disjoint-subspace batches
+# ----------------------------------------------------------------------
+class _GroupBuilder:
+    """One forming batch: same pattern key, disjoint level patterns."""
+
+    __slots__ = (
+        "key", "level_keys", "vectors", "levels", "matrices",
+        "gate_count", "_stacked",
+    )
+
+    def __init__(self, key: tuple[int, tuple[int, ...]]):
+        self.key = key
+        self.level_keys: set[tuple[int, ...]] = set()
+        self.vectors: list[np.ndarray] = []
+        self.levels: list[tuple[int, ...]] = []
+        self.matrices: list[np.ndarray] = []
+        self.gate_count = 0
+        self._stacked: np.ndarray | None = None
+
+    def add(
+        self,
+        levels: tuple[int, ...],
+        vector: np.ndarray,
+        segment: FusedSegment,
+    ) -> None:
+        self.level_keys.add(levels)
+        self.vectors.append(vector)
+        self.levels.append(levels)
+        self.matrices.append(segment.matrix)
+        self.gate_count += segment.gate_count
+        self._stacked = None
+
+    def disjoint_from(self, vector: np.ndarray) -> bool:
+        """Whether ``vector``'s subspace misses every member's.
+
+        Disjointness requires a conflict — a qudit controlled by both
+        patterns at different levels — against *each* member; disjoint
+        operators act on disjoint amplitude sets and therefore
+        commute, which is what licenses moving a segment past this
+        group.
+        """
+        if self._stacked is None:
+            self._stacked = np.vstack(self.vectors)
+        stacked = self._stacked
+        conflicts = (
+            (stacked >= 0) & (vector >= 0) & (stacked != vector)
+        )
+        return bool(conflicts.any(axis=1).all())
+
+
+def _schedule(
+    segments: list[FusedSegment], num_qudits: int
+) -> list[_GroupBuilder]:
+    groups: list[_GroupBuilder] = []
+    for segment in segments:
+        qudits = tuple(c.qudit for c in segment.controls)
+        levels = tuple(c.level for c in segment.controls)
+        vector = np.full(num_qudits, -1, dtype=np.int16)
+        if qudits:
+            vector[list(qudits)] = levels
+        key = (segment.target, qudits)
+        placed: _GroupBuilder | None = None
+        scanned = 0
+        for group in reversed(groups):
+            if group.key == key:
+                if levels not in group.level_keys:
+                    # Same qudit set, new level pattern: disjoint
+                    # from every member by construction, and we
+                    # proved commutation with everything in between.
+                    placed = group
+                break
+            scanned += 1
+            if scanned > _MAX_SCHEDULING_SCAN or not group.disjoint_from(
+                vector
+            ):
+                break
+        if placed is None:
+            placed = _GroupBuilder(key)
+            groups.append(placed)
+        placed.add(levels, vector, segment)
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Stage 3: lower builders to execution form
+# ----------------------------------------------------------------------
+def _lower(
+    builders: list[_GroupBuilder],
+    dims: tuple[int, ...],
+) -> tuple[BatchedGroup, ...]:
+    num_qudits = len(dims)
+    lowered = []
+    for builder in builders:
+        target, qudits = builder.key
+        dimension = dims[target]
+        rest = tuple(
+            q for q in range(num_qudits)
+            if q != target and q not in qudits
+        )
+        perm = qudits + (target,) + rest
+        inverse_perm = tuple(int(p) for p in np.argsort(perm))
+        transposed_shape = tuple(dims[p] for p in perm)
+        control_dims = tuple(dims[q] for q in qudits)
+        control_space = int(np.prod(control_dims, dtype=np.int64))
+        rest_size = int(np.prod([dims[q] for q in rest] or [1]))
+        if qudits:
+            indices = np.asarray(
+                [
+                    np.ravel_multi_index(levels, control_dims)
+                    for levels in builder.levels
+                ],
+                dtype=np.intp,
+            )
+        else:
+            indices = np.zeros(len(builder.levels), dtype=np.intp)
+        matrices = np.stack(builder.matrices)
+        lowered.append(
+            BatchedGroup(
+                target=target,
+                control_qudits=qudits,
+                perm=perm,
+                inverse_perm=inverse_perm,
+                transposed_shape=transposed_shape,
+                block_shape=(control_space, dimension, rest_size),
+                indices=indices,
+                matrices=matrices,
+                contiguous=perm == tuple(range(num_qudits)),
+                gate_count=builder.gate_count,
+            )
+        )
+    return tuple(lowered)
+
+
+def compile_plan(
+    circuit: Circuit,
+    matrix_cache: GateMatrixCache | None = None,
+) -> FusionPlan:
+    """Compile a circuit into a replayable :class:`FusionPlan`.
+
+    Args:
+        circuit: The circuit to compile.  Gates were validated against
+            the register on :meth:`Circuit.append`, so compilation
+            performs no per-gate re-validation.
+        matrix_cache: Shared local-matrix memo; the process-wide
+            :func:`shared_matrix_cache` when ``None``.
+
+    Raises:
+        SimulationError: If the circuit contains an object outside the
+            single-target :class:`Gate` contract (callers fall back to
+            the per-gate kernel).
+    """
+    if matrix_cache is None:
+        matrix_cache = shared_matrix_cache()
+    segments = _fuse_segments(circuit, matrix_cache)
+    builders = _schedule(segments, circuit.num_qudits)
+    return FusionPlan(
+        dims=circuit.dims,
+        size=circuit.register.size,
+        global_phase=circuit.global_phase,
+        groups=_lower(builders, circuit.dims),
+        num_gates=circuit.num_operations,
+        num_segments=len(segments),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_plan(
+    plan: FusionPlan,
+    amplitudes,
+    backend: ArrayBackend | str | None = None,
+) -> None:
+    """Replay a plan against a writable amplitude buffer, in place.
+
+    Args:
+        plan: The compiled circuit.
+        amplitudes: Writable complex vector of ``plan.size`` elements,
+            owned by the caller; mutated to the output state.  With a
+            non-NumPy backend this is the backend's array type.
+        backend: The :class:`~repro.dd.array_backend.ArrayBackend`
+            whose namespace executes the plan (NumPy when ``None``).
+
+    Raises:
+        SimulationError: If the buffer size does not match the plan.
+    """
+    resolved = get_array_backend(backend)
+    if amplitudes.shape != (plan.size,):
+        raise SimulationError(
+            f"buffer of shape {amplitudes.shape} cannot hold a state "
+            f"over dims {plan.dims}"
+        )
+    tensor = amplitudes.reshape(plan.dims)
+    for group in plan.groups:
+        indices = resolved.asarray(group.indices)
+        matrices = resolved.asarray(group.matrices)
+        if group.contiguous:
+            # The grouped layout is the buffer's own layout: the
+            # reshape is a view and writes land in place directly.
+            work = tensor.reshape(group.block_shape)
+            work[indices] = matrices @ work[indices]
+            continue
+        view = tensor.transpose(group.perm)
+        work = view.reshape(group.block_shape)
+        work[indices] = matrices @ work[indices]
+        view[...] = work.reshape(group.transposed_shape)
+    if plan.global_phase:
+        amplitudes *= cmath.exp(1j * plan.global_phase)
+
+
+# ----------------------------------------------------------------------
+# Plan cache and process-wide shared instances
+# ----------------------------------------------------------------------
+class FusionPlanCache:
+    """LRU memo of :class:`FusionPlan` objects keyed by circuit.
+
+    Plans are keyed by circuit *object identity* (circuits compare by
+    value but are mutable and unhashable); an entry pins its circuit,
+    so a recycled ``id`` can never alias, and is revalidated against
+    the circuit's operation count and global phase — appending gates
+    or changing the phase recompiles on the next request.  A bounded
+    LRU keeps long-running serve processes from growing without limit.
+    """
+
+    DEFAULT_MAXSIZE = 256
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._plans: OrderedDict[
+            int, tuple[Circuit, int, float, FusionPlan]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def plan(
+        self,
+        circuit: Circuit,
+        matrix_cache: GateMatrixCache | None = None,
+    ) -> FusionPlan:
+        """Return (and memoise) the plan for ``circuit``."""
+        key = id(circuit)
+        with self._lock:
+            entry = self._plans.get(key)
+            if (
+                entry is not None
+                and entry[0] is circuit
+                and entry[1] == circuit.num_operations
+                and entry[2] == circuit.global_phase
+            ):
+                self._plans.move_to_end(key)
+                self._hits += 1
+                return entry[3]
+        plan = compile_plan(circuit, matrix_cache)
+        with self._lock:
+            self._misses += 1
+            self._plans[key] = (
+                circuit,
+                circuit.num_operations,
+                circuit.global_phase,
+                plan,
+            )
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._maxsize:
+                self._plans.popitem(last=False)
+        return plan
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the memo."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that compiled a fresh plan."""
+        return self._misses
+
+    def clear(self) -> None:
+        """Drop every cached plan."""
+        with self._lock:
+            self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+_SHARED_PLAN_CACHE = FusionPlanCache()
+_SHARED_MATRIX_CACHE = GateMatrixCache()
+
+
+def shared_plan_cache() -> FusionPlanCache:
+    """The process-wide plan cache verification shares by default.
+
+    One cache across engine batches means a circuit synthesised once
+    and verified many times (cache replays, repeated benchmarks,
+    serving duplicates) compiles exactly once.
+    """
+    return _SHARED_PLAN_CACHE
+
+
+def shared_matrix_cache() -> GateMatrixCache:
+    """The process-wide gate-matrix memo paired with the plan cache.
+
+    Bounded by :attr:`GateMatrixCache.DEFAULT_MAXSIZE`, so long-running
+    ``serve`` processes cannot grow it without limit.
+    """
+    return _SHARED_MATRIX_CACHE
+
+
+# ----------------------------------------------------------------------
+# Front doors
+# ----------------------------------------------------------------------
+def run_fused_inplace(
+    circuit: Circuit,
+    amplitudes,
+    plan_cache: FusionPlanCache | None = None,
+    matrix_cache: GateMatrixCache | None = None,
+    backend: ArrayBackend | str | None = None,
+) -> bool:
+    """Execute ``circuit`` on a caller-owned buffer via a cached plan.
+
+    Returns ``True`` on success and ``False`` when the circuit is not
+    fusable — the caller then falls back to the per-gate kernel with
+    the buffer untouched (compilation happens before any write).
+    """
+    if plan_cache is None:
+        plan_cache = _SHARED_PLAN_CACHE
+    try:
+        plan = plan_cache.plan(circuit, matrix_cache)
+    except SimulationError:
+        return False
+    execute_plan(plan, amplitudes, backend)
+    return True
+
+
+def simulate_fused(
+    circuit: Circuit,
+    initial=None,
+    plan_cache: FusionPlanCache | None = None,
+    matrix_cache: GateMatrixCache | None = None,
+):
+    """Run a circuit through the fused kernel (default ``|0...0>``).
+
+    The immutable analogue of :func:`run_fused_inplace`: allocates one
+    private buffer, compiles (or reuses) the plan, and returns the
+    output :class:`~repro.states.statevector.StateVector`.  Falls back
+    to the per-gate kernel for non-fusable circuits.
+
+    Raises:
+        SimulationError: If the initial state's register mismatches.
+    """
+    # Local import: statevector_sim is this module's import parent.
+    from repro.simulator.statevector_sim import simulate_inplace
+    from repro.states.statevector import StateVector
+
+    if initial is None:
+        buffer = np.zeros(circuit.register.size, dtype=np.complex128)
+        buffer[0] = 1.0
+    elif initial.register != circuit.register:
+        raise SimulationError(
+            f"initial state on {initial.dims} does not match circuit "
+            f"on {circuit.dims}"
+        )
+    else:
+        buffer = np.array(
+            initial.amplitudes, dtype=np.complex128, copy=True
+        )
+    if not run_fused_inplace(
+        circuit, buffer, plan_cache, matrix_cache
+    ):
+        simulate_inplace(circuit, buffer)
+    return StateVector(buffer, circuit.register)

@@ -27,6 +27,8 @@ Two execution paths are provided:
 from __future__ import annotations
 
 import cmath
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -54,22 +56,61 @@ class GateMatrixCache:
     the same dimension share one matrix.  Matrices are marked
     read-only before being handed out; the simulation kernels never
     write to them.
+
+    The memo is a bounded LRU: one cache instance is shared across
+    engine batches in long-running ``serve`` processes (see
+    :func:`repro.simulator.fused_sim.shared_matrix_cache`), so without
+    a cap an adversarial stream of distinct rotation angles would grow
+    it without limit.  The generous default never evicts in one-shot
+    use.  Thread-safe — concurrent batches share one instance.
+
+    Args:
+        maxsize: Entry cap; least-recently-used matrices are evicted
+            past it.
     """
 
-    __slots__ = ("_matrices",)
+    __slots__ = ("_matrices", "_maxsize", "_lock")
 
-    def __init__(self):
-        self._matrices: dict[tuple, np.ndarray] = {}
+    #: Default entry cap — generous (a few thousand distinct local
+    #: matrices per verified circuit is typical; the largest bench
+    #: scenario needs well under half of this).
+    DEFAULT_MAXSIZE = 16384
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE):
+        if maxsize < 1:
+            raise SimulationError(
+                f"maxsize must be >= 1, got {maxsize}"
+            )
+        self._matrices: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
 
     def matrix(self, gate: Gate, dimension: int) -> np.ndarray:
         """Return (and memoise) ``gate.matrix(dimension)``."""
         key = (gate.__class__, gate._parameters(), dimension)
-        matrix = self._matrices.get(key)
-        if matrix is None:
-            matrix = np.asarray(gate.matrix(dimension), dtype=np.complex128)
-            matrix.setflags(write=False)
+        with self._lock:
+            matrix = self._matrices.get(key)
+            if matrix is not None:
+                self._matrices.move_to_end(key)
+                return matrix
+        matrix = np.asarray(gate.matrix(dimension), dtype=np.complex128)
+        matrix.setflags(write=False)
+        with self._lock:
             self._matrices[key] = matrix
+            self._matrices.move_to_end(key)
+            while len(self._matrices) > self._maxsize:
+                self._matrices.popitem(last=False)
         return matrix
+
+    @property
+    def maxsize(self) -> int:
+        """The entry cap of this cache."""
+        return self._maxsize
+
+    def clear(self) -> None:
+        """Drop every memoised matrix."""
+        with self._lock:
+            self._matrices.clear()
 
     def __len__(self) -> int:
         return len(self._matrices)
@@ -145,9 +186,14 @@ def simulate_inplace(
         )
     if matrix_cache is None:
         matrix_cache = GateMatrixCache()
+    # One per-circuit validation pass instead of one validate() per
+    # gate per call: Circuit.append validated every gate against this
+    # register on entry, so the memoised pass is free for circuits
+    # built through the public API and re-validates only when the
+    # gate list was manipulated behind the container's back.
+    circuit.ensure_validated()
     tensor = amplitudes.reshape(dims)
     for gate in circuit.gates:
-        gate.validate(dims)
         apply_gate_inplace(
             tensor, gate, matrix_cache.matrix(gate, dims[gate.target])
         )
@@ -175,16 +221,33 @@ def apply_gate(state: StateVector, gate: Gate) -> StateVector:
 def simulate(
     circuit: Circuit,
     initial: StateVector | None = None,
+    *,
+    fused: bool | None = None,
 ) -> StateVector:
     """Run a circuit on an initial state (default ``|0...0>``).
 
     The circuit's global phase is applied to the result.  The
-    immutable contract is kept by running the in-place kernel on one
+    immutable contract is kept by running an in-place kernel on one
     private copy of the initial amplitudes.
+
+    Args:
+        circuit: The circuit to execute.
+        initial: Input state; ``|0...0>`` when ``None``.
+        fused: Execute through the fused, level-batched kernel of
+            :mod:`repro.simulator.fused_sim` (identical results within
+            rounding; non-fusable circuits fall back automatically).
+            ``None`` follows the process default
+            (:func:`~repro.simulator.fused_sim.default_fused_verify`,
+            i.e. fused unless ``REPRO_FUSED_VERIFY=0``); pass
+            ``False`` to force the per-gate kernel, whose results are
+            bit-for-bit those of :func:`simulate_inplace`.
 
     Raises:
         SimulationError: If the initial state's register mismatches.
     """
+    # Local import: fused_sim imports this module for GateMatrixCache.
+    from repro.simulator import fused_sim
+
     if initial is None:
         buffer = np.zeros(circuit.register.size, dtype=np.complex128)
         buffer[0] = 1.0
@@ -197,7 +260,10 @@ def simulate(
         buffer = np.array(
             initial.amplitudes, dtype=np.complex128, copy=True
         )
-    simulate_inplace(circuit, buffer)
+    if fused is None:
+        fused = fused_sim.default_fused_verify()
+    if not (fused and fused_sim.run_fused_inplace(circuit, buffer)):
+        simulate_inplace(circuit, buffer)
     return StateVector(buffer, circuit.register)
 
 

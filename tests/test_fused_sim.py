@@ -1,0 +1,468 @@
+"""Tests for the fused, level-batched verification kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import random_statevector
+from repro.circuit.circuit import Circuit
+from repro.circuit.controls import Control
+from repro.circuit.gates import (
+    FourierGate,
+    GivensRotation,
+    PhaseRotation,
+    ShiftGate,
+)
+from repro.core.preparation import prepare_state
+from repro.core.synthesis import synthesize_preparation
+from repro.core.verification import prepared_state, verify_preparation
+from repro.dd.builder import build_dd
+from repro.exceptions import PipelineConfigError, SimulationError
+from repro.pipeline.config import PipelineConfig
+from repro.simulator.fused_sim import (
+    FUSED_VERIFY_ENV,
+    FusionPlanCache,
+    compile_plan,
+    default_fused_verify,
+    execute_plan,
+    run_fused_inplace,
+    simulate_fused,
+)
+from repro.simulator.statevector_sim import (
+    GateMatrixCache,
+    simulate,
+    simulate_inplace,
+)
+from repro.states.library import ghz_state, w_state
+
+ATOL = 1e-12
+
+
+def _zero_buffer(circuit: Circuit) -> np.ndarray:
+    buffer = np.zeros(circuit.register.size, dtype=np.complex128)
+    buffer[0] = 1.0
+    return buffer
+
+
+def _inplace_result(circuit: Circuit) -> np.ndarray:
+    buffer = _zero_buffer(circuit)
+    simulate_inplace(circuit, buffer)
+    return buffer
+
+
+DIMS = st.lists(
+    st.integers(min_value=2, max_value=4), min_size=1, max_size=4
+).map(tuple)
+
+
+@st.composite
+def random_circuits(draw):
+    """A random mixed-dimensional circuit of assorted gates.
+
+    Control patterns, targets, and gate kinds are all randomised, so
+    examples cover fusable runs, disjoint-subspace batches, and
+    order-critical interleavings alike.
+    """
+    dims = draw(DIMS)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    num_gates = draw(st.integers(min_value=0, max_value=40))
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(dims)
+    for _ in range(num_gates):
+        target = int(rng.integers(0, len(dims)))
+        d = dims[target]
+        others = [q for q in range(len(dims)) if q != target]
+        num_controls = int(rng.integers(0, len(others) + 1))
+        chosen = rng.choice(
+            others, size=num_controls, replace=False
+        ) if num_controls else []
+        controls = tuple(
+            Control(int(q), int(rng.integers(0, dims[q])))
+            for q in chosen
+        )
+        kind = int(rng.integers(0, 4))
+        if kind == 0:
+            i, j = sorted(
+                int(x) for x in rng.choice(d, size=2, replace=False)
+            )
+            circuit.append(GivensRotation(
+                target, i, j,
+                float(rng.uniform(-np.pi, np.pi)),
+                float(rng.uniform(-np.pi, np.pi)),
+                controls,
+            ))
+        elif kind == 1:
+            i, j = sorted(
+                int(x) for x in rng.choice(d, size=2, replace=False)
+            )
+            circuit.append(PhaseRotation(
+                target, i, j,
+                float(rng.uniform(-np.pi, np.pi)), controls,
+            ))
+        elif kind == 2:
+            circuit.append(ShiftGate(
+                target, int(rng.integers(1, d + 1)), controls
+            ))
+        else:
+            circuit.append(FourierGate(target, controls))
+    if draw(st.booleans()):
+        circuit.add_global_phase(float(rng.uniform(-np.pi, np.pi)))
+    return circuit
+
+
+class _OpaqueOperation:
+    """A gate-shaped object outside the :class:`Gate` contract.
+
+    Duck-types everything the per-gate kernel touches, so circuits
+    containing it still simulate — but the fused compiler must reject
+    it and fall back.
+    """
+
+    name = "opaque"
+
+    def __init__(self, target: int):
+        self.target = target
+        self.controls = ()
+
+    def validate(self, dims) -> None:
+        pass
+
+    def _parameters(self) -> tuple:
+        return ()
+
+    def matrix(self, dimension: int) -> np.ndarray:
+        return np.eye(dimension, dtype=np.complex128) * 1j
+
+
+class TestFusedMatchesInplace:
+    @given(random_circuits())
+    @settings(max_examples=80, deadline=None)
+    def test_property_zero_state(self, circuit):
+        fused = _zero_buffer(circuit)
+        assert run_fused_inplace(
+            circuit, fused, FusionPlanCache(), GateMatrixCache()
+        )
+        np.testing.assert_allclose(
+            fused, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+
+    @given(random_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_property_random_initial(self, circuit):
+        initial = random_statevector(circuit.dims, seed=17)
+        fused = simulate_fused(
+            circuit, initial, FusionPlanCache(), GateMatrixCache()
+        )
+        reference = simulate(circuit, initial, fused=False)
+        np.testing.assert_allclose(
+            fused.amplitudes, reference.amplitudes, atol=ATOL, rtol=0.0
+        )
+
+    @pytest.mark.parametrize(
+        "dims", [(2,), (3, 2), (2, 3, 4), (3, 3, 3, 2)]
+    )
+    def test_synthesised_circuits(self, dims):
+        target = random_statevector(dims, seed=5)
+        circuit = synthesize_preparation(build_dd(target))
+        fused = _zero_buffer(circuit)
+        assert run_fused_inplace(
+            circuit, fused, FusionPlanCache(), GateMatrixCache()
+        )
+        np.testing.assert_allclose(
+            fused, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+        fidelity = abs(np.vdot(target.amplitudes, fused)) ** 2
+        assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_circuit(self):
+        circuit = Circuit((3, 2))
+        fused = _zero_buffer(circuit)
+        assert run_fused_inplace(circuit, fused, FusionPlanCache())
+        np.testing.assert_array_equal(fused, _zero_buffer(circuit))
+
+    def test_global_phase_only(self):
+        circuit = Circuit((2, 2))
+        circuit.add_global_phase(1.25)
+        fused = _zero_buffer(circuit)
+        assert run_fused_inplace(circuit, fused, FusionPlanCache())
+        np.testing.assert_allclose(
+            fused, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+
+    def test_control_free_circuit(self):
+        circuit = Circuit((3, 4))
+        circuit.append(FourierGate(0))
+        circuit.append(GivensRotation(1, 0, 3, 0.7, 0.1))
+        circuit.append(FourierGate(0))
+        circuit.append(PhaseRotation(1, 1, 2, -0.4))
+        fused = _zero_buffer(circuit)
+        assert run_fused_inplace(circuit, fused, FusionPlanCache())
+        np.testing.assert_allclose(
+            fused, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+
+    def test_order_critical_interleaving(self):
+        # Alternating targets where each gate's control sits on the
+        # other's target: nothing commutes, nothing batches, and the
+        # result must still match the sequential kernel exactly.
+        circuit = Circuit((2, 2))
+        for turn in range(6):
+            if turn % 2 == 0:
+                circuit.append(GivensRotation(
+                    0, 0, 1, 0.3 + turn, 0.2, ((1, 1),)
+                ))
+            else:
+                circuit.append(GivensRotation(
+                    1, 0, 1, 0.9 - turn, 0.5, ((0, 1),)
+                ))
+        plan = compile_plan(circuit, GateMatrixCache())
+        assert plan.num_groups == plan.num_segments == 6
+        fused = _zero_buffer(circuit)
+        execute_plan(plan, fused)
+        np.testing.assert_allclose(
+            fused, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+
+    def test_opaque_operation_falls_back(self):
+        circuit = Circuit((2, 3))
+        circuit.append(GivensRotation(0, 0, 1, 0.4, 0.0))
+        circuit._gates.append(_OpaqueOperation(1))
+        with pytest.raises(SimulationError):
+            compile_plan(circuit, GateMatrixCache())
+        buffer = _zero_buffer(circuit)
+        assert not run_fused_inplace(circuit, buffer, FusionPlanCache())
+        # The buffer is untouched on failure...
+        np.testing.assert_array_equal(buffer, _zero_buffer(circuit))
+        # ...and simulate() silently takes the per-gate path.
+        result = simulate(circuit, fused=True)
+        np.testing.assert_array_equal(
+            result.amplitudes, _inplace_result(circuit)
+        )
+
+
+class TestPlanStructure:
+    def test_ladders_fuse_per_node(self):
+        # Each DD node emits d-1 Givens plus one phase rotation under
+        # one (target, controls) pair: segments == DD nodes visited,
+        # not gates.
+        target = random_statevector((3, 3, 3), seed=11)
+        circuit = synthesize_preparation(build_dd(target))
+        plan = compile_plan(circuit, GateMatrixCache())
+        assert plan.num_segments < plan.num_gates
+        assert sum(g.gate_count for g in plan.groups) == plan.num_gates
+
+    def test_dense_synthesis_batches_per_level(self):
+        # Sibling ladders at one DD level pin the same qudits to
+        # distinct levels, so a dense state collapses to one batched
+        # group per register level.
+        target = random_statevector((3, 3, 3, 2), seed=3)
+        circuit = synthesize_preparation(build_dd(target))
+        plan = compile_plan(circuit, GateMatrixCache())
+        assert plan.num_groups == circuit.num_qudits
+        widths = [g.num_segments for g in plan.groups]
+        assert max(widths) > 1
+
+    def test_ghz_plan_covers_all_gates(self):
+        state = ghz_state((2, 2, 2, 2))
+        circuit = synthesize_preparation(build_dd(state))
+        plan = compile_plan(circuit, GateMatrixCache())
+        assert sum(g.gate_count for g in plan.groups) == (
+            circuit.num_operations
+        )
+        fused = _zero_buffer(circuit)
+        execute_plan(plan, fused)
+        fidelity = abs(np.vdot(state.amplitudes, fused)) ** 2
+        assert fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_execute_rejects_wrong_buffer(self):
+        circuit = Circuit((2, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.1, 0.0))
+        plan = compile_plan(circuit, GateMatrixCache())
+        with pytest.raises(SimulationError):
+            execute_plan(plan, np.zeros(3, dtype=np.complex128))
+
+    def test_simulate_fused_rejects_register_mismatch(self):
+        circuit = Circuit((2, 2))
+        with pytest.raises(SimulationError):
+            simulate_fused(circuit, random_statevector((2, 3), seed=0))
+
+
+class TestPlanCache:
+    def test_hit_on_repeat(self):
+        cache = FusionPlanCache()
+        circuit = Circuit((2, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.2, 0.0))
+        first = cache.plan(circuit)
+        assert cache.plan(circuit) is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_append_invalidates(self):
+        cache = FusionPlanCache()
+        circuit = Circuit((2, 2))
+        circuit.append(GivensRotation(0, 0, 1, 0.2, 0.0))
+        first = cache.plan(circuit)
+        circuit.append(GivensRotation(1, 0, 1, 0.4, 0.1))
+        second = cache.plan(circuit)
+        assert second is not first
+        assert second.num_gates == 2
+        buffer = _zero_buffer(circuit)
+        execute_plan(second, buffer)
+        np.testing.assert_allclose(
+            buffer, _inplace_result(circuit), atol=ATOL, rtol=0.0
+        )
+
+    def test_phase_change_invalidates(self):
+        cache = FusionPlanCache()
+        circuit = Circuit((2,))
+        circuit.append(PhaseRotation(0, 0, 1, 0.3))
+        first = cache.plan(circuit)
+        circuit.add_global_phase(0.9)
+        second = cache.plan(circuit)
+        assert second is not first
+        assert second.global_phase == pytest.approx(
+            circuit.global_phase
+        )
+
+    def test_lru_bound(self):
+        cache = FusionPlanCache(maxsize=2)
+        circuits = []
+        for _ in range(3):
+            qc = Circuit((2,))
+            qc.append(GivensRotation(0, 0, 1, 0.1, 0.0))
+            circuits.append(qc)
+            cache.plan(qc)
+        assert len(cache) == 2
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            FusionPlanCache(maxsize=0)
+
+    def test_matrix_cache_lru_bound(self):
+        cache = GateMatrixCache(maxsize=2)
+        for k in range(4):
+            cache.matrix(GivensRotation(0, 0, 1, 0.1 * k, 0.0), 2)
+        assert len(cache) == 2
+        assert cache.maxsize == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_matrix_cache_rejects_bad_maxsize(self):
+        with pytest.raises(SimulationError):
+            GateMatrixCache(maxsize=0)
+
+
+class TestEnvironmentKnob:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(FUSED_VERIFY_ENV, raising=False)
+        assert default_fused_verify() is True
+
+    @pytest.mark.parametrize(
+        "value", ["0", "false", "FALSE", "no", "off", " Off "]
+    )
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(FUSED_VERIFY_ENV, value)
+        assert default_fused_verify() is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", ""])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(FUSED_VERIFY_ENV, value)
+        assert default_fused_verify() is True
+
+    def test_config_default_follows_env(self, monkeypatch):
+        monkeypatch.setenv(FUSED_VERIFY_ENV, "0")
+        assert PipelineConfig().fused_verify is False
+        monkeypatch.delenv(FUSED_VERIFY_ENV)
+        assert PipelineConfig().fused_verify is True
+
+
+class TestPipelineIntegration:
+    def test_config_validates_flag(self):
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(fused_verify="yes")
+
+    def test_canonical_separates_kernels(self):
+        fused = PipelineConfig(fused_verify=True)
+        plain = PipelineConfig(fused_verify=False)
+        assert fused.canonical() != plain.canonical()
+        assert "fused_verify" in fused.canonical()
+
+    def test_json_round_trip(self):
+        config = PipelineConfig(fused_verify=False)
+        again = PipelineConfig.from_json(config.to_json())
+        assert again == config
+        assert again.fused_verify is False
+
+    @pytest.mark.parametrize("fused_verify", [True, False])
+    def test_verify_pass_both_kernels(self, fused_verify):
+        state = w_state((2, 3, 2))
+        result = prepare_state(
+            state,
+            config=PipelineConfig(fused_verify=fused_verify),
+        )
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("fused_verify", [True, False])
+    def test_verify_pass_transpiled_ancilla(self, fused_verify):
+        # Two-qudit transpilation of a dense state (multi-controlled
+        # ladders) grows the register by an ancilla; the ancilla-aware
+        # VerifyPass branch must work on both kernels.
+        state = random_statevector((2, 2, 2), seed=41)
+        result = prepare_state(
+            state,
+            config=PipelineConfig(
+                transpile="two_qudit", fused_verify=fused_verify
+            ),
+        )
+        assert len(result.circuit.dims) == 4
+        assert result.report.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_verification_kernels_agree(self):
+        target = random_statevector((3, 2, 4), seed=23)
+        circuit = synthesize_preparation(build_dd(target))
+        fused = verify_preparation(circuit, target, fused=True)
+        plain = verify_preparation(circuit, target, fused=False)
+        assert fused == pytest.approx(plain, abs=1e-12)
+        np.testing.assert_allclose(
+            prepared_state(circuit, fused=True).amplitudes,
+            prepared_state(circuit, fused=False).amplitudes,
+            atol=ATOL, rtol=0.0,
+        )
+
+    def test_engine_batches_agree_across_kernels(self):
+        from repro.engine import (
+            PreparationEngine,
+            PreparationJob,
+            SynthesisOptions,
+        )
+
+        def jobs_for(fused):
+            options = SynthesisOptions(fused_verify=fused)
+            return [
+                PreparationJob(
+                    dims=(3, 6, 2), family="ghz", options=options
+                ),
+                PreparationJob(
+                    dims=(4, 3), family="random",
+                    params={"rng": 3}, options=options,
+                ),
+                PreparationJob(
+                    dims=(2, 2, 2), family="w", options=options
+                ),
+            ]
+
+        fused = PreparationEngine().run_batch(jobs_for(True))
+        plain = PreparationEngine().run_batch(jobs_for(False))
+        for left, right in zip(fused.outcomes, plain.outcomes):
+            assert left.ok and right.ok
+            # The knob participates in content keys, so the batches
+            # never alias in a shared cache...
+            assert left.key != right.key
+            # ...while the synthesised circuits and fidelities agree.
+            assert left.circuit == right.circuit
+            assert left.report.fidelity == pytest.approx(
+                right.report.fidelity, abs=1e-12
+            )
