@@ -50,6 +50,7 @@ from repro.engine import (
     PreparationJob,
     comparable_report,
 )
+from repro.obs import MetricsRegistry
 
 FLEET_SIZES = (1, 2, 4)
 DISTINCT_STATES = 144
@@ -78,13 +79,33 @@ def make_workload() -> list[PreparationJob]:
 
 
 async def _replay(config: ClusterConfig, workload):
-    service = ClusterPreparationService(config=config)
+    registry = MetricsRegistry()
+    service = ClusterPreparationService(
+        config=config, metrics=registry
+    )
     async with service:
         start = time.perf_counter()
         result = await service.run_batch(workload)
         elapsed = time.perf_counter() - start
         stats = await service.wire_stats()
-    return result, elapsed, stats
+    return result, elapsed, stats, registry
+
+
+def _latency_percentiles(registry: MetricsRegistry) -> dict:
+    """Fleet-wide shard round-trip percentiles, from the
+    ``repro_cluster_request_seconds`` histogram (bucket counts summed
+    across all shard label series before the quantile walk)."""
+    histogram = registry.get("repro_cluster_request_seconds")
+
+    def at(q: float) -> float | None:
+        value = histogram.aggregate_quantile(q)
+        return round(value, 6) if value is not None else None
+
+    return {
+        "p50_seconds": at(0.50),
+        "p95_seconds": at(0.95),
+        "p99_seconds": at(0.99),
+    }
 
 
 def _measure_fleet(num_shards: int, workload) -> dict:
@@ -97,7 +118,7 @@ def _measure_fleet(num_shards: int, workload) -> dict:
             replicas=2,
             fetch_circuits=False,
         )
-        result, elapsed, stats = asyncio.run(
+        result, elapsed, stats, registry = asyncio.run(
             _replay(config, workload)
         )
     failures = sum(1 for o in result.outcomes if not o.ok)
@@ -107,6 +128,7 @@ def _measure_fleet(num_shards: int, workload) -> dict:
         "failures": failures,
         "seconds": round(elapsed, 6),
         "requests_per_second": round(len(workload) / elapsed, 3),
+        "shard_latency": _latency_percentiles(registry),
         "engine": stats["engine"],
         "outcomes": result,
     }
@@ -118,10 +140,14 @@ def run_benchmark(check: bool = True) -> dict:
     for num_shards in FLEET_SIZES:
         measurements[num_shards] = _measure_fleet(num_shards, workload)
         row = measurements[num_shards]
+        latency = row["shard_latency"]
         print(
             f"[cluster/{num_shards} shard(s)] "
             f"{row['requests']} requests in {row['seconds']:.3f}s = "
-            f"{row['requests_per_second']:.0f} req/s"
+            f"{row['requests_per_second']:.0f} req/s | shard rtt "
+            f"p50={latency['p50_seconds'] * 1e3:.2f}ms "
+            f"p95={latency['p95_seconds'] * 1e3:.2f}ms "
+            f"p99={latency['p99_seconds'] * 1e3:.2f}ms"
         )
 
     cores = usable_cores()

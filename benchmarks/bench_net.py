@@ -176,9 +176,7 @@ def _bench_inprocess_modes() -> tuple[dict[str, dict], dict[str, float]]:
 
 
 def _latency_percentiles(registry, transport: str) -> dict:
-    histogram = registry.histogram(
-        "repro_request_seconds", labels=("transport",)
-    )
+    histogram = registry.get("repro_request_seconds")
     return {
         "p50": histogram.quantile(0.50, transport),
         "p95": histogram.quantile(0.95, transport),
@@ -229,8 +227,8 @@ async def _bench_transport(transport: str) -> dict:
     assert stats.engine.jobs_executed == 3
     latency = _latency_percentiles(registry, transport)
     # The wire layer observed every request it served.
-    wire_count = registry.histogram(
-        "repro_request_seconds", labels=("transport",)
+    wire_count = registry.get(
+        "repro_request_seconds"
     ).count(transport)
     assert wire_count > 0
     return {

@@ -16,7 +16,10 @@ Commands:
   fleet — see ``serve --help`` and ``docs/serving.md``),
 * ``cluster`` — spawn and monitor a local shard fleet
   (``python -m repro cluster supervise --shards 3``) or check one
-  (``cluster status cluster.json``).
+  (``cluster status cluster.json``),
+* ``trace`` — fetch one stitched request trace from a running server
+  (``python -m repro trace req-000001 --addr HOST:PORT``) or, with no
+  id, its per-stage critical-path profile over the retained traces.
 """
 
 from __future__ import annotations
@@ -382,6 +385,12 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="recent request traces retained for GET /v1/trace/<id> "
              "in network mode (default: 256)",
     )
+    parser.add_argument(
+        "--slow-request-ms", type=float, default=None, metavar="MS",
+        help="in network mode, log the full span tree of any request "
+             "slower than this (warning-level 'slow_request' record; "
+             "default: disabled)",
+    )
     return parser
 
 
@@ -431,6 +440,11 @@ async def _serve_network(
         ),
         metrics=registry,
         tracer=tracer,
+        slow_trace_seconds=(
+            options.slow_request_ms / 1000.0
+            if getattr(options, "slow_request_ms", None) is not None
+            else None
+        ),
         **{limit_field: options.max_request_bytes},
     )
     try:
@@ -902,6 +916,138 @@ def _run_cluster_status(options) -> int:
     return 0 if healthy == len(rows) else 1
 
 
+def _trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Fetch one stitched request trace from a running server "
+            "(GET /v1/trace/<id>), or — with no id — its per-stage "
+            "critical-path profile over the retained traces "
+            "(GET /v1/traces/summary)."
+        ),
+    )
+    parser.add_argument(
+        "trace_id", nargs="?", default=None, metavar="ID",
+        help="request/trace id to fetch (omit for the summary "
+             "rollup)",
+    )
+    parser.add_argument(
+        "--addr", required=True, metavar="HOST:PORT",
+        help="address of the server to query",
+    )
+    parser.add_argument(
+        "--tcp", action="store_true",
+        help="speak the NDJSON stream protocol instead of HTTP",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-request timeout (default: 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw JSON payload instead of the rendering",
+    )
+    return parser
+
+
+def _render_trace_spans(node: dict, indent: int, lines: list[str]):
+    duration = node.get("duration") or 0.0
+    children = node.get("children", [])
+    self_seconds = max(
+        0.0,
+        duration - sum((c.get("duration") or 0.0) for c in children),
+    )
+    attributes = node.get("attributes") or {}
+    attr_text = " ".join(
+        f"{name}={value}" for name, value in attributes.items()
+    )
+    lines.append(
+        f"{'  ' * indent}{node.get('name', '?')}"
+        f"  {duration * 1e3:.3f}ms"
+        f" (self {self_seconds * 1e3:.3f}ms)"
+        f"  [{node.get('span_id', '?')}]"
+        + (f"  {attr_text}" if attr_text else "")
+    )
+    for child in children:
+        _render_trace_spans(child, indent + 1, lines)
+
+
+def _run_trace(arguments: list[str]) -> int:
+    from repro.net import ClientError, SyncReproClient
+
+    options = _trace_parser().parse_args(arguments)
+    try:
+        host, port = _parse_listen(options.addr)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        with SyncReproClient(
+            host, port,
+            transport="tcp" if options.tcp else "http",
+            timeout=options.timeout,
+        ) as client:
+            payload = (
+                client.traces_summary()
+                if options.trace_id is None
+                else client.trace(options.trace_id)
+            )
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if options.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if options.trace_id is None:
+        stages = payload.get("stages", {})
+        print(render_table(
+            ["stage", "count", "total [ms]", "self [ms]", "max [ms]",
+             "critical [ms]"],
+            [
+                [
+                    name, row["count"],
+                    f"{row['total_seconds'] * 1e3:.3f}",
+                    f"{row['self_seconds'] * 1e3:.3f}",
+                    f"{row['max_seconds'] * 1e3:.3f}",
+                    f"{row['critical_seconds'] * 1e3:.3f}",
+                ]
+                for name, row in stages.items()
+            ],
+            title=(
+                f"Critical-path profile over "
+                f"{payload.get('traces', 0)} trace(s)"
+            ),
+        ))
+        return 0
+    lines: list[str] = []
+    for root in payload.get("spans", []):
+        _render_trace_spans(root, 0, lines)
+    pids = set()
+
+    def _collect_pids(node):
+        span_id = str(node.get("span_id", ""))
+        if "." in span_id:
+            pids.add(span_id.split(".", 1)[0])
+        for child in node.get("children", []):
+            _collect_pids(child)
+
+    for root in payload.get("spans", []):
+        _collect_pids(root)
+    print(
+        f"trace {payload.get('request_id')} "
+        f"({payload.get('transport', '?')}, "
+        f"{payload.get('duration', 0.0) * 1e3:.3f}ms, "
+        f"{len(pids)} process(es))"
+    )
+    if payload.get("error"):
+        error = payload["error"]
+        print(
+            f"error: {error.get('code')}: {error.get('message')}"
+        )
+    print("\n".join(lines))
+    return 0
+
+
 def _run_cluster(arguments: list[str]) -> int:
     options = _cluster_parser().parse_args(arguments)
     if options.cluster_command == "supervise":
@@ -932,6 +1078,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(rest)
     if command == "cluster":
         return _run_cluster(rest)
+    if command == "trace":
+        return _run_trace(rest)
     print(f"unknown command {command!r}", file=sys.stderr)
     print(__doc__, file=sys.stderr)
     return 2

@@ -22,6 +22,7 @@ failover policy live in :class:`repro.cluster.ShardPlacement`.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Sequence
 
 from ..engine.cache import CircuitCache
@@ -66,13 +67,28 @@ class ShardBackend:
     def inflight(self) -> int:
         return 0
 
+    @property
+    def consecutive_failures(self) -> int:
+        """Failed probes/requests since the last success (0 when
+        healthy; local shards never fail)."""
+        return 0
+
+    @property
+    def last_probe_seconds(self) -> float | None:
+        """Seconds since the last completed health probe (``None``
+        before any probe, and always for local shards)."""
+        return None
+
     def describe(self) -> dict:
-        """Health-endpoint row: ``{id, addr, healthy, inflight}``."""
+        """Health-endpoint row: ``{id, addr, healthy, inflight,
+        last_probe_seconds, consecutive_failures}``."""
         return {
             "id": self.shard_id,
             "addr": self.addr,
             "healthy": self.healthy,
             "inflight": self.inflight,
+            "last_probe_seconds": self.last_probe_seconds,
+            "consecutive_failures": self.consecutive_failures,
         }
 
     async def aclose(self) -> None:
@@ -145,6 +161,13 @@ class RemoteShard(ShardBackend):
         )
         self._healthy = True
         self._inflight = 0
+        self._consecutive_failures = 0
+        self._last_probe_at: float | None = None
+        #: Exported span subtree the shard shipped back with the most
+        #: recent *traced* ``run_jobs`` (``None`` otherwise).  The
+        #: cluster front end reads it while still holding the shard's
+        #: dispatch lock, which serialises ``run_jobs`` per shard.
+        self.last_remote_trace: dict | None = None
 
     @property
     def addr(self) -> str:
@@ -158,15 +181,34 @@ class RemoteShard(ShardBackend):
     def inflight(self) -> int:
         return self._inflight
 
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    @property
+    def last_probe_seconds(self) -> float | None:
+        if self._last_probe_at is None:
+            return None
+        return round(
+            max(0.0, time.monotonic() - self._last_probe_at), 3
+        )
+
     def mark(self, healthy: bool) -> None:
         """Record a passive health observation (request result)."""
         self._healthy = healthy
+        if healthy:
+            self._consecutive_failures = 0
+        else:
+            self._consecutive_failures += 1
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     async def run_jobs(
-        self, jobs: Sequence[PreparationJob]
+        self,
+        jobs: Sequence[PreparationJob],
+        *,
+        trace_context: dict | None = None,
     ) -> list[JobOutcome]:
         """Run one micro-batch on the remote shard.
 
@@ -174,12 +216,22 @@ class RemoteShard(ShardBackend):
         :class:`~repro.engine.JobSuccess` / ``JobFailure`` objects.
         Raises :class:`~repro.net.ClientError` (transport or server
         refusal) — the caller decides whether that means failover.
+
+        ``trace_context`` (:meth:`repro.obs.Trace.context`) propagates
+        the caller's trace to the shard; the subtree the shard ships
+        back lands in :attr:`last_remote_trace` for grafting.
         """
         self._inflight += 1
+        self.last_remote_trace = None
         try:
             response = await self.client.batch(
                 [job.describe() for job in jobs],
                 include_circuit=self.fetch_circuits,
+                trace=trace_context,
+            )
+            self.last_remote_trace = (
+                response.get("trace")
+                if trace_context is not None else None
             )
             outcomes = response.get("outcomes")
             if not isinstance(outcomes, list) or len(outcomes) != len(jobs):
@@ -198,11 +250,11 @@ class RemoteShard(ShardBackend):
                 raise ClientError(error.code, str(error))
         except ClientError as error:
             if error.code in FAILOVER_CODES:
-                self._healthy = False
+                self.mark(False)
             raise
         finally:
             self._inflight -= 1
-        self._healthy = True
+        self.mark(True)
         return rebuilt
 
     async def check_health(self) -> bool:
@@ -217,10 +269,12 @@ class RemoteShard(ShardBackend):
                 self.client.ping(), self.health_timeout
             )
         except (ClientError, asyncio.TimeoutError, OSError):
-            self._healthy = False
+            self._last_probe_at = time.monotonic()
+            self.mark(False)
             await self.client.aclose()
             return False
-        self._healthy = True
+        self._last_probe_at = time.monotonic()
+        self.mark(True)
         return True
 
     async def fetch_stats(self) -> dict:

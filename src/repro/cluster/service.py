@@ -136,6 +136,7 @@ class ClusterPreparationService(AsyncPreparationService):
                 "repro_cluster_request_seconds",
                 "Wall time of one shard round trip (whole group).",
                 labels=("shard",),
+                exemplars=True,
             )
             self._shard_failovers = metrics.counter(
                 "repro_cluster_failovers_total",
@@ -253,7 +254,9 @@ class ClusterPreparationService(AsyncPreparationService):
                 groups = self._group_batch(batch, keys)
                 await asyncio.gather(
                     *(
-                        self._dispatch_group(chain, positions, batch)
+                        self._dispatch_group(
+                            chain, positions, batch, traces
+                        )
                         for chain, positions in groups
                     )
                 )
@@ -302,14 +305,38 @@ class ClusterPreparationService(AsyncPreparationService):
             groups[owner][1].append(position)
         return list(groups.values())
 
+    @staticmethod
+    def _group_traces(
+        positions: list[int], traces
+    ) -> list[tuple]:
+        """Distinct ``(trace, dispatch_span)`` pairs of one group.
+
+        One shard round trip may serve jobs from several client
+        traces (micro-batching coalesces requests); every distinct
+        trace gets its own ``remote_call`` span and its own copy of
+        the grafted shard subtree.
+        """
+        if traces is None:
+            return []
+        distinct: list[tuple] = []
+        seen: set[int] = set()
+        for position in positions:
+            entry = traces[position]
+            if entry is not None and id(entry[0]) not in seen:
+                seen.add(id(entry[0]))
+                distinct.append(entry)
+        return distinct
+
     async def _dispatch_group(
         self,
         chain: tuple[int, ...],
         positions: list[int],
         batch: list[QueuedJob],
+        traces=None,
     ) -> None:
         """Run one shard group, failing over along its chain."""
         jobs = [batch[position].job for position in positions]
+        group_traces = self._group_traces(positions, traces)
         last_error: ClientError | None = None
         for attempt, index in enumerate(chain):
             backend = self.placement.backend(index)
@@ -319,13 +346,48 @@ class ClusterPreparationService(AsyncPreparationService):
                 # to it.  The last candidate is always tried — a probe
                 # may simply not have noticed the shard recovering.
                 self._note_failover(backend)
+                for trace, parent in group_traces:
+                    trace.add_span(
+                        "skip_unhealthy",
+                        start=trace.offset(),
+                        duration=0.0,
+                        parent=parent,
+                        shard=backend.shard_id,
+                        attempt=attempt,
+                        consecutive_failures=(
+                            backend.consecutive_failures
+                        ),
+                        last_probe_seconds=backend.last_probe_seconds,
+                    )
                 continue
             lock = self._shard_locks[index]
             async with lock:
                 started = time.perf_counter()
+                remote_spans = [
+                    (trace, trace.begin_span(
+                        "remote_call",
+                        parent=parent,
+                        shard=backend.shard_id,
+                        addr=backend.addr,
+                        attempt=attempt,
+                    ))
+                    for trace, parent in group_traces
+                ]
+                # One context per round trip: the shard adopts the
+                # first trace's id, and its subtree is grafted into
+                # every trace of the group.
+                trace_context = (
+                    remote_spans[0][0].context(parent=remote_spans[0][1])
+                    if remote_spans else None
+                )
                 try:
-                    outcomes = await backend.run_jobs(jobs)
+                    outcomes = await backend.run_jobs(
+                        jobs, trace_context=trace_context
+                    )
                 except ClientError as error:
+                    for trace, span in remote_spans:
+                        span.annotate(error_code=error.code)
+                        span.finish()
                     if error.code not in FAILOVER_CODES:
                         # Semantic refusal: every replica would repeat
                         # it.  Surface per job, shard stays in rotation.
@@ -354,10 +416,22 @@ class ClusterPreparationService(AsyncPreparationService):
                             0.0, backend.shard_id
                         )
                     continue
+                subtree = backend.last_remote_trace
+                for trace, span in remote_spans:
+                    if subtree is not None:
+                        trace.graft(
+                            subtree, parent=span,
+                            shard=backend.shard_id,
+                        )
+                    span.finish()
             if self._shard_requests is not None:
                 self._shard_requests.labels(backend.shard_id).inc()
                 self._shard_seconds.labels(backend.shard_id).observe(
-                    time.perf_counter() - started
+                    time.perf_counter() - started,
+                    exemplar=(
+                        group_traces[0][0].request_id
+                        if group_traces else None
+                    ),
                 )
             if self._shard_healthy is not None:
                 self._shard_healthy.set(1.0, backend.shard_id)

@@ -66,17 +66,32 @@ def _execute_job(
     the engine's custom pipeline (``None`` runs the default pipeline
     for the job's config).
 
-    An optional fifth task element carries the request's
-    ``(trace, parent_span)`` (serial executor only — traces do not
-    pickle to worker processes): it is re-established as the current
-    trace around the pipeline run, under an ``execute`` span, so
-    every pipeline pass lands as a span of the right request.
+    An optional fifth task element carries tracing state:
+
+    * under the serial executor, the request's live
+      ``(trace, parent_span)`` — re-established as the current trace
+      around the pipeline run, under an ``execute`` span, so every
+      pipeline pass lands as a span of the right request;
+    * under a process-pool executor, a picklable
+      ``("ledger", trace_id, parent_span_id)`` sentinel — the worker
+      records the same spans into a private :class:`~repro.obs.Trace`
+      and returns ``(outcome, trace.export())`` so the engine grafts
+      the subtree back onto the live request trace.
 
     Module-level so it pickles for ``ProcessPoolExecutor`` dispatch.
     """
     job, key, state, pipeline = task[:4]
     traced = task[4] if len(task) > 4 else None
     start = time.perf_counter()
+    ledger_trace = None
+    if (
+        isinstance(traced, tuple)
+        and len(traced) == 3
+        and traced[0] == "ledger"
+    ):
+        ledger_trace = tracing.Trace(traced[1], transport="worker")
+        ledger_trace.remote_parent = traced[2]
+        traced = (ledger_trace, None)
     execute_span = None
     tokens = None
     if traced is not None:
@@ -88,11 +103,22 @@ def _execute_job(
             tracing.CURRENT_TRACE.set(trace),
             tracing.CURRENT_SPAN.set(execute_span),
         )
+
+    def _deliver(outcome: JobOutcome):
+        if ledger_trace is None:
+            return outcome
+        # Close the execute span before exporting (the enclosing
+        # ``finally`` only runs after this return value is built);
+        # ``finish`` is idempotent, so the second call is a no-op.
+        if execute_span is not None:
+            execute_span.finish()
+        return outcome, ledger_trace.export()
+
     try:
         result = prepare_state(
             state, config=job.options, pipeline=pipeline
         )
-        return JobSuccess(
+        return _deliver(JobSuccess(
             job=job,
             key=key,
             circuit=result.circuit,
@@ -103,19 +129,19 @@ def _execute_job(
                 (timing.stage, timing.seconds)
                 for timing in result.timings
             ),
-        )
+        ))
     except Exception as error:  # noqa: BLE001 - per-job isolation
         if execute_span is not None:
             execute_span.annotate(
                 error=type(error).__name__
             )
-        return JobFailure(
+        return _deliver(JobFailure(
             job=job,
             key=key,
             error_type=type(error).__name__,
             message=str(error),
             elapsed=time.perf_counter() - start,
-        )
+        ))
     finally:
         if tokens is not None:
             tracing.CURRENT_SPAN.reset(tokens[1])
@@ -430,18 +456,42 @@ class PreparationEngine:
                 )
             task = (jobs[position], key, state, self._pipeline)
             traced = traced_at(position)
-            if traced is not None and self.executor.name == "serial":
-                # Traces hold locks and context references — they do
-                # not pickle, so only the in-thread serial executor
-                # carries them into _execute_job.
-                task = task + (traced,)
+            if traced is not None:
+                if self.executor.name == "serial":
+                    # The in-thread serial executor records straight
+                    # into the live trace (traces hold locks and
+                    # context references — they do not pickle).
+                    task = task + (traced,)
+                else:
+                    # Process-pool workers get a picklable sentinel;
+                    # they record into a private per-job ledger and
+                    # return it for grafting below.
+                    trace, parent = traced
+                    task = task + ((
+                        "ledger",
+                        trace.request_id,
+                        parent.span_id if parent is not None else None,
+                    ),)
             tasks.append(task)
             task_positions.append(position)
         with self._stats_lock:
             self._jobs_executed += len(tasks)
-        for position, outcome in zip(
+        for position, delivered in zip(
             task_positions, self.executor.run(_execute_job, tasks)
         ):
+            ledger = None
+            if isinstance(delivered, tuple):
+                outcome, ledger = delivered
+            else:
+                outcome = delivered
+            if ledger is not None:
+                traced = traced_at(position)
+                if traced is not None:
+                    trace, parent = traced
+                    trace.graft(
+                        ledger, parent=parent,
+                        worker_pid=ledger.get("pid"),
+                    )
             outcomes[position] = outcome
             if self._job_seconds is not None and outcome.elapsed:
                 self._job_seconds.observe(outcome.elapsed)

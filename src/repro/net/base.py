@@ -55,6 +55,11 @@ class StreamServer:
         tracer: A :class:`~repro.obs.Tracer`; when given, every
             ``prepare``/``batch`` request is traced end-to-end under
             its wire request id.  ``None`` disables tracing.
+        slow_trace_seconds: Requests slower than this many seconds
+            get their full span tree emitted as one structured
+            ``slow_request`` log record (warning level), so tail
+            latency is diagnosable from the logs alone.  ``None``
+            (the default) disables the dump.
     """
 
     #: Value of the ``transport`` metric label; subclasses override.
@@ -70,6 +75,7 @@ class StreamServer:
         drain_timeout: float | None = 30.0,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        slow_trace_seconds: float | None = None,
     ):
         self.service = service
         self.host = host
@@ -78,6 +84,7 @@ class StreamServer:
         self.drain_timeout = drain_timeout
         self.metrics = metrics
         self.tracer = tracer
+        self.slow_trace_seconds = slow_trace_seconds
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         self._closing: asyncio.Event | None = None
@@ -98,6 +105,7 @@ class StreamServer:
                 "repro_request_seconds",
                 "Wall time from request receipt to response written.",
                 labels=("transport",),
+                exemplars=True,
             )
             self._errors_total = metrics.counter(
                 "repro_errors_total",
@@ -126,6 +134,7 @@ class StreamServer:
         *,
         error_code: str | None = None,
         request_id: object = None,
+        trace=None,
     ) -> None:
         """Mark a request finished: counters, latency, and one log line."""
         self.inflight_requests = max(0, self.inflight_requests - 1)
@@ -134,7 +143,12 @@ class StreamServer:
             self._inflight_gauge.dec()
         if self._requests_total is not None:
             self._requests_total.labels(self.transport, op).inc()
-            self._request_seconds.labels(self.transport).observe(elapsed)
+            self._request_seconds.labels(self.transport).observe(
+                elapsed,
+                exemplar=(
+                    trace.request_id if trace is not None else None
+                ),
+            )
             if error_code is not None:
                 self._errors_total.labels(
                     self.transport, error_code
@@ -148,6 +162,19 @@ class StreamServer:
             self._log.warning(f"{self.transport}_request", **fields)
         else:
             self._log.debug(f"{self.transport}_request", **fields)
+        if (
+            self.slow_trace_seconds is not None
+            and trace is not None
+            and elapsed >= self.slow_trace_seconds
+        ):
+            self._log.warning(
+                "slow_request",
+                op=op,
+                request_id=trace.request_id,
+                duration=round(elapsed, 6),
+                threshold=self.slow_trace_seconds,
+                trace=trace.to_dict(),
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle

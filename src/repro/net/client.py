@@ -35,6 +35,7 @@ import asyncio
 import json
 import threading
 from collections.abc import Mapping
+from urllib.parse import quote
 
 from repro.engine.jobs import PreparationJob
 from repro.exceptions import ReproError
@@ -43,6 +44,7 @@ from repro.net.protocol import (
     decode_line,
     encode_line,
 )
+from repro.obs.tracing import context_to_header
 
 __all__ = ["ClientError", "ReproClient", "SyncReproClient"]
 
@@ -196,18 +198,29 @@ class ReproClient:
     # Operations
     # ------------------------------------------------------------------
     async def prepare(
-        self, job, *, include_circuit: bool = False
+        self, job, *, include_circuit: bool = False, trace=None
     ) -> dict:
-        """Prepare one state; returns the wire outcome dict."""
+        """Prepare one state; returns the wire outcome dict.
+
+        ``trace`` is an optional trace context
+        (:meth:`repro.obs.Trace.context`) propagated with the request;
+        the server then ships its span subtree back and the result
+        dict carries it under ``"trace"``.
+        """
         payload: dict[str, object] = {"job": _job_to_wire(job)}
         if include_circuit:
             payload["include_circuit"] = True
-        return await self._call("prepare", payload)
+        return await self._call("prepare", payload, trace=trace)
 
     async def batch(
-        self, jobs, *, defaults=None, include_circuit: bool = False
+        self, jobs, *, defaults=None, include_circuit: bool = False,
+        trace=None,
     ) -> dict:
-        """Prepare many states; returns ``{"outcomes": [...], ...}``."""
+        """Prepare many states; returns ``{"outcomes": [...], ...}``.
+
+        With a propagated ``trace`` context the result additionally
+        carries the server's span subtree under ``"trace"``.
+        """
         payload: dict[str, object] = {
             "jobs": [_job_to_wire(job) for job in jobs]
         }
@@ -215,7 +228,7 @@ class ReproClient:
             payload["defaults"] = dict(defaults)
         if include_circuit:
             payload["include_circuit"] = True
-        return await self._call("batch", payload)
+        return await self._call("batch", payload, trace=trace)
 
     async def stats(self) -> dict:
         """Service + engine counters (``ServiceStats.to_dict()``)."""
@@ -226,17 +239,27 @@ class ReproClient:
         over TCP)."""
         return await self._call("ping", {})
 
+    async def trace(self, trace_id: object) -> dict:
+        """The server's retained span tree for ``trace_id``
+        (``GET /v1/trace/<id>`` over HTTP, ``trace`` op over TCP)."""
+        return await self._call("trace", {"trace_id": str(trace_id)})
+
+    async def traces_summary(self) -> dict:
+        """The server's per-stage critical-path/self-time rollup
+        (``GET /v1/traces/summary`` / ``traces_summary`` op)."""
+        return await self._call("traces_summary", {})
+
     # ------------------------------------------------------------------
     # Transport plumbing
     # ------------------------------------------------------------------
-    async def _call(self, op: str, payload: dict) -> dict:
+    async def _call(self, op: str, payload: dict, trace=None) -> dict:
         # Connection establishment happens inside the transport
         # coroutines, so wait_for covers it: a black-holed host fails
         # the request after `timeout`, not the OS connect timeout.
         if self.transport == "http":
-            coroutine = self._call_http(op, payload)
+            coroutine = self._call_http(op, payload, trace=trace)
         else:
-            coroutine = self._call_tcp(op, payload)
+            coroutine = self._call_tcp(op, payload, trace=trace)
         if self.timeout is None:
             return await coroutine
         try:
@@ -255,7 +278,14 @@ class ReproClient:
 
     def _unwrap(self, envelope: Mapping[str, object]) -> dict:
         if envelope.get("ok"):
-            return envelope["result"]
+            result = envelope["result"]
+            # The server's exported span subtree rides at envelope
+            # level (it also covers error envelopes); fold it into the
+            # result so callers that propagated a context can graft it.
+            if "trace" in envelope and isinstance(result, dict):
+                result = dict(result)
+                result["trace"] = envelope["trace"]
+            return result
         error = envelope.get("error") or {}
         raise ClientError(
             error.get("code", "internal"),
@@ -269,16 +299,25 @@ class ReproClient:
         "batch": ("POST", "/v1/batch"),
         "stats": ("GET", "/v1/stats"),
         "ping": ("GET", "/healthz"),
+        "trace": ("GET", "/v1/trace/"),
+        "traces_summary": ("GET", "/v1/traces/summary"),
     }
 
-    async def _call_http(self, op: str, payload: dict) -> dict:
+    async def _call_http(self, op: str, payload: dict, trace=None) -> dict:
         method, path = self._HTTP_ROUTES[op]
+        if op == "trace":
+            path += quote(str(payload.get("trace_id", "")), safe="")
         body = b"" if method == "GET" else json.dumps(payload).encode()
+        trace_header = (
+            f"X-Repro-Trace: {context_to_header(trace)}\r\n"
+            if trace is not None else ""
+        )
         request = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_header}"
             f"Connection: keep-alive\r\n"
             f"\r\n"
         ).encode("latin-1") + body
@@ -337,7 +376,7 @@ class ReproClient:
             )
 
     # -- TCP -----------------------------------------------------------
-    async def _call_tcp(self, op: str, payload: dict) -> dict:
+    async def _call_tcp(self, op: str, payload: dict, trace=None) -> dict:
         # The connection may have been closed (concurrent timeout)
         # between _call's connect and this coroutine's first step.
         await self.connect()
@@ -349,6 +388,8 @@ class ReproClient:
             "op": op,
             **payload,
         }
+        if trace is not None:
+            request["trace"] = dict(trace)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
@@ -432,15 +473,17 @@ class SyncReproClient:
             coroutine, self._loop
         ).result()
 
-    def prepare(self, job, *, include_circuit: bool = False) -> dict:
-        return self._call(
-            self._client.prepare(job, include_circuit=include_circuit)
-        )
+    def prepare(self, job, *, include_circuit: bool = False,
+                trace=None) -> dict:
+        return self._call(self._client.prepare(
+            job, include_circuit=include_circuit, trace=trace
+        ))
 
     def batch(self, jobs, *, defaults=None,
-              include_circuit: bool = False) -> dict:
+              include_circuit: bool = False, trace=None) -> dict:
         return self._call(self._client.batch(
-            jobs, defaults=defaults, include_circuit=include_circuit
+            jobs, defaults=defaults, include_circuit=include_circuit,
+            trace=trace,
         ))
 
     def stats(self) -> dict:
@@ -448,6 +491,12 @@ class SyncReproClient:
 
     def ping(self) -> dict:
         return self._call(self._client.ping())
+
+    def trace(self, trace_id: object) -> dict:
+        return self._call(self._client.trace(trace_id))
+
+    def traces_summary(self) -> dict:
+        return self._call(self._client.traces_summary())
 
     def _shutdown_loop(self) -> None:
         self._loop.call_soon_threadsafe(self._loop.stop)

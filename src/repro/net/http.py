@@ -13,13 +13,19 @@ over four routes:
 * ``GET /metrics`` — the Prometheus text exposition of the server's
   :class:`~repro.obs.MetricsRegistry` (404 when none is attached),
 * ``GET /v1/trace/<id>`` — the retained span tree of a recent traced
-  request (404 when tracing is off or the id has been evicted).
+  request (404 when tracing is off or the id has been evicted),
+* ``GET /v1/traces/summary`` — the per-stage critical-path/self-time
+  rollup over the retained trace ring.
 
 A ``prepare``/``batch`` request is traced under the id the client
 supplied — the ``X-Repro-Request-Id`` header or the body's ``id``
 field — or a generated one; the response always echoes the id in its
 ``X-Repro-Request-Id`` header (and in the envelope's ``id`` field
-when the client supplied one).
+when the client supplied one).  A request carrying an
+``X-Repro-Trace`` header (a propagated trace context, see
+``docs/observability.md``) is traced under the caller's trace id and
+its span subtree is shipped back in the envelope's ``trace`` field
+for grafting.
 
 Connections are keep-alive by default (HTTP/1.1 semantics; honour
 ``Connection: close``), bodies are bounded by ``max_request_bytes``,
@@ -44,6 +50,7 @@ from repro.net.protocol import (
     execute_request,
     result_envelope,
 )
+from repro.obs.tracing import context_from_header
 
 __all__ = ["HttpServer"]
 
@@ -81,6 +88,7 @@ _ROUTES = {
     "/v1/stats": ("GET", "stats"),
     "/healthz": ("GET", "health"),
     "/metrics": ("GET", "metrics"),
+    "/v1/traces/summary": ("GET", "traces_summary"),
 }
 
 #: Prefix route for trace read-back: ``GET /v1/trace/<request-id>``.
@@ -154,6 +162,7 @@ class HttpServer(StreamServer):
         drain_timeout: float | None = 30.0,
         metrics=None,
         tracer=None,
+        slow_trace_seconds: float | None = None,
     ):
         super().__init__(
             service, host, port,
@@ -161,6 +170,7 @@ class HttpServer(StreamServer):
             drain_timeout=drain_timeout,
             metrics=metrics,
             tracer=tracer,
+            slow_trace_seconds=slow_trace_seconds,
         )
         self.max_request_bytes = max_request_bytes
 
@@ -231,6 +241,7 @@ class HttpServer(StreamServer):
                     request_id=(
                         trace.request_id if trace is not None else None
                     ),
+                    trace=trace,
                 )
                 if not keep_alive:
                     break
@@ -420,6 +431,13 @@ class HttpServer(StreamServer):
             return 200, result_envelope(health), None
         if op == "metrics":
             return self._respond_metrics()
+        if op == "traces_summary":
+            if self.tracer is None:
+                raise WireError(
+                    "not_found",
+                    "tracing is not enabled on this server",
+                )
+            return 200, result_envelope(self.tracer.summary()), None
         if not self.service.running:
             raise WireError(
                 "shutting_down", "service is draining; try again later"
@@ -449,7 +467,12 @@ class HttpServer(StreamServer):
             return 200, result_envelope(
                 result, request_id=client_id
             ), None
-        with self.tracer.request(client_id, transport="http") as trace:
+        context = context_from_header(
+            request.headers.get("x-repro-trace")
+        )
+        with self.tracer.request(
+            client_id, transport="http", context=context
+        ) as trace:
             if trace is not None:
                 trace.add_span(
                     "parse", start=0.0, duration=parse_elapsed
@@ -464,7 +487,10 @@ class HttpServer(StreamServer):
                     trace.set_error(error.code, str(error))
                 return (
                     _STATUS_BY_CODE.get(error.code, 500),
-                    error_envelope(error, request_id=client_id),
+                    self._with_subtree(
+                        error_envelope(error, request_id=client_id),
+                        context, trace,
+                    ),
                     trace,
                 )
             except Exception as error:  # noqa: BLE001 - wire boundary
@@ -473,7 +499,10 @@ class HttpServer(StreamServer):
                     trace.set_error(wire.code, str(wire))
                 return (
                     500,
-                    error_envelope(wire, request_id=client_id),
+                    self._with_subtree(
+                        error_envelope(wire, request_id=client_id),
+                        context, trace,
+                    ),
                     trace,
                 )
         if (
@@ -486,7 +515,18 @@ class HttpServer(StreamServer):
                 failure.get("code", "internal"),
                 failure.get("message", ""),
             )
-        return 200, result_envelope(result, request_id=client_id), trace
+        return 200, self._with_subtree(
+            result_envelope(result, request_id=client_id),
+            context, trace,
+        ), trace
+
+    @staticmethod
+    def _with_subtree(envelope: dict, context, trace) -> dict:
+        """Attach this process's span subtree to the envelope when the
+        caller propagated a trace context (it will graft the spans)."""
+        if context is not None and trace is not None:
+            envelope["trace"] = trace.export()
+        return envelope
 
     async def _write_response(
         self,

@@ -43,6 +43,7 @@ from repro.engine.spec import job_from_dict, jobs_from_spec
 from repro.exceptions import ReproError
 
 __all__ = [
+    "ENVELOPE_FIELDS",
     "PROTOCOL_VERSION",
     "WireError",
     "comparable_wire_outcome",
@@ -77,9 +78,19 @@ _TIMING_REPORT_FIELDS = (
 
 #: Operations a stream request may name.  The HTTP transport maps its
 #: routes onto the same set (``POST /v1/prepare`` → ``prepare`` …);
-#: ``metrics`` and ``trace`` are the stream analogues of
-#: ``GET /metrics`` and ``GET /v1/trace/<id>``.
-OPERATIONS = ("prepare", "batch", "stats", "ping", "metrics", "trace")
+#: ``metrics``, ``trace`` and ``traces_summary`` are the stream
+#: analogues of ``GET /metrics``, ``GET /v1/trace/<id>`` and
+#: ``GET /v1/traces/summary``.
+OPERATIONS = (
+    "prepare", "batch", "stats", "ping", "metrics", "trace",
+    "traces_summary",
+)
+
+#: Envelope fields stripped before a payload reaches the batch-spec
+#: parser: protocol bookkeeping plus the propagated trace context.
+ENVELOPE_FIELDS = frozenset(
+    {"v", "id", "op", "include_circuit", "trace"}
+)
 
 
 def _camel_to_snake(name: str) -> str:
@@ -207,7 +218,7 @@ def parse_prepare_payload(
         raw_job = {
             key: value
             for key, value in payload.items()
-            if key not in {"v", "id", "op", "include_circuit"}
+            if key not in ENVELOPE_FIELDS
         }
         if "dims" not in raw_job:
             raise WireError(
@@ -244,7 +255,7 @@ def parse_batch_payload(
     document = {
         key: value
         for key, value in payload.items()
-        if key not in {"v", "id", "op", "include_circuit"}
+        if key not in ENVELOPE_FIELDS
     }
     try:
         jobs = jobs_from_spec(document, defaults_override=defaults)
@@ -458,6 +469,12 @@ async def execute_request(
                 f"no retained trace for request id {trace_id!r}",
             )
         return trace.to_dict()
+    if op == "traces_summary":
+        if tracer is None:
+            raise WireError(
+                "not_found", "tracing is not enabled on this server"
+            )
+        return tracer.summary()
     if op == "prepare":
         job, include_circuit = parse_prepare_payload(payload, defaults)
         try:

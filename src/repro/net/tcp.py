@@ -31,6 +31,7 @@ from repro.net.protocol import (
     execute_request,
     result_envelope,
 )
+from repro.obs.tracing import parse_context
 
 __all__ = ["TcpServer"]
 
@@ -85,6 +86,7 @@ class TcpServer(StreamServer):
         drain_timeout: float | None = 30.0,
         metrics=None,
         tracer=None,
+        slow_trace_seconds: float | None = None,
     ):
         super().__init__(
             service, host, port,
@@ -92,6 +94,7 @@ class TcpServer(StreamServer):
             drain_timeout=drain_timeout,
             metrics=metrics,
             tracer=tracer,
+            slow_trace_seconds=slow_trace_seconds,
         )
         self.max_line_bytes = max_line_bytes
         self.max_inflight_requests = max_inflight_requests
@@ -203,6 +206,7 @@ class TcpServer(StreamServer):
         started = self._request_begin()
         op_label = "invalid"
         trace = None
+        context = None
         failed_code = None
         try:
             parse_started = time.perf_counter()
@@ -216,8 +220,9 @@ class TcpServer(StreamServer):
                 )
             op_label = op
             if self.tracer is not None and op in _TRACED_OPS:
+                context = parse_context(request.get("trace"))
                 with self.tracer.request(
-                    request_id, transport="tcp"
+                    request_id, transport="tcp", context=context
                 ) as trace:
                     if trace is not None:
                         trace.add_span(
@@ -248,6 +253,10 @@ class TcpServer(StreamServer):
                 trace.set_error(wire.code, str(wire))
             envelope = error_envelope(wire, request_id=request_id)
             failed_code = wire.code
+        if context is not None and trace is not None:
+            # The caller propagated a trace context: ship this
+            # process's span subtree back for grafting.
+            envelope["trace"] = trace.export()
         serialize_span = (
             trace.begin_span("serialize", parent=trace.find("request"))
             if trace is not None else None
@@ -271,4 +280,5 @@ class TcpServer(StreamServer):
                         trace.request_id if trace is not None else None
                     )
                 ),
+                trace=trace,
             )

@@ -31,10 +31,15 @@ from repro.obs.tracing import (
     CURRENT_SPAN,
     CURRENT_TRACE,
     DISPATCH_TRACES,
+    TRACE_CONTEXT_VERSION,
     Span,
     Trace,
     Tracer,
+    context_from_header,
+    context_to_header,
     current_trace,
+    parse_context,
+    summarize_traces,
 )
 
 __all__ = [
@@ -48,10 +53,15 @@ __all__ = [
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "Span",
+    "TRACE_CONTEXT_VERSION",
     "Trace",
     "Tracer",
+    "context_from_header",
+    "context_to_header",
     "current_trace",
     "iter_prometheus_lines",
     "log",
+    "parse_context",
     "quantile_from_buckets",
+    "summarize_traces",
 ]

@@ -289,16 +289,27 @@ class Gauge(_Instrument):
 
 
 class _HistogramSeries:
-    __slots__ = ("counts", "total", "count")
+    __slots__ = ("counts", "total", "count", "exemplars")
 
     def __init__(self, num_buckets: int):
         self.counts = [0] * (num_buckets + 1)  # trailing +Inf bucket
         self.total = 0.0
         self.count = 0
+        #: Per-bucket ``(trace_id, value)`` of the latest exemplar
+        #: observation, or ``None``; allocated lazily — stays ``None``
+        #: until the first exemplar lands on the series.
+        self.exemplars: list | None = None
 
 
 class Histogram(_Instrument):
-    """A fixed-bucket distribution with sum/count and quantile read-back."""
+    """A fixed-bucket distribution with sum/count and quantile read-back.
+
+    With ``exemplars=True`` each bucket additionally remembers the
+    trace id of the most recent observation that carried one
+    (``observe(..., exemplar=trace_id)``), exposed in OpenMetrics
+    exemplar syntax on the ``_bucket`` lines — the hook that lets an
+    operator jump from a latency bucket straight to a stitched trace.
+    """
 
     kind = "histogram"
 
@@ -310,6 +321,7 @@ class Histogram(_Instrument):
         lock: threading.Lock,
         enabled: bool,
         buckets: Sequence[float] = LATENCY_BUCKETS,
+        exemplars: bool = False,
     ):
         super().__init__(name, help_text, label_names, lock, enabled)
         bounds = tuple(float(bound) for bound in buckets)
@@ -321,8 +333,14 @@ class Histogram(_Instrument):
         if bounds and bounds[-1] == math.inf:
             bounds = bounds[:-1]
         self.bounds = bounds
+        self.exemplars_enabled = bool(exemplars)
 
-    def observe(self, value: float, *label_values: str) -> None:
+    def observe(
+        self,
+        value: float,
+        *label_values: str,
+        exemplar: str | None = None,
+    ) -> None:
         if not self._enabled:
             return
         key = self._labels_key(label_values)
@@ -336,6 +354,10 @@ class Histogram(_Instrument):
             series.counts[index] += 1
             series.total += value
             series.count += 1
+            if self.exemplars_enabled and exemplar is not None:
+                if series.exemplars is None:
+                    series.exemplars = [None] * len(series.counts)
+                series.exemplars[index] = (str(exemplar), value)
 
     def labels(self, *label_values: str) -> "_BoundHistogram":
         return _BoundHistogram(self, self._labels_key(label_values))
@@ -363,9 +385,31 @@ class Histogram(_Instrument):
                     "buckets": list(series.counts),
                     "sum": series.total,
                     "count": series.count,
+                    **(
+                        {"exemplars": list(series.exemplars)}
+                        if series.exemplars is not None else {}
+                    ),
                 }
                 for key, series in self._series.items()
             }
+
+    def aggregate_quantile(self, q: float) -> float | None:
+        """Approximate ``q``-quantile over *all* series combined.
+
+        Sums the per-label bucket counts first — the fleet-wide view
+        of a shard-labelled histogram (``None`` if nothing observed).
+        """
+        with self._lock:
+            combined: list[int] | None = None
+            for series in self._series.values():
+                if combined is None:
+                    combined = list(series.counts)
+                else:
+                    for index, count in enumerate(series.counts):
+                        combined[index] += count
+        if not combined:
+            return None
+        return quantile_from_buckets(self.bounds, combined, q)
 
     def snapshot(self) -> dict[str, object]:
         series = self._snapshot_series()
@@ -394,18 +438,29 @@ class Histogram(_Instrument):
         lines = self._header()
         for key in sorted(series):
             data = series[key]
+            exemplars = data.get("exemplars")
             cumulative = 0
-            for bound, count in zip(
+            for index, (bound, count) in enumerate(zip(
                 list(self.bounds) + [math.inf], data["buckets"]
-            ):
+            )):
                 cumulative += count
                 suffix = _label_suffix(
                     self.label_names, key,
                     extra=(("le", _format_value(bound)),),
                 )
-                lines.append(
-                    f"{self.name}_bucket{suffix} {cumulative}"
+                line = f"{self.name}_bucket{suffix} {cumulative}"
+                exemplar = (
+                    exemplars[index] if exemplars is not None else None
                 )
+                if exemplar is not None:
+                    trace_id, observed = exemplar
+                    line += (
+                        ' # {trace_id="'
+                        f'{_escape_label_value(str(trace_id))}'
+                        '"} '
+                        f"{_format_value(float(observed))}"
+                    )
+                lines.append(line)
             plain = _label_suffix(self.label_names, key)
             lines.append(
                 f"{self.name}_sum{plain} "
@@ -422,8 +477,8 @@ class _BoundHistogram:
         self._histogram = histogram
         self._key = key
 
-    def observe(self, value: float) -> None:
-        self._histogram.observe(value, *self._key)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._histogram.observe(value, *self._key, exemplar=exemplar)
 
 
 class MetricsRegistry:
@@ -487,10 +542,18 @@ class MetricsRegistry:
         self, name: str, help_text: str = "",
         labels: Sequence[str] = (),
         buckets: Sequence[float] = LATENCY_BUCKETS,
+        exemplars: bool = False,
     ) -> Histogram:
-        return self._get_or_create(
-            Histogram, name, help_text, labels, buckets=buckets
+        metric = self._get_or_create(
+            Histogram, name, help_text, labels,
+            buckets=buckets, exemplars=exemplars,
         )
+        if metric.exemplars_enabled != bool(exemplars):
+            raise ValueError(
+                f"metric {name!r} already registered with "
+                f"exemplars={metric.exemplars_enabled}"
+            )
+        return metric
 
     def get(self, name: str) -> _Instrument | None:
         with self._lock:

@@ -249,7 +249,11 @@ class TestHealthzDetail:
             "shard-00", "shard-01", "shard-02",
         ]
         for row in health["shards"]:
-            assert set(row) == {"id", "addr", "healthy", "inflight"}
+            assert set(row) == {
+                "id", "addr", "healthy", "inflight",
+                "last_probe_seconds", "consecutive_failures",
+            }
+            assert row["consecutive_failures"] == 0
 
     def test_plain_healthz_keeps_historical_shape(self):
         async def scenario():
